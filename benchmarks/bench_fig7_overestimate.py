@@ -1,0 +1,33 @@
+"""Figure 7: the applications whose footprints the model overestimates.
+
+Shape targets: for typechecker and raytrace "the footprints in the cache
+predicted by the model were substantially larger than those observed";
+the paper's suggested MPI-switch heuristic (section 3.4) should reduce the
+error.
+"""
+
+from conftest import once, report
+
+from repro.experiments.fig7 import (
+    adaptive_prediction,
+    format_fig7,
+    run_fig7,
+)
+
+import numpy as np
+
+
+def test_fig7_overestimated_footprints(benchmark):
+    results = once(benchmark, run_fig7)
+    report("fig7", format_fig7(results))
+
+    for name, res in results.items():
+        # substantial overestimation is the figure's defining feature
+        assert res.final_ratio > 1.3, (name, res.final_ratio)
+
+    # the MPI-switch heuristic reduces the error for the nonstationary app
+    tc = results["typechecker"]
+    adaptive = adaptive_prediction(tc)
+    base_err = tc.mean_absolute_error
+    adaptive_err = float(np.mean(np.abs(adaptive - tc.observed)))
+    assert adaptive_err < base_err

@@ -1,0 +1,36 @@
+"""Figure 9: locality scheduling on the 8-cpu Enterprise 5000.
+
+Shape targets: on the SMP the locality policies eliminate a large share of
+E-cache misses for tasks and tsp and speed them up well beyond the
+uniprocessor margins; merge gains modestly.  Photo is the documented
+deviation of this reproduction: with single-interval row threads created
+in row order, lockstep FIFO consumption leaves no placement freedom (see
+EXPERIMENTS.md); the tiled-creation ablation shows the paper-scale gain.
+"""
+
+from conftest import once, report
+
+from repro.experiments.fig9 import format_fig9, run_fig9
+
+
+def test_fig9_smp(benchmark):
+    results = once(benchmark, run_fig9)
+    report("fig9", format_fig9(results))
+
+    base = {wl: res["fcfs"] for wl, res in results.items()}
+
+    tasks_lff = results["tasks"]["lff"]
+    assert tasks_lff.misses_eliminated_vs(base["tasks"]) > 0.6
+    assert tasks_lff.speedup_vs(base["tasks"]) > 1.4
+
+    tsp_lff = results["tsp"]["lff"]
+    assert tsp_lff.misses_eliminated_vs(base["tsp"]) > 0.2
+    assert tsp_lff.speedup_vs(base["tsp"]) > 1.1
+
+    merge_lff = results["merge"]["lff"]
+    assert merge_lff.speedup_vs(base["merge"]) > 1.0
+
+    # no workload regresses badly under either policy
+    for wl, by_policy in results.items():
+        for policy in ("lff", "crt"):
+            assert by_policy[policy].speedup_vs(base[wl]) > 0.9, (wl, policy)

@@ -1,0 +1,125 @@
+"""Writing a custom scheduling policy against the public interface.
+
+The paper's Active Threads has a "scheduling event mechanism ... designed
+to support a variety of specialized scheduling polices" [33]; this
+repository's equivalent is :class:`repro.sched.base.Scheduler`.  This
+example implements a *miss-budget* policy from scratch -- threads that
+missed heavily in their last interval are rescheduled sooner, a naive
+inversion of LFF that needs only the counter value -- and races it
+against the built-ins on the tasks benchmark.
+
+The point is the plumbing: a policy receives exactly what real hardware
+and the runtime provide (per-interval miss counts, readiness events) and
+returns dispatch decisions plus its own instruction costs.
+
+Run:  python examples/custom_policy.py
+"""
+
+import heapq
+from typing import Optional, Tuple
+
+from repro import FCFSScheduler, Machine, Runtime, ULTRA1, make_crt, make_lff
+from repro.sched.base import Scheduler
+from repro.sim.report import format_table
+from repro.threads.thread import ActiveThread, ThreadState
+from repro.workloads import TasksParams, TasksWorkload
+
+
+class MissBudgetScheduler(Scheduler):
+    """Dispatch the runnable thread with the most misses last interval.
+
+    A deliberately simple policy: no sharing graph, no footprint algebra,
+    just the raw counter reading per thread.  It chases reload transients
+    instead of avoiding them -- useful as a foil for LFF/CRT, and as a
+    minimal template for new policies.
+    """
+
+    name = "miss-budget"
+
+    def __init__(self) -> None:
+        self._last_misses = {}
+        self._heap = []
+        self._counter = 0
+        self._ready = 0
+
+    def attach(self, runtime) -> None:
+        self.runtime = runtime
+
+    def thread_ready(self, thread: ActiveThread) -> int:
+        self._counter += 1
+        score = self._last_misses.get(thread.tid, 0)
+        heapq.heappush(
+            self._heap, (-score, self._counter, thread, thread.ready_seq)
+        )
+        self._ready += 1
+        return 5
+
+    def thread_blocked(
+        self, cpu: int, thread: ActiveThread, misses: int, finished: bool
+    ) -> int:
+        if finished:
+            self._last_misses.pop(thread.tid, None)
+        else:
+            self._last_misses[thread.tid] = misses
+        return 2
+
+    def pick(self, cpu: int) -> Tuple[Optional[ActiveThread], int]:
+        cost = 0
+        while self._heap:
+            _score, _c, thread, seq = heapq.heappop(self._heap)
+            cost += 8
+            if thread.state is ThreadState.READY and thread.ready_seq == seq:
+                self._ready -= 1
+                return thread, cost
+        return None, cost
+
+    def has_runnable(self) -> bool:
+        return self._ready > 0
+
+
+def run(scheduler):
+    machine = Machine(ULTRA1)
+    runtime = Runtime(machine, scheduler)
+    workload = TasksWorkload(TasksParams())
+    workload.build(runtime)
+    runtime.run()
+    return machine
+
+
+def main():
+    rows = []
+    base = None
+    for scheduler in (
+        FCFSScheduler(),
+        MissBudgetScheduler(),
+        make_lff(),
+        make_crt(),
+    ):
+        machine = run(scheduler)
+        misses, cycles = machine.total_l2_misses(), machine.time()
+        if base is None:
+            base = (misses, cycles)
+        rows.append(
+            (
+                scheduler.name,
+                misses,
+                f"{100 * (1 - misses / base[0]):.0f}%",
+                f"{base[1] / cycles:.2f}x",
+            )
+        )
+    print(
+        format_table(
+            ["policy", "E-misses", "eliminated", "speedup"],
+            rows,
+            title="A custom policy vs the built-ins (tasks, 1 cpu)",
+        )
+    )
+    print(
+        "\nChasing misses re-runs the threads that just paid their reload"
+        "\ntransient -- by accident, a weak form of affinity; the model-"
+        "\ndriven policies remain far ahead."
+    )
+
+
+if __name__ == "__main__":
+    main()

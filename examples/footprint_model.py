@@ -1,0 +1,72 @@
+"""Explore the shared-state cache model directly (paper section 2.4).
+
+Prints the three cases' trajectories, cross-checks the closed form
+against the Appendix's Markov chain, and traces a real application's
+observed footprint against the prediction -- everything the model offers,
+without a scheduler in sight.
+
+Run:  python examples/footprint_model.py
+"""
+
+import numpy as np
+
+from repro import SharedStateModel
+from repro.core.markov import expected_footprint_markov, stationary_distribution
+from repro.sim import run_monitored
+from repro.sim.report import format_series, format_table
+from repro.workloads import BarnesLike
+
+
+def model_cases():
+    model = SharedStateModel(8192)
+    misses = np.asarray([0, 1000, 4000, 16000, 64000])
+    rows = []
+    for label, values in (
+        ("case 1: running, S0=0", model.expected_running(0, misses)),
+        ("case 2: independent, S0=4000", model.expected_independent(4000, misses)),
+        ("case 3: dependent, q=.5, S0=1000",
+         model.expected_dependent(1000, 0.5, misses)),
+        ("case 3: dependent, q=.5, S0=7000",
+         model.expected_dependent(7000, 0.5, misses)),
+    ):
+        rows.append([label] + [f"{v:.0f}" for v in np.asarray(values)])
+    print(
+        format_table(
+            ["case"] + [f"n={n}" for n in misses],
+            rows,
+            title="Expected footprints [lines], N = 8192",
+        )
+    )
+
+
+def markov_check():
+    n_cache, q, s0 = 64, 0.4, 10
+    model = SharedStateModel(n_cache)
+    print("\nClosed form vs Markov chain (N=64, q=0.4, S0=10):")
+    for n in (0, 10, 50, 200):
+        closed = model.expected_dependent(s0, q, n)
+        exact = expected_footprint_markov(n_cache, q, s0, n)
+        print(f"  n={n:4d}: closed={closed:8.4f}  markov={exact:8.4f}  "
+              f"diff={abs(closed - exact):.2e}")
+    pi = stationary_distribution(n_cache, q)
+    mean = float(pi @ np.arange(n_cache + 1))
+    print(f"  stationary mean = {mean:.4f} (asymptote qN = {q * n_cache:.1f})")
+
+
+def real_application_trace():
+    print("\nBarnes-Hut work thread: observed vs predicted footprint")
+    result = run_monitored(BarnesLike())
+    print("  observed :", format_series(result.misses, result.observed, 8))
+    print("  predicted:", format_series(result.misses, result.predicted, 8))
+    print(f"  final predicted/observed ratio: {result.final_ratio:.2f} "
+          "(the paper's mild C-app overestimation)")
+
+
+def main():
+    model_cases()
+    markov_check()
+    real_application_trace()
+
+
+if __name__ == "__main__":
+    main()

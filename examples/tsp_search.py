@@ -1,0 +1,77 @@
+"""Branch-and-bound TSP under locality scheduling.
+
+Each subspace of the solution space is explored by its own thread with a
+freshly heap-allocated adjacency matrix (compulsory misses no scheduler
+can avoid -- why the paper's 1-cpu elimination is only ~12%).  Threads
+contend on the allocator lock and the shared incumbent, and the parent ->
+child annotations record the matrix each child reads at start-up.
+
+On the 8-cpu E5000, most of the locality win is counter-driven: after a
+thread blocks on a lock, the footprint model brings it back to the
+processor that still caches its matrices.
+
+Run:  python examples/tsp_search.py
+"""
+
+from repro import E5000_8CPU, FCFSScheduler, Machine, Runtime, ULTRA1, make_crt, make_lff
+from repro.sim.report import format_table
+from repro.workloads import TspParams, TspWorkload
+
+
+def run(config, scheduler):
+    machine = Machine(config)
+    runtime = Runtime(machine, scheduler)
+    workload = TspWorkload(TspParams())
+    workload.build(runtime)
+    runtime.run()
+    assert workload.best_tour is not None
+    assert sorted(workload.best_tour) == list(range(workload.params.num_cities))
+    return machine, workload
+
+
+def main():
+    rows = []
+    for config in (ULTRA1, E5000_8CPU):
+        base = None
+        for factory in (FCFSScheduler, make_lff, make_crt):
+            scheduler = factory()
+            machine, workload = run(config, scheduler)
+            misses, cycles = machine.total_l2_misses(), machine.time()
+            if base is None:
+                base = (misses, cycles)
+            rows.append(
+                (
+                    config.name,
+                    scheduler.name,
+                    workload.threads_created,
+                    f"{workload.best_cost:.0f}",
+                    misses,
+                    f"{100 * (1 - misses / base[0]):.0f}%",
+                    f"{base[1] / cycles:.2f}x",
+                )
+            )
+    print(
+        format_table(
+            [
+                "machine",
+                "policy",
+                "threads",
+                "best tour",
+                "E-misses",
+                "eliminated",
+                "speedup",
+            ],
+            rows,
+            title="Branch-and-bound TSP (every policy searches identical work)",
+        )
+    )
+    costs = {row[3] for row in rows}
+    assert len(costs) == 1, "equal work: every policy finds the same tour"
+    print(
+        "\nNote: the best tour is identical across policies -- pruning uses"
+        "\na static bound, so every schedule explores the same tree."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,300 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``run``        one workload under one policy, printing the counters;
+- ``compare``    one workload under FCFS/LFF/CRT side by side;
+- ``trace``      a monitored app's footprint trace vs the model;
+- ``model``      evaluate the closed-form model directly;
+- ``experiment`` regenerate a paper table/figure by name.
+
+Everything is deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.model import SharedStateModel
+from repro.machine.configs import E5000_8CPU, ULTRA1
+from repro.sched import SCHEDULERS
+from repro.sim.driver import run_monitored, run_performance
+from repro.sim.report import format_series, format_table
+from repro.workloads import (
+    ANOMALOUS_APPS,
+    MONITORED_APPS,
+    PERFORMANCE_WORKLOADS,
+    MergeParams,
+    PhotoParams,
+    TasksParams,
+    TspParams,
+)
+
+_PARAMS = {
+    "tasks": TasksParams,
+    "merge": MergeParams,
+    "photo": PhotoParams,
+    "tsp": TspParams,
+}
+
+_EXPERIMENTS = {}
+
+
+def _experiment_registry():
+    """Lazy experiment table (imports are heavy enough to defer)."""
+    if _EXPERIMENTS:
+        return _EXPERIMENTS
+    from repro.experiments.fig4 import run_fig4
+    from repro.experiments.fig5 import format_fig5, run_fig5
+    from repro.experiments.fig6 import format_fig6, run_fig6
+    from repro.experiments.fig7 import format_fig7, run_fig7
+    from repro.experiments.fig8 import format_fig8, run_fig8
+    from repro.experiments.fig9 import format_fig9, run_fig9
+    from repro.experiments.table3 import format_table3, run_table3
+    from repro.experiments.table5 import format_table5, run_table5
+    from repro.experiments.fairness import (
+        format_fairness_sweep,
+        run_fairness_sweep,
+    )
+    from repro.experiments.inference_exp import (
+        format_inference_comparison,
+        run_inference_comparison,
+    )
+
+    def fig4_text():
+        panels = run_fig4()
+        rows = [
+            (panel, curve.label, 100.0 * curve.mean_relative_error)
+            for panel, curves in panels.items()
+            for curve in curves
+        ]
+        return format_table(
+            ["panel", "curve", "rel.err %"], rows, title="Figure 4"
+        )
+
+    _EXPERIMENTS.update(
+        {
+            "fig4": fig4_text,
+            "fig5": lambda: format_fig5(run_fig5()),
+            "fig6": lambda: format_fig6(run_fig6()),
+            "fig7": lambda: format_fig7(run_fig7()),
+            "fig8": lambda: format_fig8(run_fig8()),
+            "fig9": lambda: format_fig9(run_fig9()),
+            "table3": lambda: format_table3(run_table3()),
+            "table5": lambda: format_table5(run_table5()),
+            "fairness": lambda: format_fairness_sweep(run_fairness_sweep()),
+            "inference": lambda: format_inference_comparison(
+                run_inference_comparison()
+            ),
+        }
+    )
+    return _EXPERIMENTS
+
+
+def _config(cpus: int):
+    if cpus == 1:
+        return ULTRA1
+    if cpus == 8:
+        return E5000_8CPU
+    return ULTRA1.with_cpus(cpus)
+
+
+def _workload(name: str, paper_scale: bool):
+    cls = PERFORMANCE_WORKLOADS[name]
+    params_cls = _PARAMS[name]
+    params = params_cls.paper_scale() if paper_scale else params_cls()
+    return cls(params)
+
+
+def _cmd_run(args) -> int:
+    if args.report:
+        from repro.machine.smp import Machine
+        from repro.sim.analysis import run_report
+        from repro.threads.runtime import Runtime
+
+        machine = Machine(_config(args.cpus), seed=args.seed)
+        runtime = Runtime(machine, SCHEDULERS[args.policy]())
+        _workload(args.workload, args.paper_scale).build(runtime)
+        runtime.run()
+        print(run_report(machine, runtime))
+        return 0
+    result = run_performance(
+        _workload(args.workload, args.paper_scale),
+        _config(args.cpus),
+        SCHEDULERS[args.policy](),
+        seed=args.seed,
+    )
+    print(
+        format_table(
+            ["workload", "policy", "cpus", "cycles", "E-misses", "MPI",
+             "switches"],
+            [
+                (
+                    result.workload,
+                    result.scheduler,
+                    result.num_cpus,
+                    result.cycles,
+                    result.l2_misses,
+                    result.mpi,
+                    result.context_switches,
+                )
+            ],
+            title="run",
+        )
+    )
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    rows = []
+    base = None
+    for policy in ("fcfs", "static", "lff", "crt"):
+        result = run_performance(
+            _workload(args.workload, args.paper_scale),
+            _config(args.cpus),
+            SCHEDULERS[policy](),
+            seed=args.seed,
+        )
+        if base is None:
+            base = result
+        rows.append(
+            (
+                policy,
+                result.l2_misses,
+                100.0 * result.misses_eliminated_vs(base),
+                result.speedup_vs(base),
+            )
+        )
+    print(
+        format_table(
+            ["policy", "E-misses", "eliminated %", "rel perf"],
+            rows,
+            title=f"{args.workload} on {args.cpus} cpu(s)",
+        )
+    )
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    apps = {**MONITORED_APPS, **ANOMALOUS_APPS}
+    result = run_monitored(apps[args.app](), seed=args.seed)
+    print(
+        format_table(
+            ["app", "lang", "misses", "observed", "predicted", "pred/obs",
+             "MAE"],
+            [
+                (
+                    result.app,
+                    result.language,
+                    int(result.misses[-1]),
+                    int(result.observed[-1]),
+                    float(result.predicted[-1]),
+                    result.final_ratio,
+                    result.mean_absolute_error,
+                )
+            ],
+            title="footprint trace",
+        )
+    )
+    print("observed :", format_series(result.misses, result.observed))
+    print("predicted:", format_series(result.misses, result.predicted))
+    return 0
+
+
+def _cmd_model(args) -> int:
+    model = SharedStateModel(args.lines)
+    misses = np.asarray(args.misses, dtype=np.int64)
+    rows = [
+        ("running (case 1)", *(f"{v:.1f}" for v in
+                               np.atleast_1d(model.expected_running(args.initial, misses)))),
+        ("independent (case 2)", *(f"{v:.1f}" for v in
+                                   np.atleast_1d(model.expected_independent(args.initial, misses)))),
+        (f"dependent q={args.q} (case 3)",
+         *(f"{v:.1f}" for v in
+           np.atleast_1d(model.expected_dependent(args.initial, args.q, misses)))),
+    ]
+    print(
+        format_table(
+            ["case"] + [f"n={n}" for n in misses],
+            rows,
+            title=f"E[F] for N={args.lines}, S0={args.initial}",
+        )
+    )
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    registry = _experiment_registry()
+    print(registry[args.name]())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Thread-locality scheduling reproduction (ASPLOS 1998)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one workload under one policy")
+    run_p.add_argument("--workload", choices=sorted(PERFORMANCE_WORKLOADS),
+                       required=True)
+    run_p.add_argument("--policy", choices=sorted(SCHEDULERS), default="lff")
+    run_p.add_argument("--cpus", type=int, default=1)
+    run_p.add_argument("--paper-scale", action="store_true")
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument(
+        "--report", action="store_true",
+        help="print the full post-run analysis instead of one row",
+    )
+    run_p.set_defaults(func=_cmd_run)
+
+    cmp_p = sub.add_parser("compare", help="FCFS vs LFF vs CRT")
+    cmp_p.add_argument("--workload", choices=sorted(PERFORMANCE_WORKLOADS),
+                       required=True)
+    cmp_p.add_argument("--cpus", type=int, default=1)
+    cmp_p.add_argument("--paper-scale", action="store_true")
+    cmp_p.add_argument("--seed", type=int, default=0)
+    cmp_p.set_defaults(func=_cmd_compare)
+
+    trace_p = sub.add_parser("trace", help="footprint trace of one app")
+    trace_p.add_argument(
+        "--app",
+        choices=sorted({**MONITORED_APPS, **ANOMALOUS_APPS}),
+        required=True,
+    )
+    trace_p.add_argument("--seed", type=int, default=0)
+    trace_p.set_defaults(func=_cmd_trace)
+
+    model_p = sub.add_parser("model", help="evaluate the closed-form model")
+    model_p.add_argument("--lines", type=int, default=8192)
+    model_p.add_argument("--initial", type=float, default=0.0)
+    model_p.add_argument("--q", type=float, default=0.5)
+    model_p.add_argument("--misses", type=int, nargs="+",
+                         default=[0, 1000, 4000, 16000])
+    model_p.set_defaults(func=_cmd_model)
+
+    exp_p = sub.add_parser("experiment", help="regenerate a table/figure")
+    exp_p.add_argument(
+        "name",
+        choices=[
+            "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "table3", "table5", "fairness", "inference",
+        ],
+    )
+    exp_p.set_defaults(func=_cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,162 @@
+"""On-line expected-footprint bookkeeping with lazy decay.
+
+The model must be evaluated "on-line at the thread context switch time"
+(section 2.1) without touching every thread: recomputing all footprints
+would cost O(T) per switch, which "would not achieve any performance gains
+for fine-grained parallel applications with large T" (section 4.1).
+
+The trick (the same one the priority schemes exploit): every thread
+*independent* of the blocker decays by exactly the same factor ``k**n``,
+so each per-(cpu, thread) entry stores its expected footprint together
+with the processor's cumulative miss count ``m`` at the moment it was last
+materialised.  The current value is ``stored * k**(m_now - m_stored)``,
+computable on demand; only the blocking thread and its d graph-dependents
+are eagerly rewritten at a switch.
+
+This estimator is the *reference* implementation of the model (used by the
+evaluation and by schedulers that want raw footprints, e.g. threshold
+checks); the log-space priority schemes in :mod:`repro.core.priorities`
+are the paper's production fast path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.model import SharedStateModel
+from repro.core.sharing import SharingGraph
+
+
+@dataclass
+class _Entry:
+    """Expected footprint of one thread on one cpu, as of miss count m."""
+
+    value: float
+    at_misses: int
+
+
+class FootprintEstimator:
+    """Per-(cpu, thread) expected footprints, updated in O(d) per switch."""
+
+    def __init__(
+        self,
+        model: SharedStateModel,
+        graph: SharingGraph,
+        num_cpus: int,
+    ) -> None:
+        self.model = model
+        self.graph = graph
+        self.num_cpus = num_cpus
+        self._log_k = math.log(model.k)
+        # cumulative miss count per cpu, as fed through observe_interval()
+        self._misses: List[int] = [0] * num_cpus
+        self._entries: List[Dict[int, _Entry]] = [{} for _ in range(num_cpus)]
+        # miss count at the current thread's dispatch, per cpu
+        self._dispatch_misses: List[Optional[Tuple[int, int]]] = [None] * num_cpus
+
+    # -- queries -------------------------------------------------------------
+
+    def cumulative_misses(self, cpu: int) -> int:
+        """m(t): this cpu's miss total as seen by the estimator."""
+        return self._misses[cpu]
+
+    def footprint(self, cpu: int, tid: int) -> float:
+        """Current expected footprint of ``tid`` in ``cpu``'s cache."""
+        entry = self._entries[cpu].get(tid)
+        if entry is None:
+            return 0.0
+        return self._decayed(entry, self._misses[cpu])
+
+    def _decayed(self, entry: _Entry, now: int) -> float:
+        elapsed = now - entry.at_misses
+        if elapsed == 0:
+            return entry.value
+        return entry.value * math.exp(elapsed * self._log_k)
+
+    def footprints_on(self, cpu: int) -> Dict[int, float]:
+        """All known (thread -> current footprint) for one cpu."""
+        now = self._misses[cpu]
+        return {
+            tid: self._decayed(entry, now)
+            for tid, entry in self._entries[cpu].items()
+        }
+
+    # -- lifecycle events ------------------------------------------------------
+
+    def on_dispatch(self, cpu: int, tid: int) -> None:
+        """Thread ``tid`` starts a scheduling interval on ``cpu``."""
+        self._dispatch_misses[cpu] = (tid, self._misses[cpu])
+
+    def on_block(self, cpu: int, tid: int, interval_misses: int) -> None:
+        """Thread ``tid`` blocks on ``cpu`` after ``interval_misses`` misses
+        (the number the performance counters reported for the interval).
+
+        Applies case 1 to the blocker, case 3 to each of its dependents,
+        and leaves everything else to lazy case-2 decay.
+        """
+        if interval_misses < 0:
+            raise ValueError("miss counts must be non-negative")
+        dispatched = self._dispatch_misses[cpu]
+        if dispatched is None or dispatched[0] != tid:
+            raise RuntimeError(
+                f"thread {tid} blocking on cpu {cpu} was never dispatched there"
+            )
+        m0 = dispatched[1]
+        self._dispatch_misses[cpu] = None
+        entries = self._entries[cpu]
+        n_cache = self.model.num_lines
+
+        # Case 1: the blocker itself.
+        s0 = self._value_at(entries.get(tid), m0)
+        decay_n = self.model.decay(interval_misses)
+        new_m = m0 + interval_misses
+        entries[tid] = _Entry(n_cache - (n_cache - s0) * decay_n, new_m)
+
+        # Case 3: the blocker's dependents (O(d)).
+        for dep_tid, q in self.graph.dependents(tid):
+            target = q * n_cache
+            dep_s0 = self._value_at(entries.get(dep_tid), m0)
+            entries[dep_tid] = _Entry(
+                target - (target - dep_s0) * decay_n, new_m
+            )
+
+        # Case 2 is implicit: everyone else decays lazily.
+        self._misses[cpu] = new_m
+
+    def _value_at(self, entry: Optional[_Entry], misses: int) -> float:
+        """Materialise an entry's value at miss count ``misses``."""
+        if entry is None:
+            return 0.0
+        return self._decayed(entry, misses)
+
+    def forget(self, tid: int) -> None:
+        """Drop a finished thread from every cpu's table."""
+        for entries in self._entries:
+            entries.pop(tid, None)
+
+    def prune(self, cpu: int, threshold: float) -> List[int]:
+        """Drop entries whose footprint fell below ``threshold`` lines;
+        returns the dropped thread ids.  Bounds table sizes the same way
+        the schedulers bound their heaps (section 5)."""
+        now = self._misses[cpu]
+        entries = self._entries[cpu]
+        victims = [
+            tid
+            for tid, entry in entries.items()
+            if self._decayed(entry, now) < threshold
+        ]
+        for tid in victims:
+            del entries[tid]
+        return victims
+
+    def best_cpu(self, tid: int) -> Optional[int]:
+        """The cpu where ``tid`` has its largest expected footprint, or
+        ``None`` if it has no state anywhere."""
+        best, best_fp = None, 0.0
+        for cpu in range(self.num_cpus):
+            fp = self.footprint(cpu, tid)
+            if fp > best_fp:
+                best, best_fp = cpu, fp
+        return best

@@ -1,0 +1,172 @@
+"""The shared-state cache model (paper section 2.4).
+
+For a direct-mapped cache of ``N`` lines, suppose thread ``A`` runs on a
+processor and takes ``n`` misses (as reported by the performance counters)
+before blocking.  With ``k = (N-1)/N`` and accesses assumed independent and
+uniformly distributed over cache lines, the expected footprints at the
+context switch are:
+
+- **case 1, the blocking thread itself** (initial footprint ``S_A``)::
+
+      E[F_A] = N - (N - S_A) * k**n
+
+- **case 2, a thread independent of A** (initial footprint ``S_B``)::
+
+      E[F_B] = S_B * k**n
+
+- **case 3, a thread dependent on A** with sharing coefficient
+  ``q = q_{A,C}`` (the weight of edge (A, C) in the dependency graph)::
+
+      E[F_C] = q*N - (q*N - S_C) * k**n
+
+Case 3 is the general law: substituting ``q = 1`` (complete inclusion)
+recovers case 1 and ``q = 0`` (no shared data) recovers case 2.  The
+Markov-chain derivation behind case 3 lives in :mod:`repro.core.markov`.
+
+The model's stated domain is "large off-chip physical direct-mapped caches"
+(section 2.1); its known failure modes -- reference clustering, conflict
+misses, invalidations -- are reproduced and measured by the Figure 5/7
+experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+ArrayLike = Union[int, float, np.ndarray]
+
+
+def _validate_footprint(value: ArrayLike, limit: float, what: str) -> None:
+    arr = np.asarray(value, dtype=float)
+    if np.any(arr < 0) or np.any(arr > limit):
+        raise ValueError(f"{what} must lie in [0, {limit}], got {value!r}")
+
+
+@dataclass(frozen=True)
+class SharedStateModel:
+    """The closed-form model for one cache of ``num_lines`` lines."""
+
+    num_lines: int
+
+    def __post_init__(self) -> None:
+        if self.num_lines < 2:
+            raise ValueError("the model needs a cache of at least 2 lines")
+
+    @property
+    def k(self) -> float:
+        """Per-miss survival probability of any fixed line: (N-1)/N."""
+        return (self.num_lines - 1) / self.num_lines
+
+    def decay(self, misses: ArrayLike) -> ArrayLike:
+        """``k**n``, the survival probability after ``n`` misses.
+
+        Computed as ``exp(n * log k)`` so vectorised inputs are cheap and
+        large ``n`` underflows gracefully to 0.
+        """
+        n = np.asarray(misses, dtype=float)
+        if np.any(n < 0):
+            raise ValueError("miss counts must be non-negative")
+        out = np.exp(n * math.log(self.k))
+        return float(out) if np.isscalar(misses) or out.ndim == 0 else out
+
+    # -- the three cases ----------------------------------------------------
+
+    def expected_running(self, initial: ArrayLike, misses: ArrayLike) -> ArrayLike:
+        """Case 1: footprint of the thread that took the ``misses`` itself."""
+        _validate_footprint(initial, self.num_lines, "initial footprint")
+        n_lines = self.num_lines
+        return n_lines - (n_lines - np.asarray(initial, dtype=float)) * self.decay(
+            misses
+        )
+
+    def expected_independent(
+        self, initial: ArrayLike, misses: ArrayLike
+    ) -> ArrayLike:
+        """Case 2: footprint of a thread sharing nothing with the runner."""
+        _validate_footprint(initial, self.num_lines, "initial footprint")
+        return np.asarray(initial, dtype=float) * self.decay(misses)
+
+    def expected_dependent(
+        self, initial: ArrayLike, q: float, misses: ArrayLike
+    ) -> ArrayLike:
+        """Case 3: footprint of a thread with sharing coefficient ``q``.
+
+        ``q`` is the weight of the dependency-graph edge from the running
+        thread to this one: the portion of the runner's state shared with
+        this thread.
+        """
+        _validate_footprint(initial, self.num_lines, "initial footprint")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"sharing coefficient must be in [0, 1], got {q}")
+        target = q * self.num_lines
+        return target - (target - np.asarray(initial, dtype=float)) * self.decay(
+            misses
+        )
+
+    # -- derived quantities --------------------------------------------------
+
+    def asymptote(self, q: float) -> float:
+        """The footprint a dependent thread converges to: ``q * N``."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"sharing coefficient must be in [0, 1], got {q}")
+        return q * self.num_lines
+
+    def misses_to_decay(self, fraction: float) -> float:
+        """Misses needed for an independent footprint to decay to
+        ``fraction`` of its initial size (the half-life at 0.5)."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        return math.log(fraction) / math.log(self.k)
+
+    def misses_to_reach(
+        self, target: float, initial: float, q: float = 1.0
+    ) -> float:
+        """Misses needed for a dependent footprint to go from ``initial``
+        to ``target`` (the closed form inverted):
+
+            n = log((qN - target) / (qN - initial)) / log k
+
+        Useful for calibration: how long until a thread's state is "warm
+        enough".  ``target`` must lie strictly between ``initial`` and the
+        asymptote ``q*N`` (exclusive), otherwise no finite n exists.
+        """
+        asymptote = self.asymptote(q)
+        _validate_footprint(initial, self.num_lines, "initial footprint")
+        _validate_footprint(target, self.num_lines, "target footprint")
+        lo, hi = sorted((initial, asymptote))
+        if not (lo < target < hi) or initial == asymptote:
+            raise ValueError(
+                f"target {target} not reachable from {initial} "
+                f"(asymptote {asymptote})"
+            )
+        return math.log((asymptote - target) / (asymptote - initial)) / math.log(
+            self.k
+        )
+
+    def reload_transient(self, initial: ArrayLike, misses: ArrayLike) -> ArrayLike:
+        """Expected lines a resuming thread must reload: its cold state.
+
+        This is the cache-reload transient of Thiebaut and Stone (section
+        2.1): the part of the footprint lost while the thread was away,
+        given it once held ``initial`` lines and the processor has since
+        taken ``misses`` misses.
+        """
+        remaining = self.expected_independent(initial, misses)
+        return np.asarray(initial, dtype=float) - remaining
+
+    def cache_reload_ratio(
+        self, last_footprint: ArrayLike, current: ArrayLike
+    ) -> ArrayLike:
+        """Squillante-Lazowska reload ratio R = (F_last - F) / F_last
+        (section 4.2); 0 when the thread's state is fully cached, 1 when
+        none of it is.  ``last_footprint`` of 0 yields R = 0 by convention
+        (a thread with no state has nothing to reload)."""
+        last = np.asarray(last_footprint, dtype=float)
+        cur = np.asarray(current, dtype=float)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(last > 0, (last - cur) / np.where(last > 0, last, 1), 0.0)
+        return float(ratio) if ratio.ndim == 0 else ratio

@@ -1,0 +1,359 @@
+"""Log-space priority schemes for LFF and CRT scheduling (sections 4.1-4.2).
+
+The naive way to schedule by expected footprint recomputes every thread's
+footprint at every context switch: O(T) work.  The paper instead chooses
+priority functions that are *order-equivalent* to the footprints yet
+constant for threads independent of the blocker, so only the blocker and
+its d dependents are touched:
+
+- **LFF** (Largest Footprint First)::
+
+      p(t) = log(E[F]) - m(t) * log k
+
+  where ``m(t)`` is the processor's cumulative miss count and
+  ``k = (N-1)/N``.  Since every independent footprint decays by exactly
+  ``k**(m - m_stored)``, the two terms cancel and the stored priority stays
+  valid forever.
+
+- **CRT** (smallest Cache-Reload raTio, after Squillante & Lazowska)::
+
+      p(t) = log(E[F]) - log(E[F_last]) - m(t) * log k
+
+  where ``E[F_last]`` is the thread's expected footprint when it last
+  finished executing on this processor.  Higher priority = lower expected
+  reload ratio.  A freshly blocked thread has R = 0 and priority
+  ``-m(t) * log k``.
+
+Both schemes precompute ``k**n`` for a wide range of ``n`` and ``log F``
+for all integer footprints ``0 < F <= N``, so a priority update costs a
+handful of floating-point instructions (Table 3) -- and exactly zero for
+independent threads.  Every FP operation performed is tallied in an
+:class:`UpdateCost` so the Table 3 bench reports measured, not asserted,
+costs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.model import SharedStateModel
+from repro.core.sharing import SharingGraph
+
+
+class PrecomputedTables:
+    """The static tables of section 4.1: powers of k and logs of footprints."""
+
+    def __init__(self, num_lines: int, max_power: Optional[int] = None) -> None:
+        if num_lines < 2:
+            raise ValueError("need a cache of at least 2 lines")
+        self.num_lines = num_lines
+        self.k = (num_lines - 1) / num_lines
+        self.log_k = math.log(self.k)
+        if max_power is None:
+            # k**n underflows usefully to ~1e-7 of scale by n = 16N;
+            # beyond the table we treat the power as exactly 0.
+            max_power = 16 * num_lines
+        self.max_power = max_power
+        self._k_pow = np.exp(np.arange(max_power + 1, dtype=float) * self.log_k)
+        # log F for integer footprints 1..N; index 0 backs the F=0 clamp.
+        self._log_f = np.log(np.arange(1, num_lines + 1, dtype=float))
+
+    def pow_k(self, n: int) -> float:
+        """k**n via table lookup (0.0 beyond the table)."""
+        if n < 0:
+            raise ValueError("exponent must be non-negative")
+        if n > self.max_power:
+            return 0.0
+        return float(self._k_pow[n])
+
+    def log_footprint(self, footprint: float) -> float:
+        """log of a footprint, via the integer-indexed table.
+
+        The footprint is rounded to the nearest line and clamped to
+        [1, N], matching the paper's precomputation of log(F) for
+        0 < F <= N.
+        """
+        idx = int(round(footprint))
+        if idx < 1:
+            idx = 1
+        elif idx > self.num_lines:
+            idx = self.num_lines
+        return float(self._log_f[idx - 1])
+
+
+@dataclass
+class UpdateCost:
+    """Floating-point instruction tallies per update case (Table 3)."""
+
+    blocking: int = 0
+    dependent: int = 0
+    independent: int = 0
+    blocking_updates: int = 0
+    dependent_updates: int = 0
+
+    def per_update(self) -> Dict[str, float]:
+        """Mean FP instructions per update of each kind."""
+        return {
+            "blocking": self.blocking / max(1, self.blocking_updates),
+            "dependent": self.dependent / max(1, self.dependent_updates),
+            "independent": 0.0,
+        }
+
+
+@dataclass
+class PriorityEntry:
+    """Per-(cpu, thread) scheduling state.
+
+    ``priority`` is directly comparable with any other entry on the same
+    cpu regardless of when either was written -- that is the whole point
+    of the scheme.  ``footprint``/``at_misses`` allow materialising the
+    current expected footprint for threshold checks.
+    """
+
+    priority: float
+    footprint: float
+    at_misses: int
+    last_footprint: float = 0.0  # CRT's E[F_last]; unused by LFF
+    #: bumped on every priority write so heap entries can be lazily
+    #: invalidated when a dependent's priority changes under them
+    version: int = 0
+
+
+class PriorityScheme:
+    """Shared machinery: per-cpu miss clocks, entries, cost accounting."""
+
+    name = "abstract"
+
+    def __init__(
+        self,
+        model: SharedStateModel,
+        graph: SharingGraph,
+        num_cpus: int,
+        tables: Optional[PrecomputedTables] = None,
+    ) -> None:
+        self.model = model
+        self.graph = graph
+        self.num_cpus = num_cpus
+        self.tables = tables or PrecomputedTables(model.num_lines)
+        if self.tables.num_lines != model.num_lines:
+            raise ValueError("tables built for a different cache size")
+        self.cost = UpdateCost()
+        self._misses: List[int] = [0] * num_cpus
+        self._entries: List[Dict[int, PriorityEntry]] = [
+            {} for _ in range(num_cpus)
+        ]
+        self._dispatch_misses: List[Optional[Tuple[int, int]]] = [None] * num_cpus
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def cumulative_misses(self, cpu: int) -> int:
+        """m(t) for one cpu, as fed through on_block."""
+        return self._misses[cpu]
+
+    def entries(self, cpu: int) -> Dict[int, PriorityEntry]:
+        """Live entries for one cpu (thread id -> entry)."""
+        return self._entries[cpu]
+
+    def entry(self, cpu: int, tid: int) -> Optional[PriorityEntry]:
+        """The entry for a thread on a cpu, if any."""
+        return self._entries[cpu].get(tid)
+
+    def ensure_entry(self, cpu: int, tid: int) -> PriorityEntry:
+        """Entry for a thread on a cpu, creating a cold one if absent."""
+        entry = self._entries[cpu].get(tid)
+        if entry is None:
+            entry = self._fresh_entry(cpu)
+            self._entries[cpu][tid] = entry
+        return entry
+
+    def current_footprint(self, cpu: int, tid: int) -> float:
+        """Materialised expected footprint (for thresholds and reports).
+
+        This is measurement/bookkeeping, not part of the per-switch fast
+        path, so it is not tallied in :attr:`cost`.
+        """
+        entry = self._entries[cpu].get(tid)
+        if entry is None:
+            return 0.0
+        return entry.footprint * self.tables.pow_k(
+            self._misses[cpu] - entry.at_misses
+        )
+
+    def forget(self, tid: int) -> None:
+        """Drop a finished thread everywhere."""
+        for entries in self._entries:
+            entries.pop(tid, None)
+
+    def on_dispatch(self, cpu: int, tid: int) -> None:
+        """Record the interval start (the counter value at dispatch)."""
+        self._dispatch_misses[cpu] = (tid, self._misses[cpu])
+
+    def on_block(self, cpu: int, tid: int, interval_misses: int) -> int:
+        """Apply the scheme's updates when ``tid`` blocks on ``cpu`` having
+        taken ``interval_misses`` misses.  Returns the number of entries
+        touched (1 + number of dependents), the paper's O(d)."""
+        if interval_misses < 0:
+            raise ValueError("miss counts must be non-negative")
+        dispatched = self._dispatch_misses[cpu]
+        if dispatched is None or dispatched[0] != tid:
+            raise RuntimeError(
+                f"thread {tid} blocking on cpu {cpu} was never dispatched there"
+            )
+        m0 = dispatched[1]
+        self._dispatch_misses[cpu] = None
+        new_m = m0 + interval_misses
+        touched = 1
+        self._update_blocker(cpu, tid, m0, interval_misses, new_m)
+        for dep_tid, q in self.graph.dependents(tid):
+            self._update_dependent(cpu, dep_tid, q, m0, interval_misses, new_m)
+            touched += 1
+        self._misses[cpu] = new_m
+        return touched
+
+    # -- helpers shared by both schemes ---------------------------------------
+
+    def _fresh_entry(self, cpu: int) -> PriorityEntry:
+        """A cold entry (no cached state) comparable with existing ones."""
+        raise NotImplementedError
+
+    def _update_blocker(
+        self, cpu: int, tid: int, m0: int, n: int, new_m: int
+    ) -> None:
+        raise NotImplementedError
+
+    def _update_dependent(
+        self, cpu: int, tid: int, q: float, m0: int, n: int, new_m: int
+    ) -> None:
+        raise NotImplementedError
+
+    def _materialise(self, entry: PriorityEntry, at: int) -> Tuple[float, int]:
+        """Footprint of an entry at miss count ``at``; returns (value, flops)."""
+        elapsed = at - entry.at_misses
+        if elapsed == 0:
+            return entry.footprint, 0
+        return entry.footprint * self.tables.pow_k(elapsed), 1
+
+
+class LFFScheme(PriorityScheme):
+    """Largest Footprint First: p = log(E[F]) - m * log k (section 4.1)."""
+
+    name = "lff"
+
+    def _fresh_entry(self, cpu: int) -> PriorityEntry:
+        m = self._misses[cpu]
+        # log of the clamped empty footprint is log(1) = 0
+        return PriorityEntry(
+            priority=0.0 - m * self.tables.log_k,
+            footprint=0.0,
+            at_misses=m,
+        )
+
+    def _update_blocker(
+        self, cpu: int, tid: int, m0: int, n: int, new_m: int
+    ) -> None:
+        t = self.tables
+        entry = self.ensure_entry(cpu, tid)
+        flops = 0
+        s0, f = self._materialise(entry, m0)
+        flops += f
+        n_cache = self.model.num_lines
+        new_fp = n_cache - (n_cache - s0) * t.pow_k(n)  # sub, mul, sub
+        flops += 3
+        priority = t.log_footprint(new_fp) - new_m * t.log_k  # mul, sub
+        flops += 2
+        entry.priority = priority
+        entry.footprint = new_fp
+        entry.at_misses = new_m
+        entry.version += 1
+        self.cost.blocking += flops
+        self.cost.blocking_updates += 1
+
+    def _update_dependent(
+        self, cpu: int, tid: int, q: float, m0: int, n: int, new_m: int
+    ) -> None:
+        t = self.tables
+        entry = self.ensure_entry(cpu, tid)
+        flops = 0
+        s0, f = self._materialise(entry, m0)
+        flops += f
+        target = q * self.model.num_lines  # mul
+        flops += 1
+        new_fp = target - (target - s0) * t.pow_k(n)  # sub, mul, sub
+        flops += 3
+        priority = t.log_footprint(new_fp) - new_m * t.log_k  # mul, sub
+        flops += 2
+        entry.priority = priority
+        entry.footprint = new_fp
+        entry.at_misses = new_m
+        entry.version += 1
+        self.cost.dependent += flops
+        self.cost.dependent_updates += 1
+
+
+class CRTScheme(PriorityScheme):
+    """Smallest cache-reload ratio:
+    p = log(E[F]) - log(E[F_last]) - m * log k (section 4.2)."""
+
+    name = "crt"
+
+    def _fresh_entry(self, cpu: int) -> PriorityEntry:
+        m = self._misses[cpu]
+        # E = E_last = 0 (clamped logs cancel): p = -m * log k.
+        return PriorityEntry(
+            priority=-m * self.tables.log_k,
+            footprint=0.0,
+            at_misses=m,
+            last_footprint=0.0,
+        )
+
+    def _update_blocker(
+        self, cpu: int, tid: int, m0: int, n: int, new_m: int
+    ) -> None:
+        t = self.tables
+        entry = self.ensure_entry(cpu, tid)
+        flops = 0
+        s0, f = self._materialise(entry, m0)
+        flops += f
+        n_cache = self.model.num_lines
+        new_fp = n_cache - (n_cache - s0) * t.pow_k(n)  # sub, mul, sub
+        flops += 3
+        # The blocker just executed: R = 0, so p = -m * log k (one mul with
+        # -log k precomputed; we count the negation into the constant).
+        priority = new_m * -t.log_k  # mul
+        flops += 1
+        entry.priority = priority
+        entry.footprint = new_fp
+        entry.last_footprint = new_fp
+        entry.at_misses = new_m
+        entry.version += 1
+        self.cost.blocking += flops
+        self.cost.blocking_updates += 1
+
+    def _update_dependent(
+        self, cpu: int, tid: int, q: float, m0: int, n: int, new_m: int
+    ) -> None:
+        t = self.tables
+        entry = self.ensure_entry(cpu, tid)
+        flops = 0
+        s0, f = self._materialise(entry, m0)
+        flops += f
+        target = q * self.model.num_lines  # mul
+        flops += 1
+        new_fp = target - (target - s0) * t.pow_k(n)  # sub, mul, sub
+        flops += 3
+        priority = (
+            t.log_footprint(new_fp)
+            - t.log_footprint(entry.last_footprint)
+            - new_m * t.log_k
+        )  # sub, mul, sub
+        flops += 3
+        entry.priority = priority
+        entry.footprint = new_fp
+        entry.at_misses = new_m
+        entry.version += 1
+        self.cost.dependent += flops
+        self.cost.dependent_updates += 1

@@ -1,0 +1,101 @@
+"""The state dependency graph built by ``at_share`` annotations.
+
+Section 2.3: "user annotations specify a directed shared state dependency
+graph G=(V,E) and sharing coefficients q_ij in [0,1] associated with each
+arc (t_i, t_j) in E ... the value of q_ij specifies what portion of the
+state of thread t_i is shared with the state of thread t_j."
+
+Direction matters: the *destination* of an edge depends on the *source*
+(the cached state of t_j depends on the activity of t_i).  In the paper's
+mergesort example the children annotate ``at_share(child, parent, 1.0)``
+because all of a child's state is contained in the parent's; the parent
+prefetches nothing for the children, so no parent->child edges exist.
+
+Annotations are hints only: nothing in this module affects program
+correctness, and the graph is "a complete graph with unspecified edges
+having 0 coefficients" -- setting a coefficient to 0 removes the edge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+
+class SharingGraph:
+    """Directed, weighted, dynamically updated dependency graph."""
+
+    def __init__(self) -> None:
+        self._out: Dict[int, Dict[int, float]] = {}
+        self._in: Dict[int, Dict[int, float]] = {}
+
+    def share(self, src: int, dst: int, q: float) -> None:
+        """Record that fraction ``q`` of ``src``'s state is shared with
+        ``dst`` (the ``at_share(src, dst, q)`` annotation).
+
+        Re-annotating an existing edge changes its weight; ``q = 0``
+        removes the edge.  Self-edges are meaningless and rejected.
+        """
+        if src == dst:
+            raise ValueError("a thread cannot share state with itself")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"sharing coefficient must be in [0, 1], got {q}")
+        if q == 0.0:
+            self._remove_edge(src, dst)
+            return
+        self._out.setdefault(src, {})[dst] = q
+        self._in.setdefault(dst, {})[src] = q
+
+    def _remove_edge(self, src: int, dst: int) -> None:
+        out = self._out.get(src)
+        if out is not None:
+            out.pop(dst, None)
+            if not out:
+                del self._out[src]
+        incoming = self._in.get(dst)
+        if incoming is not None:
+            incoming.pop(src, None)
+            if not incoming:
+                del self._in[dst]
+
+    def coefficient(self, src: int, dst: int) -> float:
+        """q_{src,dst}; 0 for unannotated pairs (the complete-graph view)."""
+        return self._out.get(src, {}).get(dst, 0.0)
+
+    def dependents(self, tid: int) -> List[Tuple[int, float]]:
+        """Threads whose cached state depends on ``tid``'s activity:
+        the destinations of ``tid``'s out-edges, with coefficients.
+
+        This is the set the scheduler must update at a context switch; its
+        size is the out-degree d in the paper's O(d) cost bound.
+        """
+        return list(self._out.get(tid, {}).items())
+
+    def dependencies(self, tid: int) -> List[Tuple[int, float]]:
+        """Threads whose activity ``tid``'s cached state depends on
+        (sources of in-edges), with coefficients."""
+        return list(self._in.get(tid, {}).items())
+
+    def out_degree(self, tid: int) -> int:
+        """d, the number of threads affected when ``tid`` blocks."""
+        return len(self._out.get(tid, {}))
+
+    def remove_thread(self, tid: int) -> None:
+        """Drop a finished thread and all its edges."""
+        for dst in list(self._out.get(tid, {})):
+            self._remove_edge(tid, dst)
+        for src in list(self._in.get(tid, {})):
+            self._remove_edge(src, tid)
+
+    def edges(self) -> Iterator[Tuple[int, int, float]]:
+        """All (src, dst, q) triples currently in the graph."""
+        for src, out in self._out.items():
+            for dst, q in out.items():
+                yield (src, dst, q)
+
+    def num_edges(self) -> int:
+        """Total annotated edges."""
+        return sum(len(out) for out in self._out.values())
+
+    def __contains__(self, edge: Tuple[int, int]) -> bool:
+        src, dst = edge
+        return dst in self._out.get(src, {})

@@ -1,0 +1,87 @@
+"""The fairness trade-off (paper section 7).
+
+"Rearranging the execution order may have an adverse effect on fairness.
+In particular, locality techniques generally favor the execution of a few
+threads with much state already in the cache possibly starving the
+others ...  if fairness is important, a practical scheduler must provide
+an escape mechanism to bypass the default priority evaluation."
+
+This experiment quantifies both halves of that statement on the `tasks`
+benchmark: LFF starves cold threads (large maximum wait), and the
+``fairness_boost`` escape (dispatching from the global FIFO every k-th
+pick) trades a controlled amount of locality for bounded waits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.machine.configs import ULTRA1, MachineConfig
+from repro.machine.smp import Machine
+from repro.sched import FCFSScheduler, make_lff
+from repro.sim.report import format_table
+from repro.threads.runtime import Runtime
+from repro.workloads import TasksParams, TasksWorkload
+
+
+def run_fairness_sweep(
+    boosts=(0, 16, 4),
+    config: MachineConfig = ULTRA1,
+    params: Optional[TasksParams] = None,
+    seed: int = 0,
+) -> Dict[str, Dict[str, float]]:
+    """FCFS plus LFF at several fairness-boost settings."""
+    params = params or TasksParams()
+
+    def run(scheduler):
+        machine = Machine(config, seed=seed)
+        runtime = Runtime(machine, scheduler)
+        workload = TasksWorkload(params)
+        workload.build(runtime)
+        runtime.run()
+        waits = np.asarray(
+            [runtime.thread(t).stats.max_wait_cycles for t in workload.tids]
+        )
+        return {
+            "misses": machine.total_l2_misses(),
+            "cycles": machine.time(),
+            "max_wait": int(waits.max()),
+            "mean_wait": float(waits.mean()),
+        }
+
+    results = {"fcfs": run(FCFSScheduler())}
+    for boost in boosts:
+        label = "lff" if boost == 0 else f"lff boost={boost}"
+        results[label] = run(make_lff(fairness_boost=boost))
+    return results
+
+
+def format_fairness_sweep(results: Dict[str, Dict[str, float]]) -> str:
+    base = results["fcfs"]
+    rows = []
+    for name, stats in results.items():
+        rows.append(
+            (
+                name,
+                stats["misses"],
+                100.0 * (1 - stats["misses"] / base["misses"]),
+                base["cycles"] / stats["cycles"],
+                stats["max_wait"],
+                stats["mean_wait"],
+            )
+        )
+    return format_table(
+        [
+            "policy",
+            "E-misses",
+            "eliminated %",
+            "rel perf",
+            "max wait [cyc]",
+            "mean wait [cyc]",
+        ],
+        rows,
+        title="Section 7: locality vs fairness (tasks, max/mean time a "
+        "ready thread waited)",
+    )

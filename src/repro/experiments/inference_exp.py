@@ -1,0 +1,117 @@
+"""Evaluating runtime sharing inference (the section 7 extension).
+
+The showcase workload is producer/consumer pairs: the producer writes a
+multi-page buffer, hands it to the consumer, and waits for it back.
+Writes invalidate the consumer's cached copy -- the effect the paper's
+model deliberately ignores (section 3.4) -- so counter-driven footprints
+alone mis-place the consumer, while an ``at_share`` edge (user-written or
+inferred) sends it to the producer's processor where the fresh buffer
+lives.
+
+Four configurations are compared on the 8-cpu E5000:
+
+1. FCFS (baseline);
+2. LFF with no annotations (counters only);
+3. LFF with user annotations (the paper's programming model);
+4. LFF with CML-based inference and no annotations (section 7's vision).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.inference import SharingInference
+from repro.machine.configs import E5000_8CPU, MachineConfig
+from repro.machine.smp import Machine
+from repro.sched import FCFSScheduler, make_lff
+from repro.sim.report import format_table
+from repro.threads.events import Compute, SemPost, SemWait, Touch
+from repro.threads.runtime import Runtime
+from repro.threads.sync import Semaphore
+
+
+def build_producer_consumer(
+    runtime: Runtime,
+    pairs: int = 16,
+    buffer_lines: int = 260,
+    rounds: int = 12,
+    annotate: bool = False,
+) -> None:
+    """Producer/consumer pairs ping-ponging multi-page buffers."""
+    for pair in range(pairs):
+        buffer_region = runtime.alloc_lines(f"buf{pair}", buffer_lines)
+        to_consumer = Semaphore(0, name=f"to-cons-{pair}")
+        to_producer = Semaphore(0, name=f"to-prod-{pair}")
+
+        def producer(buf=buffer_region, down=to_consumer, up=to_producer):
+            for _ in range(rounds):
+                yield Touch(buf.lines(), write=True)  # fill the buffer
+                yield Compute(800)
+                yield SemPost(down)
+                yield SemWait(up)
+
+        def consumer(buf=buffer_region, down=to_consumer, up=to_producer):
+            for _ in range(rounds):
+                yield SemWait(down)
+                yield Touch(buf.lines())  # read what was just written
+                yield Compute(800)
+                yield SemPost(up)
+
+        tid_p = runtime.at_create(producer, name=f"prod{pair}")
+        tid_c = runtime.at_create(consumer, name=f"cons{pair}")
+        if annotate:
+            runtime.at_share(tid_p, tid_c, 1.0)
+            runtime.at_share(tid_c, tid_p, 1.0)
+
+
+def run_inference_comparison(
+    config: MachineConfig = E5000_8CPU,
+    probe_pages: int = 0,
+    seed: int = 0,
+) -> Dict[str, Dict[str, float]]:
+    """The four configurations; returns per-config miss/cycle/edge stats."""
+
+    def run(scheduler, annotate: bool, infer: bool):
+        machine = Machine(config, seed=seed)
+        runtime = Runtime(machine, scheduler)
+        inference: Optional[SharingInference] = None
+        if infer:
+            inference = SharingInference(
+                runtime, min_q=0.2, probe_pages=probe_pages, seed=seed
+            )
+        build_producer_consumer(runtime, annotate=annotate)
+        runtime.run()
+        return {
+            "misses": machine.total_l2_misses(),
+            "cycles": machine.time(),
+            "edges": inference.edges_written if inference else 0,
+        }
+
+    return {
+        "fcfs": run(FCFSScheduler(), False, False),
+        "lff": run(make_lff(), False, False),
+        "lff+annotations": run(make_lff(), True, False),
+        "lff+inference": run(make_lff(), False, True),
+    }
+
+
+def format_inference_comparison(results: Dict[str, Dict[str, float]]) -> str:
+    base = results["fcfs"]
+    rows = []
+    for name, stats in results.items():
+        rows.append(
+            (
+                name,
+                stats["misses"],
+                100.0 * (1 - stats["misses"] / base["misses"]),
+                base["cycles"] / stats["cycles"],
+                stats["edges"],
+            )
+        )
+    return format_table(
+        ["configuration", "E-misses", "eliminated %", "rel perf",
+         "inferred edges"],
+        rows,
+        title="Section 7 extension: CML sharing inference "
+        "(producer/consumer pairs, 8-cpu E5000)",
+    )

@@ -1,0 +1,30 @@
+"""Runtime sharing inference (the paper's section 7 future work).
+
+"It is even more attractive to identify state sharing patterns entirely
+at runtime to handle, for instance, the existing unmodified POSIX and
+Java Threads application bases.  Bershad et al. suggested the use of a
+Cache Miss Lookaside buffer (CML), an inexpensive hardware device placed
+between the cache and main memory, to detect conflicts by recording a
+miss history at a page granularity [5] ...  perhaps with the use of a
+related hardware device combined with the VM techniques, some sharing
+patterns could be inferred without user intervention."
+
+This package builds exactly that:
+
+- :mod:`repro.inference.cml` -- a CML-like device attached to each
+  processor's E-cache, recording a bounded per-page miss history tagged
+  with the thread that was running;
+- :mod:`repro.inference.infer` -- an observer that, at context switches,
+  correlates threads' page-miss histories and feeds inferred
+  ``at_share`` coefficients into the same dependency graph user
+  annotations use.
+
+The ablation bench (``bench_ablation_inference.py``) measures how much of
+the user-annotation benefit the inference recovers on annotation-driven
+workloads, with zero programmer involvement.
+"""
+
+from repro.inference.cml import CMLBuffer, PageMissRecord
+from repro.inference.infer import SharingInference
+
+__all__ = ["CMLBuffer", "PageMissRecord", "SharingInference"]

@@ -1,0 +1,376 @@
+"""Cache simulators with per-line residency reporting.
+
+The paper's measurement apparatus is a cache simulator that "understands"
+context switches and preserves the association between cache lines and
+threads, because hardware counters alone lose that association (section 3).
+These simulators therefore report exactly which physical lines each access
+batch installed and evicted, so an external tracer can maintain observed
+per-thread footprints without the cache knowing anything about threads.
+
+Two organisations are provided:
+
+- :class:`DirectMappedCache` -- the organisation the analytical model
+  targets ("large off-chip physical direct-mapped caches", section 2.1).
+- :class:`SetAssociativeCache` -- the extension the paper mentions but does
+  not build ("the developed model can be extended to the associative cache
+  case"); used by the associativity ablation bench.
+
+Caches operate on *physical line numbers* (already translated by
+:class:`repro.machine.vm.VirtualMemory`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+import numpy as np
+
+#: Listener signature: called with arrays of physical line numbers.
+LineListener = Callable[[np.ndarray], None]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def _net_effect(installed, evicted):
+    """Reduce raw install/evict logs of one batch to their net residency
+    effect.
+
+    Within a batch a line can be installed and then evicted (or evicted
+    and reinstalled); listeners receive whole batches, so they must see
+    only the net change or their residency bookkeeping would depend on
+    intra-batch ordering that batching discards.  Residency is binary, so
+    the net change per line is +1, -1 or 0.
+    """
+    counts = {}
+    for pline in installed:
+        counts[pline] = counts.get(pline, 0) + 1
+    for pline in evicted:
+        counts[pline] = counts.get(pline, 0) - 1
+    net_in = [p for p, c in counts.items() if c > 0]
+    net_out = [p for p, c in counts.items() if c < 0]
+    return (
+        np.asarray(net_in, dtype=np.int64),
+        np.asarray(net_out, dtype=np.int64),
+    )
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one access batch.
+
+    ``installed``/``evicted`` are the *net* residency changes of the batch
+    (see :func:`_net_effect`); ``miss_lines`` is the raw, ordered sequence
+    of missed lines (length ``misses``), which the hierarchy forwards to
+    the next level.
+    """
+
+    refs: int
+    hits: int
+    misses: int
+    installed: np.ndarray
+    evicted: np.ndarray
+    writebacks: int = 0
+    miss_lines: np.ndarray = field(default_factory=lambda: _EMPTY)
+
+
+class CacheStats:
+    """Cumulative counters shared by both cache organisations."""
+
+    def __init__(self) -> None:
+        self.refs = 0
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+        self.invalidations = 0
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of references that missed (0 if no references yet)."""
+        return self.misses / self.refs if self.refs else 0.0
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy, convenient for reports."""
+        return {
+            "refs": self.refs,
+            "hits": self.hits,
+            "misses": self.misses,
+            "writebacks": self.writebacks,
+            "invalidations": self.invalidations,
+        }
+
+
+class _BaseCache:
+    """Residency bookkeeping and listener plumbing common to both caches."""
+
+    def __init__(self, size_bytes: int, line_bytes: int) -> None:
+        if size_bytes <= 0 or line_bytes <= 0:
+            raise ValueError("cache and line sizes must be positive")
+        if size_bytes % line_bytes != 0:
+            raise ValueError("cache size must be a whole number of lines")
+        self.size_bytes = size_bytes
+        self.line_bytes = line_bytes
+        self.num_lines = size_bytes // line_bytes
+        self.stats = CacheStats()
+        self._install_listeners: List[LineListener] = []
+        self._evict_listeners: List[LineListener] = []
+
+    def on_install(self, listener: LineListener) -> None:
+        """Register a callback invoked with each batch of installed lines."""
+        self._install_listeners.append(listener)
+
+    def on_evict(self, listener: LineListener) -> None:
+        """Register a callback invoked with each batch of evicted lines.
+
+        Invalidations are reported through the same callback: for footprint
+        accounting, a line leaving the cache is a line leaving the cache.
+        """
+        self._evict_listeners.append(listener)
+
+    def _notify(self, installed: np.ndarray, evicted: np.ndarray) -> None:
+        if installed.size:
+            for listener in self._install_listeners:
+                listener(installed)
+        if evicted.size:
+            for listener in self._evict_listeners:
+                listener(evicted)
+
+    # -- interface subclasses must implement ------------------------------
+
+    def access(self, plines: np.ndarray, write: bool = False) -> AccessResult:
+        """Access a batch of physical lines in order; returns the outcome."""
+        raise NotImplementedError
+
+    def invalidate(self, plines: np.ndarray) -> int:
+        """Drop any resident copies of ``plines``; returns how many were."""
+        raise NotImplementedError
+
+    def resident_lines(self) -> np.ndarray:
+        """Physical line numbers currently resident (unsorted)."""
+        raise NotImplementedError
+
+    def contains(self, pline: int) -> bool:
+        """Whether a single physical line is resident."""
+        raise NotImplementedError
+
+    def flush(self) -> int:
+        """Evict everything (used to flush state before a monitored phase,
+        as the paper does for its 'work' threads in section 3.3); returns
+        the number of lines evicted."""
+        raise NotImplementedError
+
+
+class DirectMappedCache(_BaseCache):
+    """A physically indexed, physically tagged direct-mapped cache.
+
+    The fast path handles the common case of a batch whose line indices are
+    all distinct (e.g. a sweep over a region) with vectorised numpy; batches
+    with intra-batch index collisions fall back to an ordered scalar loop so
+    hit/miss counts stay exact.
+    """
+
+    def __init__(self, size_bytes: int, line_bytes: int = 64) -> None:
+        super().__init__(size_bytes, line_bytes)
+        self._resident = np.full(self.num_lines, -1, dtype=np.int64)
+        self._dirty = np.zeros(self.num_lines, dtype=bool)
+
+    def index_of(self, pline: int) -> int:
+        """Cache index a physical line maps to."""
+        return pline % self.num_lines
+
+    def access(self, plines: np.ndarray, write: bool = False) -> AccessResult:
+        plines = np.asarray(plines, dtype=np.int64)
+        if plines.size == 0:
+            return AccessResult(0, 0, 0, _EMPTY, _EMPTY)
+        idx = plines % self.num_lines
+        if np.unique(idx).size == idx.size:
+            result = self._access_vectorised(plines, idx, write)
+        else:
+            result = self._access_serial(plines, idx, write)
+        self.stats.refs += result.refs
+        self.stats.hits += result.hits
+        self.stats.misses += result.misses
+        self.stats.writebacks += result.writebacks
+        self._notify(result.installed, result.evicted)
+        return result
+
+    def _access_vectorised(
+        self, plines: np.ndarray, idx: np.ndarray, write: bool
+    ) -> AccessResult:
+        hit_mask = self._resident[idx] == plines
+        miss_idx = idx[~hit_mask]
+        installed = plines[~hit_mask]
+        old = self._resident[miss_idx]
+        valid_old = old >= 0
+        evicted = old[valid_old]
+        writebacks = int(np.count_nonzero(self._dirty[miss_idx] & valid_old))
+        self._resident[miss_idx] = installed
+        self._dirty[miss_idx] = write
+        if write:
+            self._dirty[idx[hit_mask]] = True
+        # distinct indices mean no intra-batch reinstall: raw == net
+        return AccessResult(
+            refs=plines.size,
+            hits=int(np.count_nonzero(hit_mask)),
+            misses=installed.size,
+            installed=installed,
+            evicted=evicted,
+            writebacks=writebacks,
+            miss_lines=installed,
+        )
+
+    def _access_serial(
+        self, plines: np.ndarray, idx: np.ndarray, write: bool
+    ) -> AccessResult:
+        hits = 0
+        installed: List[int] = []
+        evicted: List[int] = []
+        writebacks = 0
+        resident = self._resident
+        dirty = self._dirty
+        for pline, i in zip(plines.tolist(), idx.tolist()):
+            if resident[i] == pline:
+                hits += 1
+                if write:
+                    dirty[i] = True
+                continue
+            old = resident[i]
+            if old >= 0:
+                evicted.append(old)
+                if dirty[i]:
+                    writebacks += 1
+            resident[i] = pline
+            dirty[i] = write
+            installed.append(pline)
+        net_in, net_out = _net_effect(installed, evicted)
+        return AccessResult(
+            refs=plines.size,
+            hits=hits,
+            misses=len(installed),
+            installed=net_in,
+            evicted=net_out,
+            writebacks=writebacks,
+            miss_lines=np.asarray(installed, dtype=np.int64),
+        )
+
+    def invalidate(self, plines: np.ndarray) -> int:
+        plines = np.asarray(plines, dtype=np.int64)
+        if plines.size == 0:
+            return 0
+        idx = plines % self.num_lines
+        match = self._resident[idx] == plines
+        victims = plines[match]
+        self._resident[idx[match]] = -1
+        self._dirty[idx[match]] = False
+        self.stats.invalidations += victims.size
+        self._notify(_EMPTY, victims)
+        return int(victims.size)
+
+    def resident_lines(self) -> np.ndarray:
+        return self._resident[self._resident >= 0]
+
+    def contains(self, pline: int) -> bool:
+        return bool(self._resident[pline % self.num_lines] == pline)
+
+    def flush(self) -> int:
+        victims = self.resident_lines().copy()
+        self._resident[:] = -1
+        self._dirty[:] = False
+        self._notify(_EMPTY, victims)
+        return int(victims.size)
+
+
+class SetAssociativeCache(_BaseCache):
+    """An LRU set-associative cache (the model-extension case).
+
+    ``ways=1`` degenerates to direct-mapped behaviour and is checked against
+    :class:`DirectMappedCache` by the property tests.
+    """
+
+    def __init__(self, size_bytes: int, line_bytes: int = 64, ways: int = 4) -> None:
+        super().__init__(size_bytes, line_bytes)
+        if ways <= 0 or self.num_lines % ways != 0:
+            raise ValueError("ways must divide the number of lines")
+        self.ways = ways
+        self.num_sets = self.num_lines // ways
+        self._resident = np.full((self.num_sets, ways), -1, dtype=np.int64)
+        self._dirty = np.zeros((self.num_sets, ways), dtype=bool)
+        self._stamp = np.zeros((self.num_sets, ways), dtype=np.int64)
+        self._clock = 0
+
+    def access(self, plines: np.ndarray, write: bool = False) -> AccessResult:
+        plines = np.asarray(plines, dtype=np.int64)
+        hits = 0
+        installed: List[int] = []
+        evicted: List[int] = []
+        writebacks = 0
+        for pline in plines.tolist():
+            s = pline % self.num_sets
+            self._clock += 1
+            ways = self._resident[s]
+            hit_ways = np.nonzero(ways == pline)[0]
+            if hit_ways.size:
+                w = int(hit_ways[0])
+                hits += 1
+            else:
+                empty = np.nonzero(ways < 0)[0]
+                if empty.size:
+                    w = int(empty[0])
+                else:
+                    w = int(np.argmin(self._stamp[s]))
+                    evicted.append(int(ways[w]))
+                    if self._dirty[s, w]:
+                        writebacks += 1
+                self._resident[s, w] = pline
+                self._dirty[s, w] = False
+                installed.append(pline)
+            self._stamp[s, w] = self._clock
+            if write:
+                self._dirty[s, w] = True
+        net_in, net_out = _net_effect(installed, evicted)
+        result = AccessResult(
+            refs=plines.size,
+            hits=hits,
+            misses=len(installed),
+            installed=net_in,
+            evicted=net_out,
+            writebacks=writebacks,
+            miss_lines=np.asarray(installed, dtype=np.int64),
+        )
+        self.stats.refs += result.refs
+        self.stats.hits += result.hits
+        self.stats.misses += result.misses
+        self.stats.writebacks += result.writebacks
+        self._notify(result.installed, result.evicted)
+        return result
+
+    def invalidate(self, plines: np.ndarray) -> int:
+        plines = np.asarray(plines, dtype=np.int64)
+        victims: List[int] = []
+        for pline in plines.tolist():
+            s = pline % self.num_sets
+            hit_ways = np.nonzero(self._resident[s] == pline)[0]
+            if hit_ways.size:
+                w = int(hit_ways[0])
+                self._resident[s, w] = -1
+                self._dirty[s, w] = False
+                victims.append(pline)
+        self.stats.invalidations += len(victims)
+        self._notify(_EMPTY, np.asarray(victims, dtype=np.int64))
+        return len(victims)
+
+    def resident_lines(self) -> np.ndarray:
+        flat = self._resident.ravel()
+        return flat[flat >= 0]
+
+    def contains(self, pline: int) -> bool:
+        s = pline % self.num_sets
+        return bool(np.any(self._resident[s] == pline))
+
+    def flush(self) -> int:
+        victims = self.resident_lines().copy()
+        self._resident[:] = -1
+        self._dirty[:] = False
+        self._stamp[:] = 0
+        self._notify(_EMPTY, victims)
+        return int(victims.size)

@@ -1,0 +1,144 @@
+"""Hardware performance-counter emulation.
+
+Models the UltraSPARC Performance Instrumentation Counters (section 2.2):
+two 32-bit counters (PIC0/PIC1) whose events are selected through a
+Performance Control Register (PCR), with a user-access bit that lets the
+runtime read them "for free".  On both of the paper's platforms the PICs
+are "configured to accumulate the number of E-cache references and hits"
+(section 5) and the scheduler derives misses as references minus hits.
+
+The emulation enforces the same constraints real hardware imposes:
+
+- only two events can be counted at once (the reason the paper's model
+  ignores invalidation effects: "the performance instrumentation counters
+  of the hardware available to us could not keep track of the secondary
+  cache misses and invalidation events at the same time", section 3.4);
+- counters are 32 bits wide and wrap;
+- reading from user mode requires the PCR user-trace bit, and reads and
+  resets cost a few instructions which the caller is expected to charge to
+  the simulated clock (:data:`READ_COST_INSTRUCTIONS`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Tuple
+
+#: instruction cost of reading + resetting the PICs at user level; the
+#: paper: "the counter overhead includes only several instructions for
+#: reading and resetting the appropriate registers" (section 5).
+READ_COST_INSTRUCTIONS = 6
+
+_WRAP = 1 << 32
+
+
+class CounterEvent(Enum):
+    """Events a PIC can be configured to count."""
+
+    CYCLES = "cycles"
+    INSTRUCTIONS = "instructions"
+    ECACHE_REFS = "ecache_refs"
+    ECACHE_HITS = "ecache_hits"
+    ECACHE_MISSES = "ecache_misses"
+    ECACHE_INVALIDATIONS = "ecache_invalidations"
+
+
+class CounterAccessError(Exception):
+    """Raised on a user-mode read with the PCR user-trace bit clear."""
+
+
+@dataclass
+class _Pic:
+    event: CounterEvent
+    value: int = 0
+
+    def add(self, event: CounterEvent, amount: int) -> None:
+        if event is self.event:
+            self.value = (self.value + amount) % _WRAP
+
+
+class PerformanceCounters:
+    """A per-processor PCR plus two PICs.
+
+    The hardware exposes raw event counts only; everything the scheduler
+    derives (per-interval miss counts) is computed in software from two
+    reads, exactly as the paper's runtime does.
+    """
+
+    def __init__(
+        self,
+        pic0: CounterEvent = CounterEvent.ECACHE_REFS,
+        pic1: CounterEvent = CounterEvent.ECACHE_HITS,
+        user_access: bool = True,
+    ) -> None:
+        self._pics = (_Pic(pic0), _Pic(pic1))
+        self.user_access = user_access
+        self.reads = 0
+
+    def configure(self, pic0: CounterEvent, pic1: CounterEvent) -> None:
+        """Reprogram the PCR event selectors; clears both counters.
+
+        Only two events can be live at once -- the hardware constraint the
+        paper works within.
+        """
+        self._pics = (_Pic(pic0), _Pic(pic1))
+
+    @property
+    def events(self) -> Tuple[CounterEvent, CounterEvent]:
+        """The two events currently selected."""
+        return (self._pics[0].event, self._pics[1].event)
+
+    def record(self, event: CounterEvent, amount: int = 1) -> None:
+        """Hardware-side: accumulate an event occurrence."""
+        for pic in self._pics:
+            pic.add(event, amount)
+
+    def read(self, privileged: bool = False) -> Tuple[int, int]:
+        """Read (PIC0, PIC1) from user or supervisor mode."""
+        if not privileged and not self.user_access:
+            raise CounterAccessError(
+                "PCR user-trace bit clear; user-mode PIC read traps"
+            )
+        self.reads += 1
+        return (self._pics[0].value, self._pics[1].value)
+
+    def reset(self, privileged: bool = False) -> None:
+        """Clear both counters (same access rules as :meth:`read`)."""
+        if not privileged and not self.user_access:
+            raise CounterAccessError(
+                "PCR user-trace bit clear; user-mode PIC write traps"
+            )
+        for pic in self._pics:
+            pic.value = 0
+
+
+class MissCounterView:
+    """Software view deriving per-interval miss counts from the PICs.
+
+    This is the scheduler-facing API used at every context switch: it reads
+    refs/hits, subtracts the values at the start of the scheduling interval
+    (handling 32-bit wraparound), and reports the interval's miss count.
+    """
+
+    def __init__(self, counters: PerformanceCounters) -> None:
+        if counters.events != (CounterEvent.ECACHE_REFS, CounterEvent.ECACHE_HITS):
+            raise ValueError(
+                "MissCounterView needs PIC0=ECACHE_REFS, PIC1=ECACHE_HITS; "
+                f"got {counters.events}"
+            )
+        self._counters = counters
+        self._last_refs, self._last_hits = counters.read()
+
+    def interval_misses(self) -> int:
+        """Misses since the previous call (or construction)."""
+        refs, hits = self._counters.read()
+        d_refs = (refs - self._last_refs) % _WRAP
+        d_hits = (hits - self._last_hits) % _WRAP
+        self._last_refs, self._last_hits = refs, hits
+        return d_refs - d_hits
+
+    @property
+    def read_cost_instructions(self) -> int:
+        """Instruction cost the caller should charge per interval read."""
+        return READ_COST_INSTRUCTIONS

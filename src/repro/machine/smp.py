@@ -1,0 +1,192 @@
+"""The simulated multiprocessor.
+
+Ties together the per-cpu processors, one shared virtual memory, and a
+coherence directory that knows which cpus cache which physical lines.  The
+directory serves two purposes, both from section 5 of the paper:
+
+- it prices Enterprise-5000 misses: 80 cycles "if the line is cached by
+  another processor", 50 otherwise (and a flat 42 on the Ultra-1);
+- it implements write invalidation, so that "data cached by one processor
+  is modified by another" actually removes lines from remote caches.  The
+  paper's *model* deliberately ignores invalidations (its counters cannot
+  see them, section 3.4); the *simulated hardware* here still performs
+  them, so the model faces the same unmodelled effects it faced on the
+  real machine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.machine.address import AddressSpace
+from repro.machine.cache import AccessResult
+from repro.machine.configs import MachineConfig
+from repro.machine.processor import Processor
+from repro.machine.tlb import TLB
+from repro.machine.vm import PlacementPolicy, VirtualMemory
+
+
+class LineDirectory:
+    """Which cpus currently cache each physical line."""
+
+    def __init__(self, num_cpus: int) -> None:
+        self.num_cpus = num_cpus
+        self._holders: Dict[int, Set[int]] = {}
+
+    def add(self, cpu_id: int, plines: np.ndarray) -> None:
+        holders = self._holders
+        for pline in plines.tolist():
+            holders.setdefault(pline, set()).add(cpu_id)
+
+    def remove(self, cpu_id: int, plines: np.ndarray) -> None:
+        holders = self._holders
+        for pline in plines.tolist():
+            cpus = holders.get(pline)
+            if cpus is None:
+                continue
+            cpus.discard(cpu_id)
+            if not cpus:
+                del holders[pline]
+
+    def holders(self, pline: int) -> Set[int]:
+        """Cpus caching ``pline`` (possibly empty; do not mutate)."""
+        return self._holders.get(pline, set())
+
+    def held_by_other(self, pline: int, cpu_id: int) -> bool:
+        """Whether any cpu other than ``cpu_id`` caches the line."""
+        cpus = self._holders.get(pline)
+        if not cpus:
+            return False
+        return bool(cpus - {cpu_id})
+
+    def count_remote(self, plines: np.ndarray, cpu_id: int) -> int:
+        """How many of ``plines`` some other cpu caches."""
+        return sum(
+            1 for pline in plines.tolist() if self.held_by_other(pline, cpu_id)
+        )
+
+    def shared_with_others(self, plines: np.ndarray, cpu_id: int) -> np.ndarray:
+        """The subset of ``plines`` cached by at least one other cpu."""
+        mask = [self.held_by_other(int(p), cpu_id) for p in plines]
+        return plines[np.asarray(mask, dtype=bool)] if plines.size else plines
+
+
+class Machine:
+    """An SMP: processors + shared VM + coherence directory.
+
+    The runtime addresses the machine in *virtual* lines; translation and
+    coherence happen here.  Each cpu keeps its own cycle clock; the runtime
+    advances whichever cpu is furthest behind, giving a simple deterministic
+    discrete-event interleaving.
+    """
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        placement: Optional[PlacementPolicy] = None,
+        seed: int = 0,
+    ) -> None:
+        self.config = config
+        rng = np.random.default_rng(seed)
+        self.address_space = AddressSpace(
+            line_bytes=config.line_bytes, page_bytes=config.page_bytes
+        )
+        self.vm = VirtualMemory(
+            cache_bytes=config.l2_bytes,
+            page_bytes=config.page_bytes,
+            line_bytes=config.line_bytes,
+            policy=placement,
+            rng=rng,
+        )
+        self.directory = LineDirectory(config.num_cpus)
+        #: set while the scheduler/runtime touches its own data structures;
+        #: devices configured for user-mode-only monitoring (the PCR's
+        #: user/supervisor selection, section 2.2) consult this
+        self.kernel_mode = False
+        self.tlbs: List[Optional[TLB]] = [
+            TLB() if config.model_tlb else None
+            for _ in range(config.num_cpus)
+        ]
+        self.cpus: List[Processor] = []
+        for cpu_id in range(config.num_cpus):
+            cpu = Processor(cpu_id, config)
+            cpu.set_remote_probe(
+                lambda plines, _cpu=cpu_id: self.directory.count_remote(
+                    plines, _cpu
+                )
+            )
+            cpu.l2.on_install(
+                lambda plines, _cpu=cpu_id: self.directory.add(_cpu, plines)
+            )
+            cpu.l2.on_evict(
+                lambda plines, _cpu=cpu_id: self.directory.remove(_cpu, plines)
+            )
+            self.cpus.append(cpu)
+
+    # -- execution, in virtual lines --------------------------------------
+
+    def touch(
+        self, cpu_id: int, vlines: np.ndarray, write: bool = False
+    ) -> AccessResult:
+        """Touch virtual lines on a cpu; performs coherence on writes."""
+        cpu = self.cpus[cpu_id]
+        vlines = np.asarray(vlines, dtype=np.int64)
+        tlb = self.tlbs[cpu_id]
+        if tlb is not None and vlines.size:
+            vpages = np.unique(vlines // self.vm.lines_per_page)
+            tlb_misses = tlb.access(vpages.tolist())
+            if tlb_misses:
+                cpu.cycles += tlb_misses * tlb.miss_penalty
+        plines = self.vm.translate_lines(vlines)
+        result = cpu.touch_data(plines, write=write)
+        if write and self.config.num_cpus > 1:
+            self._invalidate_remote_copies(cpu_id, plines)
+        return result
+
+    def fetch(self, cpu_id: int, vlines: np.ndarray) -> AccessResult:
+        """Instruction-fetch virtual lines on a cpu."""
+        plines = self.vm.translate_lines(np.asarray(vlines, dtype=np.int64))
+        return self.cpus[cpu_id].fetch_instructions(plines)
+
+    def compute(self, cpu_id: int, instructions: int) -> None:
+        """Run non-memory instructions on a cpu."""
+        self.cpus[cpu_id].compute(instructions)
+
+    def _invalidate_remote_copies(self, writer: int, plines: np.ndarray) -> None:
+        victims_by_cpu: Dict[int, List[int]] = {}
+        for pline in plines.tolist():
+            for cpu_id in self.directory.holders(pline) - {writer}:
+                victims_by_cpu.setdefault(cpu_id, []).append(pline)
+        for cpu_id, victims in victims_by_cpu.items():
+            self.cpus[cpu_id].hierarchy.invalidate(
+                np.asarray(victims, dtype=np.int64)
+            )
+
+    # -- clocks ------------------------------------------------------------
+
+    def cycles(self, cpu_id: int) -> int:
+        """Cycle clock of one cpu."""
+        return self.cpus[cpu_id].cycles
+
+    def time(self) -> int:
+        """Machine completion time: the furthest-ahead cpu clock."""
+        return max(cpu.cycles for cpu in self.cpus)
+
+    def total_l2_misses(self) -> int:
+        """Sum of E-cache misses over all cpus (the paper's headline metric)."""
+        return sum(cpu.l2.stats.misses for cpu in self.cpus)
+
+    def total_instructions(self) -> int:
+        """Sum of instructions executed over all cpus."""
+        return sum(cpu.instructions for cpu in self.cpus)
+
+    def flush_all(self) -> None:
+        """Flush every cpu's hierarchy (between workload phases)."""
+        for cpu in self.cpus:
+            cpu.hierarchy.flush()
+
+    def snapshot(self) -> List[dict]:
+        """Per-cpu counter snapshots for reports."""
+        return [cpu.snapshot() for cpu in self.cpus]

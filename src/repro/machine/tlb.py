@@ -1,0 +1,82 @@
+"""A per-processor TLB model.
+
+The paper's introduction lists "locality effects (cache, TLB misses,
+paging, etc.)" among the costs of fine-grained threading; its evaluation
+concentrates on the E-cache, but on the UltraSPARC a dTLB miss costs tens
+of cycles of trap handling, and thread placement affects TLB reuse the
+same way it affects cache reuse: a thread resuming on the processor that
+ran it last finds its page translations still resident.
+
+The model is a fully associative, LRU, per-processor TLB over virtual
+pages (the UltraSPARC-1's dTLB is 64-entry fully associative).  Disabled
+by default (``MachineConfig.model_tlb``); the TLB ablation bench measures
+how much of the locality policies' win extends to translations.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable
+
+#: UltraSPARC-1 dTLB geometry
+DEFAULT_ENTRIES = 64
+#: approximate cycles of a software-handled TLB miss
+DEFAULT_MISS_PENALTY = 30
+
+
+class TLB:
+    """Fully associative, LRU translation lookaside buffer."""
+
+    def __init__(
+        self,
+        entries: int = DEFAULT_ENTRIES,
+        miss_penalty: int = DEFAULT_MISS_PENALTY,
+    ):
+        if entries <= 0:
+            raise ValueError("the TLB needs at least one entry")
+        if miss_penalty <= 0:
+            raise ValueError("the miss penalty must be positive cycles")
+        self.entries = entries
+        self.miss_penalty = miss_penalty
+        self._resident: "OrderedDict[int, None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, vpages: Iterable[int]) -> int:
+        """Look up a batch of virtual pages; returns the miss count."""
+        misses = 0
+        resident = self._resident
+        for vpage in vpages:
+            vpage = int(vpage)
+            if vpage in resident:
+                resident.move_to_end(vpage)
+                self.hits += 1
+                continue
+            misses += 1
+            self.misses += 1
+            resident[vpage] = None
+            if len(resident) > self.entries:
+                resident.popitem(last=False)
+        return misses
+
+    def contains(self, vpage: int) -> bool:
+        """Whether a translation is resident (no LRU update)."""
+        return vpage in self._resident
+
+    def flush(self) -> int:
+        """Drop all translations (e.g. on address-space switch); returns
+        how many were resident."""
+        count = len(self._resident)
+        self._resident.clear()
+        return count
+
+    @property
+    def occupancy(self) -> int:
+        """Resident translations."""
+        return len(self._resident)
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of lookups that missed."""
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0

@@ -1,0 +1,184 @@
+"""Virtual-to-physical page placement.
+
+The UltraSPARC E-cache is physically indexed and tagged while workloads
+generate virtual addresses, so page placement decides which cache bins a
+page's lines land in.  The paper implements "a variant of the hierarchical
+page mapping policy suggested by Kessler and Hill [13] ... shown to perform
+better than a naive (arbitrary) page placement" (section 3.1).  Both
+policies are provided here; the hierarchical one is the default everywhere,
+and the naive one backs the page-placement ablation bench.
+
+Pages are mapped lazily, on first touch (a simulated page fault), exactly
+like a demand-paged VM system.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.machine.address import LINE_BYTES, PAGE_BYTES
+
+
+class PlacementPolicy:
+    """Chooses a physical frame for a faulting virtual page.
+
+    Policies see the *cache geometry* (number of page-sized bins in the
+    cache) because that is what page coloring is about; they do not see
+    cache contents.
+    """
+
+    def __init__(self, num_bins: int, rng: Optional[np.random.Generator] = None):
+        if num_bins <= 0:
+            raise ValueError("cache must have at least one page bin")
+        self.num_bins = num_bins
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def choose_bin(self, vpage: int) -> int:
+        """Pick the cache bin (page color) for a faulting page."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget per-run state (bin usage counts)."""
+
+
+class NaivePlacement(PlacementPolicy):
+    """Arbitrary placement: a uniformly random bin per fault.
+
+    This is the baseline Kessler and Hill improve upon; kept for the
+    ablation bench.
+    """
+
+    def choose_bin(self, vpage: int) -> int:
+        return int(self.rng.integers(self.num_bins))
+
+
+class KesslerHillPlacement(PlacementPolicy):
+    """Hierarchical page placement (Kessler & Hill 1992, section 3.1).
+
+    A fault descends a binary tree over groups of cache bins, at each level
+    taking the half with the lighter aggregate load, and finally picks the
+    least-loaded bin in the reached leaf group (rotating the tiebreak so
+    identical fault sequences do not align onto identical bins).  The
+    effect is to spread pages evenly over cache bins and so reduce conflict
+    misses -- which the paper relies on to justify the model's
+    uniform-mapping assumption, and which "was shown to perform better than
+    a naive (arbitrary) page placement".
+    """
+
+    #: bins per color group: a page may be placed in any bin of its
+    #: virtual color's group, wherever the current load is lightest
+    leaf_group: int = 4
+
+    def __init__(self, num_bins: int, rng: Optional[np.random.Generator] = None):
+        super().__init__(num_bins, rng)
+        self._bin_load = np.zeros(num_bins, dtype=np.int64)
+
+    def choose_bin(self, vpage: int) -> int:
+        # Page coloring picks the group (so virtual locality maps to
+        # distinct bins, like the static policy); the load comparison picks
+        # the bin within the group (the hierarchical refinement); a random
+        # tie-break stops two identical allocation sequences from landing
+        # on identical bins.
+        preferred = vpage % self.num_bins
+        lo = (preferred // self.leaf_group) * self.leaf_group
+        hi = min(lo + self.leaf_group, self.num_bins)
+        group = list(range(lo, hi))
+        loads = self._bin_load[group]
+        lightest = loads.min()
+        candidates = [b for b, load in zip(group, loads) if load == lightest]
+        best = candidates[int(self.rng.integers(len(candidates)))]
+        self._bin_load[best] += 1
+        return best
+
+    def reset(self) -> None:
+        self._bin_load[:] = 0
+
+
+class VirtualMemory:
+    """Demand-paged virtual memory with pluggable placement.
+
+    Frames are unbounded (the paper notes all runs fit in RAM); what matters
+    is the *color* of the frame each page gets, i.e. which cache bin its
+    lines index into.  A frame is identified by a physical page number whose
+    low bits encode its bin:  ``ppage % num_bins == bin``.
+    """
+
+    def __init__(
+        self,
+        cache_bytes: int,
+        page_bytes: int = PAGE_BYTES,
+        line_bytes: int = LINE_BYTES,
+        policy: Optional[PlacementPolicy] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if cache_bytes % page_bytes != 0:
+            raise ValueError("cache size must be a whole number of pages")
+        self.page_bytes = page_bytes
+        self.line_bytes = line_bytes
+        self.lines_per_page = page_bytes // line_bytes
+        self.num_bins = cache_bytes // page_bytes
+        self.policy = policy or KesslerHillPlacement(self.num_bins, rng=rng)
+        if self.policy.num_bins != self.num_bins:
+            raise ValueError("placement policy built for a different cache geometry")
+        self._v2p: Dict[int, int] = {}
+        self._p2v: Dict[int, int] = {}
+        self._next_frame_in_bin: List[int] = list(range(self.num_bins))
+        self.page_faults = 0
+
+    def translate_page(self, vpage: int) -> int:
+        """Physical page for ``vpage``, faulting it in if necessary."""
+        ppage = self._v2p.get(vpage)
+        if ppage is None:
+            ppage = self._fault(vpage)
+        return ppage
+
+    def _fault(self, vpage: int) -> int:
+        self.page_faults += 1
+        color = self.policy.choose_bin(vpage)
+        ppage = self._next_frame_in_bin[color]
+        self._next_frame_in_bin[color] += self.num_bins
+        self._v2p[vpage] = ppage
+        self._p2v[ppage] = vpage
+        return ppage
+
+    def translate_lines(self, vlines: np.ndarray) -> np.ndarray:
+        """Translate an array of virtual line numbers to physical lines.
+
+        Vectorised per page: a touch batch typically spans few pages, so we
+        loop over the unique pages and translate each page's lines at once.
+        """
+        if vlines.size == 0:
+            return vlines.astype(np.int64)
+        lpp = self.lines_per_page
+        vpages = vlines // lpp
+        offsets = vlines - vpages * lpp
+        out = np.empty_like(vlines, dtype=np.int64)
+        for vpage in np.unique(vpages):
+            ppage = self.translate_page(int(vpage))
+            mask = vpages == vpage
+            out[mask] = ppage * lpp + offsets[mask]
+        return out
+
+    def reverse_line(self, pline: int) -> Optional[int]:
+        """Virtual line for a physical line, or ``None`` if unmapped."""
+        lpp = self.lines_per_page
+        vpage = self._p2v.get(pline // lpp)
+        if vpage is None:
+            return None
+        return vpage * lpp + pline % lpp
+
+    def reverse_lines(self, plines: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`reverse_line`; unmapped lines map to ``-1``."""
+        lpp = self.lines_per_page
+        out = np.empty(plines.shape, dtype=np.int64)
+        for i, pline in enumerate(plines):
+            vline = self.reverse_line(int(pline))
+            out[i] = -1 if vline is None else vline
+        return out
+
+    @property
+    def mapped_pages(self) -> int:
+        """Number of virtual pages currently mapped."""
+        return len(self._v2p)

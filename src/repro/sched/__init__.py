@@ -1,0 +1,37 @@
+"""Thread scheduling policies.
+
+- :mod:`repro.sched.fcfs` -- the paper's baseline first-come first-served
+  policy (one shared FIFO queue).
+- :mod:`repro.sched.locality` -- the locality-conscious scheduler
+  machinery of sections 4-5: per-processor binary heaps keyed by the
+  priority schemes of :mod:`repro.core.priorities`, threshold eviction to
+  a global queue, and lowest-priority work stealing.  Instantiated with
+  the LFF or CRT scheme via :func:`make_lff` / :func:`make_crt`.
+- :mod:`repro.sched.heap` -- the lazy-deletion priority heap both locality
+  policies share.
+"""
+
+from repro.sched.base import Scheduler
+from repro.sched.fcfs import FCFSScheduler
+from repro.sched.heap import HeapEntry, PriorityHeap
+from repro.sched.locality import LocalityScheduler, make_crt, make_lff
+from repro.sched.static import StaticScheduler
+
+__all__ = [
+    "FCFSScheduler",
+    "StaticScheduler",
+    "HeapEntry",
+    "LocalityScheduler",
+    "PriorityHeap",
+    "Scheduler",
+    "make_crt",
+    "make_lff",
+]
+
+#: name -> factory, for drivers and benches
+SCHEDULERS = {
+    "fcfs": FCFSScheduler,
+    "lff": make_lff,
+    "crt": make_crt,
+    "static": StaticScheduler,
+}

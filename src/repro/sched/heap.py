@@ -1,0 +1,109 @@
+"""A max-priority heap with lazy deletion, one per processor.
+
+Both locality policies "use the same binary heap data structure associated
+with each processor" (section 5).  Entries are invalidated lazily: each
+carries the thread's readiness sequence number and the priority-entry
+version at insertion time; a popped entry is discarded unless both still
+match and the thread is READY.  This gives O(log n) pushes/pops without
+ever searching the heap, at the cost of occasional dead entries -- the
+standard technique, and the reason the scheduler must be able to re-push a
+thread whose priority changed (dependency updates) instead of decrease-key.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from repro.threads.thread import ActiveThread, ThreadState
+
+
+@dataclass(frozen=True, order=True)
+class HeapEntry:
+    """One heap slot.  Ordered by descending priority (min-heap on the
+    negated key), with an insertion counter as a deterministic tiebreak."""
+
+    sort_key: Tuple[float, int] = field(repr=False)
+    thread: ActiveThread = field(compare=False)
+    priority: float = field(compare=False)
+    seq: int = field(compare=False)
+    version: int = field(compare=False)
+
+
+class PriorityHeap:
+    """Max-heap of threads keyed by scheduling priority."""
+
+    def __init__(self) -> None:
+        self._heap: List[HeapEntry] = []
+        self._counter = 0
+        self.pushes = 0
+        self.pops = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(
+        self, thread: ActiveThread, priority: float, version: int
+    ) -> int:
+        """Insert an entry; returns the heap depth (for cost accounting)."""
+        self._counter += 1
+        entry = HeapEntry(
+            sort_key=(-priority, self._counter),
+            thread=thread,
+            priority=priority,
+            seq=thread.ready_seq,
+            version=version,
+        )
+        heapq.heappush(self._heap, entry)
+        self.pushes += 1
+        return max(1, len(self._heap)).bit_length()
+
+    def pop_valid(self, current_version) -> Tuple[Optional[HeapEntry], int]:
+        """Pop the highest-priority *valid* entry.
+
+        ``current_version(thread)`` maps a thread to the live version of
+        its priority entry (or None if it has none).  Returns
+        (entry or None, number of pops performed) -- the pop count feeds
+        cost accounting.
+        """
+        pops = 0
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            pops += 1
+            self.pops += 1
+            if self._is_valid(entry, current_version):
+                return entry, pops
+        return None, pops
+
+    def _is_valid(self, entry: HeapEntry, current_version) -> bool:
+        thread = entry.thread
+        if thread.state is not ThreadState.READY:
+            return False
+        if entry.seq != thread.ready_seq:
+            return False
+        return current_version(thread) == entry.version
+
+    def min_valid(self, current_version) -> Optional[HeapEntry]:
+        """The lowest-priority valid entry (an O(n) scan, used only by the
+        rare work-stealing path: the paper steals "a thread with the
+        lowest priority from a neighbor")."""
+        best: Optional[HeapEntry] = None
+        for entry in self._heap:
+            if not self._is_valid(entry, current_version):
+                continue
+            if best is None or entry.priority < best.priority:
+                best = entry
+        return best
+
+    def compact(self, current_version) -> int:
+        """Drop dead entries in place; returns the surviving count.
+        Called when dead entries accumulate, to bound heap size
+        (section 5's heap-size concern)."""
+        live = [e for e in self._heap if self._is_valid(e, current_version)]
+        heapq.heapify(live)
+        self._heap = live
+        return len(live)
+
+    def __iter__(self) -> Iterator[HeapEntry]:
+        return iter(self._heap)

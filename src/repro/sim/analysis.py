@@ -1,0 +1,179 @@
+"""Post-run analysis: where the cycles and misses went.
+
+Turns a finished (machine, runtime) pair into the summaries a performance
+study needs: per-thread behaviour, per-cpu balance, the local/remote miss
+split the Enterprise 5000 pricing creates, and an estimate of how much of
+the clock the scheduling machinery itself consumed (the overhead the
+paper insists "must be less than the avoided cache reload penalty").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.machine.counters import READ_COST_INSTRUCTIONS
+from repro.machine.smp import Machine
+from repro.sim.report import format_table
+from repro.threads.runtime import Runtime
+
+
+@dataclass(frozen=True)
+class ThreadSummary:
+    """One thread's lifetime in numbers."""
+
+    tid: int
+    name: str
+    intervals: int
+    refs: int
+    misses: int
+    migrations: int
+    wait_cycles: int
+    max_wait_cycles: int
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of the thread's references that missed."""
+        return self.misses / self.refs if self.refs else 0.0
+
+
+def thread_summaries(runtime: Runtime) -> List[ThreadSummary]:
+    """Per-thread accounting, ordered by tid."""
+    out = []
+    for tid in sorted(runtime.threads):
+        thread = runtime.threads[tid]
+        s = thread.stats
+        out.append(
+            ThreadSummary(
+                tid=tid,
+                name=thread.name,
+                intervals=s.intervals,
+                refs=s.refs,
+                misses=s.misses,
+                migrations=s.migrations,
+                wait_cycles=s.wait_cycles,
+                max_wait_cycles=s.max_wait_cycles,
+            )
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class CpuSummary:
+    """One processor's totals."""
+
+    cpu: int
+    cycles: int
+    instructions: int
+    refs: int
+    misses: int
+    remote_misses: int
+    invalidations: int
+
+    @property
+    def local_misses(self) -> int:
+        """Misses priced at the local cost."""
+        return self.misses - self.remote_misses
+
+
+def cpu_summaries(machine: Machine) -> List[CpuSummary]:
+    """Per-cpu accounting."""
+    out = []
+    for cpu in machine.cpus:
+        stats = cpu.l2.stats
+        out.append(
+            CpuSummary(
+                cpu=cpu.cpu_id,
+                cycles=cpu.cycles,
+                instructions=cpu.instructions,
+                refs=stats.refs,
+                misses=stats.misses,
+                remote_misses=cpu.remote_misses,
+                invalidations=stats.invalidations,
+            )
+        )
+    return out
+
+
+def load_imbalance(machine: Machine) -> float:
+    """Max/mean cpu cycle ratio (1.0 = perfectly balanced)."""
+    cycles = np.asarray([cpu.cycles for cpu in machine.cpus], dtype=float)
+    mean = cycles.mean()
+    return float(cycles.max() / mean) if mean else 1.0
+
+
+def remote_miss_fraction(machine: Machine) -> float:
+    """Share of all E-cache misses that hit another cpu's copy."""
+    total = machine.total_l2_misses()
+    remote = sum(cpu.remote_misses for cpu in machine.cpus)
+    return remote / total if total else 0.0
+
+
+def scheduler_overhead_cycles(runtime: Runtime) -> int:
+    """Lower-bound estimate of cycles spent on scheduling machinery.
+
+    Counts the per-switch fixed costs the runtime charges (base context
+    switch + counter read); policy-specific costs (heap operations,
+    priority FP ops, queue manipulation) come on top and are included in
+    the clock but not separable after the fact.
+    """
+    per_switch = (
+        runtime.machine.config.context_switch_instructions
+        + READ_COST_INSTRUCTIONS
+    )
+    return runtime.context_switches * per_switch
+
+
+def overhead_fraction(runtime: Runtime) -> float:
+    """Scheduler overhead as a fraction of total machine cycles."""
+    total = sum(cpu.cycles for cpu in runtime.machine.cpus)
+    return scheduler_overhead_cycles(runtime) / total if total else 0.0
+
+
+def run_report(machine: Machine, runtime: Runtime, top: int = 8) -> str:
+    """A human-readable post-mortem of one run."""
+    cpu_rows = [
+        (
+            c.cpu,
+            c.cycles,
+            c.instructions,
+            c.misses,
+            c.remote_misses,
+            c.invalidations,
+        )
+        for c in cpu_summaries(machine)
+    ]
+    cpu_table = format_table(
+        ["cpu", "cycles", "instructions", "misses", "remote", "invalidations"],
+        cpu_rows,
+        title="Per-cpu totals",
+    )
+    threads = thread_summaries(runtime)
+    worst = sorted(threads, key=lambda t: t.misses, reverse=True)[:top]
+    thread_rows = [
+        (t.name, t.intervals, t.refs, t.misses,
+         f"{100 * t.miss_rate:.1f}%", t.migrations, t.max_wait_cycles)
+        for t in worst
+    ]
+    thread_table = format_table(
+        ["thread", "intervals", "refs", "misses", "miss rate", "migrations",
+         "max wait"],
+        thread_rows,
+        title=f"Heaviest {len(worst)} threads by misses",
+    )
+    summary = format_table(
+        ["metric", "value"],
+        [
+            ("machine time [cycles]", machine.time()),
+            ("total E-misses", machine.total_l2_misses()),
+            ("remote miss fraction", f"{100 * remote_miss_fraction(machine):.1f}%"),
+            ("load imbalance (max/mean)", f"{load_imbalance(machine):.3f}"),
+            ("context switches", runtime.context_switches),
+            ("switch overhead fraction",
+             f"{100 * overhead_fraction(runtime):.2f}%"),
+        ],
+        title="Run summary",
+    )
+    return "\n\n".join([summary, cpu_table, thread_table])

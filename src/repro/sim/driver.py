@@ -1,0 +1,131 @@
+"""Experiment drivers: performance runs and monitored-footprint runs.
+
+``run_performance`` reproduces the section 5 methodology: build the
+workload, run it to completion under a policy, report cycles/misses.
+
+``run_monitored`` reproduces the section 3.3 methodology: "We have
+measured the footprint sizes of the 'work' threads in each application
+after the initialization stage completed.  The 'work' threads are blocked
+during the computation stage and their state is flushed from the cache.
+After threads resume, their footprints are monitored by our cache
+simulator ...  we monitor the uninterrupted execution of a single 'work'
+thread on an UltraSPARC-1 processor."
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.core.model import SharedStateModel
+from repro.machine.configs import ULTRA1, MachineConfig
+from repro.machine.smp import Machine
+from repro.sched.base import Scheduler
+from repro.sched.fcfs import FCFSScheduler
+from repro.sim.metrics import MonitoredResult, PerfResult
+from repro.sim.tracer import FootprintTracer
+from repro.threads.runtime import Observer, Runtime
+from repro.workloads.base import MonitoredApp, Workload
+
+
+def run_performance(
+    workload: Workload,
+    config: MachineConfig,
+    scheduler: Scheduler,
+    seed: int = 0,
+    max_events: Optional[int] = None,
+) -> PerfResult:
+    """Run a workload to completion; returns the aggregate counters."""
+    machine = Machine(config, seed=seed)
+    runtime = Runtime(machine, scheduler)
+    workload.build(runtime)
+    runtime.run(max_events=max_events)
+    steals = getattr(scheduler, "steals", 0)
+    return PerfResult(
+        workload=workload.name,
+        scheduler=scheduler.name,
+        num_cpus=config.num_cpus,
+        cycles=machine.time(),
+        instructions=machine.total_instructions(),
+        l2_misses=machine.total_l2_misses(),
+        l2_refs=sum(cpu.l2.stats.refs for cpu in machine.cpus),
+        context_switches=runtime.context_switches,
+        steals=steals,
+    )
+
+
+class _WorkThreadSampler(Observer):
+    """Records (misses, observed footprint, instructions) after every
+    touch of the watched thread."""
+
+    def __init__(self, machine: Machine, tracer: FootprintTracer, cpu: int = 0):
+        self.machine = machine
+        self.tracer = tracer
+        self.cpu = cpu
+        self.watch_tid: Optional[int] = None
+        self.miss_base = 0
+        self.instr_base = 0
+        self.misses: List[int] = []
+        self.observed: List[int] = []
+        self.instructions: List[int] = []
+
+    def arm(self, tid: int) -> None:
+        """Start sampling for ``tid``, zeroing the counters at this point
+        (the paper measures from the work thread's resume)."""
+        self.watch_tid = tid
+        self.miss_base = self.machine.cpus[self.cpu].l2.stats.misses
+        self.instr_base = self.machine.cpus[self.cpu].instructions
+
+    def on_touch(self, cpu: int, thread, result) -> None:
+        if thread.tid != self.watch_tid or cpu != self.cpu:
+            return
+        cpu_obj = self.machine.cpus[self.cpu]
+        self.misses.append(cpu_obj.l2.stats.misses - self.miss_base)
+        self.observed.append(self.tracer.observed(self.cpu, thread.tid))
+        self.instructions.append(cpu_obj.instructions - self.instr_base)
+
+
+def run_monitored(
+    app: MonitoredApp,
+    config: MachineConfig = ULTRA1,
+    seed: int = 0,
+) -> MonitoredResult:
+    """Trace one work thread's footprint against the model's prediction."""
+    machine = Machine(config, seed=seed)
+    # The accuracy runs are about the model, not the policy: a bare FCFS
+    # with no simulated scheduler memory keeps the cache unpolluted.
+    runtime = Runtime(machine, FCFSScheduler(model_scheduler_memory=False))
+    tracer = FootprintTracer(machine)
+    sampler = _WorkThreadSampler(machine, tracer)
+    runtime.add_observer(tracer)
+    runtime.add_observer(sampler)
+
+    app.setup(runtime)
+    init = app.init_body()
+    if init is not None:
+        runtime.at_create(init, name=f"{app.name}-init")
+        runtime.run()
+
+    # "their state is flushed from the cache" before monitoring resumes.
+    machine.flush_all()
+
+    work_tid = runtime.at_create(app.work_body(), name=f"{app.name}-work")
+    runtime.declare_state(work_tid, app.state_regions())
+    sampler.arm(work_tid)
+    runtime.run()
+
+    misses = np.asarray(sampler.misses, dtype=np.int64)
+    observed = np.asarray(sampler.observed, dtype=np.int64)
+    instructions = np.asarray(sampler.instructions, dtype=np.int64)
+    model = SharedStateModel(config.l2_lines)
+    predicted = np.asarray(model.expected_running(0.0, misses), dtype=float)
+    return MonitoredResult(
+        app=app.name,
+        language=app.language,
+        cache_lines=config.l2_lines,
+        misses=misses,
+        observed=observed,
+        predicted=predicted,
+        instructions=instructions,
+    )

@@ -1,0 +1,127 @@
+"""Exporting experiment data for external plotting and analysis.
+
+The benches print the paper's rows; this module writes the underlying
+series as CSV/JSON so the figures can be re-plotted outside the harness
+(the repository itself stays plotting-library-free).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from dataclasses import asdict, is_dataclass
+from typing import Dict, Iterable, Mapping, Union
+
+import numpy as np
+
+from repro.sim.metrics import MonitoredResult, PerfResult
+
+PathLike = Union[str, pathlib.Path]
+
+
+def monitored_to_csv(result: MonitoredResult, path: PathLike) -> None:
+    """One row per sample: misses, observed, predicted, instructions."""
+    path = pathlib.Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["misses", "observed", "predicted", "instructions"])
+        for i in range(result.misses.size):
+            writer.writerow(
+                [
+                    int(result.misses[i]),
+                    int(result.observed[i]),
+                    float(result.predicted[i]),
+                    int(result.instructions[i]),
+                ]
+            )
+
+
+def perf_results_to_csv(
+    results: Mapping[str, Mapping[str, PerfResult]], path: PathLike
+) -> None:
+    """Flatten a {workload: {policy: PerfResult}} table to CSV rows."""
+    path = pathlib.Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "workload",
+                "policy",
+                "num_cpus",
+                "cycles",
+                "instructions",
+                "l2_misses",
+                "l2_refs",
+                "context_switches",
+                "eliminated_vs_fcfs",
+                "speedup_vs_fcfs",
+            ]
+        )
+        for workload, by_policy in results.items():
+            base = by_policy.get("fcfs")
+            for policy, result in by_policy.items():
+                eliminated = (
+                    result.misses_eliminated_vs(base) if base else float("nan")
+                )
+                speedup = result.speedup_vs(base) if base else float("nan")
+                writer.writerow(
+                    [
+                        workload,
+                        policy,
+                        result.num_cpus,
+                        result.cycles,
+                        result.instructions,
+                        result.l2_misses,
+                        result.l2_refs,
+                        result.context_switches,
+                        f"{eliminated:.6f}",
+                        f"{speedup:.6f}",
+                    ]
+                )
+
+
+def curves_to_csv(
+    curves: Mapping[str, Iterable], path: PathLike
+) -> None:
+    """Export labelled (x, y) curves (e.g. Figure 4 panels) long-form."""
+    path = pathlib.Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["label", "x", "observed", "predicted"])
+        for label, curve in curves.items():
+            for i in range(curve.misses.size):
+                writer.writerow(
+                    [
+                        label,
+                        int(curve.misses[i]),
+                        int(curve.observed[i]),
+                        float(curve.predicted[i]),
+                    ]
+                )
+
+
+class _Encoder(json.JSONEncoder):
+    """JSON encoder handling numpy scalars/arrays and dataclasses."""
+
+    def default(self, obj):
+        if isinstance(obj, np.integer):
+            return int(obj)
+        if isinstance(obj, np.floating):
+            return float(obj)
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+        if is_dataclass(obj) and not isinstance(obj, type):
+            return asdict(obj)
+        return super().default(obj)
+
+
+def to_json(data, path: PathLike) -> None:
+    """Write any experiment result structure as JSON."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(data, cls=_Encoder, indent=2, sort_keys=True))
+
+
+def load_json(path: PathLike):
+    """Round-trip companion of :func:`to_json`."""
+    return json.loads(pathlib.Path(path).read_text())

@@ -1,0 +1,53 @@
+"""Plain-text table formatting for experiment output.
+
+The benches print the same rows/series the paper's tables and figures
+report; this module keeps that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence], title: str = ""
+) -> str:
+    """Render rows as an aligned ASCII table."""
+    str_rows: List[List[str]] = [
+        [_fmt(cell) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def format_series(
+    xs: Sequence[float], ys: Sequence[float], max_points: int = 12
+) -> str:
+    """Render a curve as a compact '(x, y) ...' sample list."""
+    n = len(xs)
+    if n == 0:
+        return "(empty series)"
+    step = max(1, n // max_points)
+    points = [
+        f"({_fmt(float(xs[i]))}, {_fmt(float(ys[i]))})"
+        for i in range(0, n, step)
+    ]
+    if (n - 1) % step != 0:
+        points.append(f"({_fmt(float(xs[-1]))}, {_fmt(float(ys[-1]))})")
+    return " ".join(points)

@@ -1,0 +1,22 @@
+"""Exceptions raised by the thread runtime."""
+
+from __future__ import annotations
+
+
+class ThreadError(Exception):
+    """Base class for thread-runtime errors."""
+
+
+class SyncError(ThreadError):
+    """Misuse of a synchronisation object (e.g. releasing an unowned
+    mutex, waiting on a condition without holding its mutex)."""
+
+
+class DeadlockError(ThreadError):
+    """Every cpu is idle, no thread is runnable or sleeping, yet live
+    threads remain blocked."""
+
+    def __init__(self, blocked: list) -> None:
+        names = ", ".join(str(t) for t in blocked)
+        super().__init__(f"deadlock: blocked threads remain: {names}")
+        self.blocked = blocked

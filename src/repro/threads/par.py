@@ -1,0 +1,146 @@
+"""Structured-parallelism helpers with automatic sharing annotations.
+
+The paper's system "has been used in the Sather compiler and runtime
+system": the compiler emits ``at_share`` calls for its structured
+constructs so "important sharing information" need not be hand-written at
+every site.  This module is that layer for the reproduction's runtime --
+fork/join and parallel-map combinators that create the threads *and*
+write the annotations their structure implies:
+
+- :func:`fork_join`: children's state is contained in the parent's
+  (the mergesort pattern: ``at_share(child, parent, q)``);
+- :func:`parallel_map`: one thread per item, siblings annotated by
+  declared overlap;
+- :class:`TaskGroup`: imperative spawn/join with the same annotation
+  discipline.
+
+Everything here reduces to plain ``at_create``/``at_share``/``Join``
+calls; nothing bypasses the scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Iterable, List, Optional, Sequence
+
+from repro.threads.events import Join
+from repro.threads.runtime import Runtime
+
+
+def fork_join(
+    runtime: Runtime,
+    bodies: Sequence[Callable[[], Generator]],
+    share_with_parent: float = 1.0,
+    names: Optional[Sequence[str]] = None,
+) -> Generator:
+    """Spawn ``bodies`` as children of the calling thread and join them.
+
+    Must be iterated from inside a thread body::
+
+        def parent():
+            yield from fork_join(runtime, [left_half, right_half])
+            ... merge ...
+
+    Each child gets ``at_share(child, parent, share_with_parent)`` -- the
+    paper's mergesort annotation ("the state of child threads is fully
+    contained in the parent thread's state") with the coefficient
+    adjustable for partial containment.  ``share_with_parent = 0``
+    suppresses the annotation entirely.
+    """
+    if not 0.0 <= share_with_parent <= 1.0:
+        raise ValueError("share_with_parent must be in [0, 1]")
+    parent = runtime.at_self()
+    tids: List[int] = []
+    for i, body in enumerate(bodies):
+        name = names[i] if names else None
+        tid = runtime.at_create(body, name=name)
+        if share_with_parent > 0.0:
+            runtime.at_share(tid, parent, share_with_parent)
+        tids.append(tid)
+    for tid in tids:
+        yield Join(tid)
+
+
+def parallel_map(
+    runtime: Runtime,
+    make_body: Callable[[int], Callable[[], Generator]],
+    count: int,
+    sibling_overlap: float = 0.0,
+    overlap_span: int = 1,
+    share_with_parent: float = 0.0,
+    name_prefix: str = "map",
+) -> Generator:
+    """One child per index, with declared sibling overlap, then join all.
+
+    ``sibling_overlap`` is the fraction of a child's state shared with a
+    sibling at distance 1; it falls off linearly to zero at distance
+    ``overlap_span + 1`` (the photo pattern: "the closer the corresponding
+    row numbers, the more prefetched state is reused").
+    """
+    if not 0.0 <= sibling_overlap <= 1.0:
+        raise ValueError("sibling_overlap must be in [0, 1]")
+    if overlap_span < 1:
+        raise ValueError("overlap_span must be at least 1")
+    parent = runtime.at_self()
+    tids = [
+        runtime.at_create(make_body(i), name=f"{name_prefix}-{i}")
+        for i in range(count)
+    ]
+    if sibling_overlap > 0.0:
+        for i, tid in enumerate(tids):
+            for distance in range(1, overlap_span + 1):
+                q = sibling_overlap * (overlap_span + 1 - distance) / (
+                    overlap_span
+                )
+                q = min(1.0, q)
+                if i - distance >= 0:
+                    runtime.at_share(tid, tids[i - distance], q)
+                    runtime.at_share(tids[i - distance], tid, q)
+                if i + distance < count:
+                    runtime.at_share(tid, tids[i + distance], q)
+                    runtime.at_share(tids[i + distance], tid, q)
+    if share_with_parent > 0.0:
+        for tid in tids:
+            runtime.at_share(tid, parent, share_with_parent)
+    for tid in tids:
+        yield Join(tid)
+
+
+class TaskGroup:
+    """Imperative spawn/join with the fork-join annotation discipline.
+
+    ::
+
+        def parent():
+            group = TaskGroup(runtime)
+            group.spawn(work_a)
+            group.spawn(work_b, share_with_parent=0.5)
+            yield from group.join_all()
+    """
+
+    def __init__(self, runtime: Runtime):
+        self.runtime = runtime
+        self.parent = runtime.at_self()
+        self.tids: List[int] = []
+
+    def spawn(
+        self,
+        body: Callable[[], Generator],
+        share_with_parent: float = 1.0,
+        name: Optional[str] = None,
+    ) -> int:
+        """Create a child (annotated toward the parent); returns its tid."""
+        if not 0.0 <= share_with_parent <= 1.0:
+            raise ValueError("share_with_parent must be in [0, 1]")
+        tid = self.runtime.at_create(body, name=name)
+        if share_with_parent > 0.0:
+            self.runtime.at_share(tid, self.parent, share_with_parent)
+        self.tids.append(tid)
+        return tid
+
+    def join_all(self) -> Generator:
+        """Yield Join events for every spawned child, in spawn order."""
+        for tid in self.tids:
+            yield Join(tid)
+
+    def __len__(self) -> int:
+        return len(self.tids)

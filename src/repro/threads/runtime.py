@@ -1,0 +1,418 @@
+"""The Active Threads runtime: event interpretation and scheduling loop.
+
+The runtime multiplexes user-level threads over the simulated SMP.  It
+owns the thread table, the sharing-annotation graph, the per-cpu
+performance-counter views, and the timer queue; the scheduling *policy*
+(FCFS, LFF, CRT) is pluggable through :class:`repro.sched.base.Scheduler`.
+
+Execution is a deterministic discrete-event simulation: at each step the
+cpu with the smallest cycle clock acts (ties to the lowest cpu id), either
+stepping its current thread by one yielded event or dispatching a new one.
+A thread runs until it blocks, yields, sleeps or finishes -- the paper's
+scheduling interval -- at which point the runtime performs the paper's
+context-switch protocol: read the PICs to get the interval's miss count
+``n`` (charging the few-instruction read cost), hand ``n`` to the
+scheduler for its O(d) priority updates (charging the reported cost), and
+charge the ~100-instruction base context switch [33].
+
+Costs the runtime charges to the simulated clock:
+
+====================  =====================================================
+``SYNC_COST``         a lock/semaphore/barrier/condvar operation
+``CREATE_COST``       ``at_create`` (thread control block + stack setup)
+counter read          ``repro.machine.counters.READ_COST_INSTRUCTIONS``
+context switch        ``MachineConfig.context_switch_instructions``
+scheduler work        whatever the policy reports per operation
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, Generator, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.sharing import SharingGraph
+from repro.machine.address import Region
+from repro.machine.counters import MissCounterView
+from repro.machine.smp import Machine
+from repro.threads import events as ev
+from repro.threads.errors import DeadlockError, SyncError, ThreadError
+from repro.threads.sync import Barrier, Condition, Mutex, Semaphore
+from repro.threads.thread import ActiveThread, ThreadState
+
+#: instruction cost of one synchronisation operation (lock/unlock etc.);
+#: "within an order of magnitude of a function call cost" [1]
+SYNC_COST = 20
+#: instruction cost of at_create (control block, stack registration)
+CREATE_COST = 200
+
+Body = Union[Generator, Callable[[], Generator]]
+
+
+class Observer:
+    """Measurement hook interface; all methods optional no-ops.
+
+    Observers are measurement-only (the paper's simulator role); the
+    scheduler never sees them.
+    """
+
+    def on_state_declared(self, tid: int, vlines: np.ndarray) -> None:
+        """A thread declared ``vlines`` as part of its state."""
+
+    def on_dispatch(self, cpu: int, thread: ActiveThread) -> None:
+        """A thread started a scheduling interval."""
+
+    def on_touch(self, cpu: int, thread: ActiveThread, result) -> None:
+        """A touch batch completed (``result`` is the E-cache result)."""
+
+    def on_block(
+        self, cpu: int, thread: ActiveThread, misses: int, finished: bool
+    ) -> None:
+        """A scheduling interval ended with ``misses`` E-cache misses."""
+
+
+class Runtime:
+    """Interprets thread bodies against a machine under a scheduler."""
+
+    def __init__(self, machine: Machine, scheduler) -> None:
+        self.machine = machine
+        self.scheduler = scheduler
+        self.graph = SharingGraph()
+        self.threads: Dict[int, ActiveThread] = {}
+        self.observers: List[Observer] = []
+        self._next_tid = 1
+        self._live = 0
+        self._current: List[Optional[ActiveThread]] = [None] * machine.config.num_cpus
+        self._views = [MissCounterView(cpu.counters) for cpu in machine.cpus]
+        self._timers: List[tuple] = []  # (wake_cycles, seq, thread)
+        self._timer_seq = 0
+        self._stepping: Optional[ActiveThread] = None
+        self.last_touch_lines: Optional[np.ndarray] = None
+        self.context_switches = 0
+        self.events_executed = 0
+        scheduler.attach(self)
+
+    # -- public API used by thread bodies and workloads ---------------------
+
+    def add_observer(self, observer: Observer) -> None:
+        """Attach a measurement observer."""
+        self.observers.append(observer)
+
+    def alloc(self, name: str, size: int) -> Region:
+        """Allocate a named region in the shared address space."""
+        return self.machine.address_space.allocate(name, size)
+
+    def alloc_lines(self, name: str, num_lines: int) -> Region:
+        """Allocate a region spanning exactly ``num_lines`` cache lines."""
+        return self.machine.address_space.allocate_lines(name, num_lines)
+
+    def at_create(self, body: Body, name: Optional[str] = None) -> int:
+        """Create a thread; returns its tid.
+
+        ``body`` is a generator, or a zero-argument callable producing one.
+        The new thread starts READY; the creating cpu (if any) is charged
+        :data:`CREATE_COST` instructions.
+        """
+        gen = body() if callable(body) else body
+        tid = self._next_tid
+        self._next_tid += 1
+        thread = ActiveThread(tid, gen, name=name)
+        thread.ready_at = self.machine.time()
+        self.threads[tid] = thread
+        self._live += 1
+        cpu = self._stepping_cpu()
+        if cpu is not None:
+            self.machine.compute(cpu, CREATE_COST)
+        self._charge(cpu, self.scheduler.thread_created(thread))
+        self._charge(cpu, self.scheduler.thread_ready(thread))
+        return tid
+
+    def at_share(self, src_tid: int, dst_tid: int, q: float) -> None:
+        """The paper's annotation: fraction ``q`` of ``src_tid``'s state is
+        shared with ``dst_tid``.  A hint only; never affects correctness."""
+        self.graph.share(src_tid, dst_tid, q)
+
+    def at_self(self) -> int:
+        """Tid of the thread whose body is currently executing."""
+        if self._stepping is None:
+            raise ThreadError("at_self() called outside a thread body")
+        return self._stepping.tid
+
+    def declare_state(
+        self, tid: int, regions: Sequence[Region]
+    ) -> None:
+        """Declare the regions making up a thread's state (ground truth for
+        the footprint tracer; the scheduler never sees this)."""
+        if not regions:
+            return
+        vlines = np.concatenate([r.lines() for r in regions])
+        for observer in self.observers:
+            observer.on_state_declared(tid, vlines)
+
+    def thread(self, tid: int) -> ActiveThread:
+        """Look up a thread by tid."""
+        return self.threads[tid]
+
+    # -- the scheduling loop -------------------------------------------------
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        """Run until every thread finishes (or ``max_events`` is hit)."""
+        while self._live > 0:
+            if max_events is not None and self.events_executed >= max_events:
+                raise ThreadError(f"exceeded max_events={max_events}")
+            cpu = self._min_clock_cpu()
+            self._release_timers(self.machine.cycles(cpu))
+            thread = self._current[cpu]
+            if thread is not None:
+                self._step(cpu, thread)
+            else:
+                dispatched = self._dispatch(cpu)
+                if dispatched is None:
+                    self._idle(cpu)
+
+    def _min_clock_cpu(self) -> int:
+        cpus = self.machine.cpus
+        best = 0
+        best_cycles = cpus[0].cycles
+        for i in range(1, len(cpus)):
+            if cpus[i].cycles < best_cycles:
+                best, best_cycles = i, cpus[i].cycles
+        return best
+
+    def _release_timers(self, now: int) -> None:
+        while self._timers and self._timers[0][0] <= now:
+            _, _, thread = heapq.heappop(self._timers)
+            self._wake(thread)
+
+    def _idle(self, cpu: int) -> None:
+        """Nothing runnable on an idle cpu: advance its clock or detect
+        deadlock/termination."""
+        clock = self.machine.cycles(cpu)
+        busy = [
+            self.machine.cycles(i)
+            for i, t in enumerate(self._current)
+            if t is not None
+        ]
+        targets = []
+        if busy:
+            targets.append(min(busy) + 1)
+        if self._timers:
+            targets.append(self._timers[0][0])
+        if not targets and self.scheduler.has_runnable():
+            # Runnable work exists that this cpu will not take (e.g. a
+            # thread too hot to steal); skip ahead of the other cpus so the
+            # thread's home cpu becomes the scheduling point and claims it
+            # from its own heap.
+            targets.append(max(p.cycles for p in self.machine.cpus) + 1)
+        if targets:
+            self.machine.cpus[cpu].cycles = max(clock + 1, min(targets))
+            return
+        blocked = [t for t in self.threads.values() if t.alive]
+        if blocked:
+            raise DeadlockError(blocked)
+        # _live said someone is alive but nobody is; internal inconsistency
+        raise ThreadError("scheduler lost track of live threads")
+
+    # -- dispatch / context switch --------------------------------------------
+
+    def _dispatch(self, cpu: int) -> Optional[ActiveThread]:
+        thread, cost = self.scheduler.pick(cpu)
+        self._charge(cpu, cost)
+        if thread is None:
+            return None
+        if thread.state is not ThreadState.READY:
+            raise ThreadError(f"scheduler picked non-ready {thread}")
+        thread.state = ThreadState.RUNNING
+        if thread.ready_at is not None:
+            waited = max(0, self.machine.cycles(cpu) - thread.ready_at)
+            thread.stats.wait_cycles += waited
+            thread.stats.max_wait_cycles = max(
+                thread.stats.max_wait_cycles, waited
+            )
+            thread.ready_at = None
+        if thread.last_cpu is not None and thread.last_cpu != cpu:
+            thread.stats.migrations += 1
+        thread.last_cpu = cpu
+        self._current[cpu] = thread
+        self._charge(cpu, self.scheduler.thread_dispatched(cpu, thread))
+        for observer in self.observers:
+            observer.on_dispatch(cpu, thread)
+        return thread
+
+    def _end_interval(
+        self, cpu: int, thread: ActiveThread, finished: bool
+    ) -> None:
+        """The paper's context-switch protocol (counter read + O(d) updates
+        + base switch cost)."""
+        view = self._views[cpu]
+        misses = view.interval_misses()
+        self.machine.compute(cpu, view.read_cost_instructions)
+        thread.stats.intervals += 1
+        thread.stats.misses += misses
+        self._charge(
+            cpu, self.scheduler.thread_blocked(cpu, thread, misses, finished)
+        )
+        self.machine.compute(
+            cpu, self.machine.config.context_switch_instructions
+        )
+        self.context_switches += 1
+        self._current[cpu] = None
+        for observer in self.observers:
+            observer.on_block(cpu, thread, misses, finished)
+
+    def _finish(self, cpu: int, thread: ActiveThread) -> None:
+        self._end_interval(cpu, thread, finished=True)
+        thread.state = ThreadState.DONE
+        self._live -= 1
+        self.graph.remove_thread(thread.tid)
+        for joiner in thread.joiners:
+            self._wake(joiner)
+        thread.joiners.clear()
+
+    def _block(self, cpu: int, thread: ActiveThread) -> None:
+        thread.state = ThreadState.BLOCKED
+        self._end_interval(cpu, thread, finished=False)
+
+    def _wake(self, thread: ActiveThread) -> None:
+        thread.pending_mutex = None
+        thread.mark_ready()
+        thread.ready_at = self.machine.time()
+        self._charge(self._stepping_cpu(), self.scheduler.thread_ready(thread))
+
+    def _charge(self, cpu: Optional[int], instructions: int) -> None:
+        if instructions and cpu is not None:
+            self.machine.compute(cpu, instructions)
+
+    def _stepping_cpu(self) -> Optional[int]:
+        if self._stepping is None:
+            return None
+        return self._stepping.last_cpu
+
+    # -- event interpretation ---------------------------------------------------
+
+    def _step(self, cpu: int, thread: ActiveThread) -> None:
+        self._stepping = thread
+        try:
+            event = next(thread.body)
+        except StopIteration:
+            self._finish(cpu, thread)
+            return
+        finally:
+            self._stepping = None
+        self.events_executed += 1
+        self._execute(cpu, thread, event)
+
+    def _execute(self, cpu: int, thread: ActiveThread, event) -> None:
+        if isinstance(event, ev.Touch):
+            result = self.machine.touch(cpu, event.lines, write=event.write)
+            thread.stats.refs += result.refs
+            #: the virtual lines of the touch being reported to observers
+            #: (trace recorders read this; see repro.sim.trace)
+            self.last_touch_lines = event.lines
+            for observer in self.observers:
+                observer.on_touch(cpu, thread, result)
+            self.last_touch_lines = None
+        elif isinstance(event, ev.Compute):
+            self.machine.compute(cpu, event.instructions)
+            thread.stats.instructions += event.instructions
+        elif isinstance(event, ev.Fetch):
+            self.machine.fetch(cpu, event.lines)
+        elif isinstance(event, ev.Acquire):
+            self.machine.compute(cpu, SYNC_COST)
+            if not event.mutex.acquire(thread):
+                self._block(cpu, thread)
+        elif isinstance(event, ev.Release):
+            self.machine.compute(cpu, SYNC_COST)
+            woken = event.mutex.release(thread)
+            if woken is not None:
+                self._stepping = thread  # charge wake bookkeeping here
+                self._wake(woken)
+                self._stepping = None
+        elif isinstance(event, ev.SemWait):
+            self.machine.compute(cpu, SYNC_COST)
+            if not event.semaphore.wait(thread):
+                self._block(cpu, thread)
+        elif isinstance(event, ev.SemPost):
+            self.machine.compute(cpu, SYNC_COST)
+            woken = event.semaphore.post()
+            if woken is not None:
+                self._stepping = thread
+                self._wake(woken)
+                self._stepping = None
+        elif isinstance(event, ev.BarrierWait):
+            self.machine.compute(cpu, SYNC_COST)
+            woken = event.barrier.arrive(thread)
+            if woken is None:
+                self._block(cpu, thread)
+            else:
+                self._stepping = thread
+                for other in woken:
+                    self._wake(other)
+                self._stepping = None
+        elif isinstance(event, ev.CondWait):
+            self.machine.compute(cpu, SYNC_COST)
+            self._cond_wait(cpu, thread, event)
+        elif isinstance(event, ev.CondSignal):
+            self.machine.compute(cpu, SYNC_COST)
+            self._stepping = thread
+            waiter = event.condition.signal()
+            if waiter is not None:
+                self._cond_resume(waiter)
+            self._stepping = None
+        elif isinstance(event, ev.CondBroadcast):
+            self.machine.compute(cpu, SYNC_COST)
+            self._stepping = thread
+            for waiter in event.condition.broadcast():
+                self._cond_resume(waiter)
+            self._stepping = None
+        elif isinstance(event, ev.Join):
+            self.machine.compute(cpu, SYNC_COST)
+            target = self.threads.get(event.tid)
+            if target is None:
+                raise ThreadError(f"join on unknown tid {event.tid}")
+            if target.alive:
+                target.joiners.append(thread)
+                self._block(cpu, thread)
+        elif isinstance(event, ev.Yield):
+            thread.mark_ready()
+            thread.ready_at = self.machine.cycles(cpu)
+            self._end_interval(cpu, thread, finished=False)
+            self._stepping = thread
+            self._charge(cpu, self.scheduler.thread_ready(thread))
+            self._stepping = None
+        elif isinstance(event, ev.Sleep):
+            thread.state = ThreadState.SLEEPING
+            self._end_interval(cpu, thread, finished=False)
+            self._timer_seq += 1
+            heapq.heappush(
+                self._timers,
+                (self.machine.cycles(cpu) + event.cycles, self._timer_seq, thread),
+            )
+        else:
+            raise ThreadError(f"{thread} yielded unknown event {event!r}")
+
+    def _cond_wait(self, cpu: int, thread: ActiveThread, event: ev.CondWait) -> None:
+        if event.mutex.owner is not thread:
+            raise SyncError(
+                f"{thread} waited on {event.condition.name} without holding "
+                f"{event.mutex.name}"
+            )
+        new_owner = event.mutex.release(thread)
+        event.condition.add_waiter(thread)
+        thread.pending_mutex = event.mutex
+        if new_owner is not None:
+            self._stepping = thread
+            self._wake(new_owner)
+            self._stepping = None
+        self._block(cpu, thread)
+
+    def _cond_resume(self, waiter: ActiveThread) -> None:
+        """A signalled waiter must reacquire its mutex before running."""
+        mutex = waiter.pending_mutex
+        if mutex is None:
+            raise SyncError(f"signalled {waiter} has no pending mutex")
+        if mutex.acquire(waiter):
+            self._wake(waiter)
+        # else: the waiter sits in the mutex queue; Release will wake it.

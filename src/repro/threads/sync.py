@@ -1,0 +1,156 @@
+"""Synchronisation objects: mutexes, semaphores, barriers, conditions.
+
+These implement the blocking vocabulary of Active Threads (section 5).
+They are runtime-agnostic: each operation updates the object's state and
+returns which threads the runtime must wake; the runtime performs the
+actual state transitions and scheduler notifications.  All wait queues are
+FIFO, and mutex release hands ownership directly to the first waiter
+(avoiding convoys and making runs deterministic).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.threads.errors import SyncError
+from repro.threads.thread import ActiveThread
+
+
+class Mutex:
+    """A blocking mutual-exclusion lock with direct handoff."""
+
+    _next_id = 0
+
+    def __init__(self, name: Optional[str] = None):
+        Mutex._next_id += 1
+        self.name = name or f"mutex-{Mutex._next_id}"
+        self.owner: Optional[ActiveThread] = None
+        self._waiters: Deque[ActiveThread] = deque()
+
+    def acquire(self, thread: ActiveThread) -> bool:
+        """Try to take the lock; returns False (and queues) if held."""
+        if self.owner is None:
+            self.owner = thread
+            return True
+        if self.owner is thread:
+            raise SyncError(f"{thread} re-acquired non-recursive {self.name}")
+        self._waiters.append(thread)
+        return False
+
+    def release(self, thread: ActiveThread) -> Optional[ActiveThread]:
+        """Release the lock; returns the waiter that now owns it, if any."""
+        if self.owner is not thread:
+            raise SyncError(f"{thread} released {self.name} it does not own")
+        if self._waiters:
+            self.owner = self._waiters.popleft()
+            return self.owner
+        self.owner = None
+        return None
+
+    @property
+    def queue_length(self) -> int:
+        """Number of threads blocked on the lock."""
+        return len(self._waiters)
+
+
+class Semaphore:
+    """A counting semaphore with FIFO wakeup and direct handoff."""
+
+    _next_id = 0
+
+    def __init__(self, count: int = 0, name: Optional[str] = None):
+        if count < 0:
+            raise ValueError("semaphore count must be non-negative")
+        Semaphore._next_id += 1
+        self.name = name or f"sem-{Semaphore._next_id}"
+        self.count = count
+        self._waiters: Deque[ActiveThread] = deque()
+
+    def wait(self, thread: ActiveThread) -> bool:
+        """P: returns False (and queues) when the count is zero."""
+        if self.count > 0:
+            self.count -= 1
+            return True
+        self._waiters.append(thread)
+        return False
+
+    def post(self) -> Optional[ActiveThread]:
+        """V: returns the waiter to wake, if any (count unchanged then --
+        the permit is handed straight over)."""
+        if self._waiters:
+            return self._waiters.popleft()
+        self.count += 1
+        return None
+
+    @property
+    def queue_length(self) -> int:
+        """Number of threads blocked in P."""
+        return len(self._waiters)
+
+
+class Barrier:
+    """A cyclic barrier for a fixed number of parties."""
+
+    _next_id = 0
+
+    def __init__(self, parties: int, name: Optional[str] = None):
+        if parties < 1:
+            raise ValueError("barrier needs at least one party")
+        Barrier._next_id += 1
+        self.name = name or f"barrier-{Barrier._next_id}"
+        self.parties = parties
+        self._waiters: List[ActiveThread] = []
+        self.generation = 0
+
+    def arrive(self, thread: ActiveThread) -> Optional[List[ActiveThread]]:
+        """Arrive at the barrier.
+
+        Returns ``None`` if the caller must block, or the list of threads
+        to wake (the earlier arrivals) when the caller is the last party --
+        the caller itself continues without blocking.
+        """
+        if len(self._waiters) + 1 < self.parties:
+            self._waiters.append(thread)
+            return None
+        woken = self._waiters
+        self._waiters = []
+        self.generation += 1
+        return woken
+
+    @property
+    def waiting(self) -> int:
+        """Parties currently blocked at the barrier."""
+        return len(self._waiters)
+
+
+class Condition:
+    """A condition variable used with an external mutex."""
+
+    _next_id = 0
+
+    def __init__(self, name: Optional[str] = None):
+        Condition._next_id += 1
+        self.name = name or f"cond-{Condition._next_id}"
+        self._waiters: Deque[ActiveThread] = deque()
+
+    def add_waiter(self, thread: ActiveThread) -> None:
+        """Queue a thread (runtime has already released the mutex)."""
+        self._waiters.append(thread)
+
+    def signal(self) -> Optional[ActiveThread]:
+        """Pop one waiter (it must reacquire the mutex before resuming)."""
+        if self._waiters:
+            return self._waiters.popleft()
+        return None
+
+    def broadcast(self) -> List[ActiveThread]:
+        """Pop all waiters."""
+        woken = list(self._waiters)
+        self._waiters.clear()
+        return woken
+
+    @property
+    def queue_length(self) -> int:
+        """Number of threads waiting on the condition."""
+        return len(self._waiters)

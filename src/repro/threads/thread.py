@@ -1,0 +1,71 @@
+"""Thread objects and their lifecycle states."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Generator, List, Optional
+
+
+class ThreadState(Enum):
+    """Lifecycle of an Active Thread."""
+
+    READY = "ready"  # runnable, waiting for a processor
+    RUNNING = "running"  # dispatched on some cpu
+    BLOCKED = "blocked"  # waiting on a sync object or join
+    SLEEPING = "sleeping"  # timed sleep (tasks-style wake/touch/block)
+    DONE = "done"  # body exhausted
+
+
+@dataclass
+class ThreadStats:
+    """Per-thread accounting kept by the runtime."""
+
+    intervals: int = 0  # scheduling intervals executed
+    misses: int = 0  # E-cache misses across all intervals
+    refs: int = 0
+    instructions: int = 0
+    migrations: int = 0  # dispatches on a cpu different from the last one
+    #: cycles spent READY but undispatched (the fairness/starvation metric
+    #: behind the paper's section 7 escape-mechanism discussion)
+    wait_cycles: int = 0
+    max_wait_cycles: int = 0
+
+
+class ActiveThread:
+    """One user-level thread: an identity plus a generator body.
+
+    ``ready_seq`` increments every time the thread becomes READY; scheduler
+    heap entries record the sequence number at insertion so stale entries
+    (from a previous readiness episode) can be discarded lazily on pop --
+    the standard lazy-deletion idiom that keeps heap operations O(log n).
+    """
+
+    def __init__(self, tid: int, body: Generator, name: Optional[str] = None):
+        self.tid = tid
+        self.name = name or f"thread-{tid}"
+        self.body = body
+        self.state = ThreadState.READY
+        self.ready_seq = 0
+        self.joiners: List["ActiveThread"] = []
+        self.last_cpu: Optional[int] = None
+        self.stats = ThreadStats()
+        #: machine time at which the thread last became READY (for wait
+        #: accounting); None while not waiting
+        self.ready_at: Optional[int] = None
+        #: set when the thread is blocked inside CondWait and must reacquire
+        #: the mutex before resuming
+        self.pending_mutex = None
+
+    @property
+    def alive(self) -> bool:
+        """Whether the thread has not finished."""
+        return self.state is not ThreadState.DONE
+
+    def mark_ready(self) -> None:
+        """Transition to READY, invalidating older scheduler entries."""
+        self.state = ThreadState.READY
+        self.ready_seq += 1
+
+    def __repr__(self) -> str:
+        return f"<{self.name} tid={self.tid} {self.state.value}>"

@@ -1,0 +1,73 @@
+"""Workloads: the applications of the paper's Tables 2 and 4.
+
+Performance applications (Figures 8-9, Table 5): ``tasks``, ``merge``,
+``photo``, ``tsp``.  Model-accuracy applications (Figures 5-7): the
+SPLASH-2-like trio (``barnes``, ``fmm``, ``ocean``), the Sather trio
+(``merge``, ``photo``, ``tsp``), and the two anomalous apps
+(``typechecker``, ``raytrace``).
+"""
+
+from repro.workloads.base import MonitoredApp, Workload
+from repro.workloads.mergesort import MergeMonitored, MergeWorkload
+from repro.workloads.params import MergeParams, PhotoParams, TasksParams, TspParams
+from repro.workloads.photo import PhotoMonitored, PhotoWorkload
+from repro.workloads.randomwalk import (
+    WalkPlan,
+    build_walk,
+    sleeper_state_lines,
+    walk_batches,
+)
+from repro.workloads.raytrace_like import RaytraceLike
+from repro.workloads.splash import BarnesLike, FmmLike, OceanLike
+from repro.workloads.tasks import TasksWorkload
+from repro.workloads.tsp import TspMonitored, TspWorkload
+from repro.workloads.typechecker import TypecheckerLike
+
+__all__ = [
+    "BarnesLike",
+    "FmmLike",
+    "MergeMonitored",
+    "MergeParams",
+    "MergeWorkload",
+    "MonitoredApp",
+    "OceanLike",
+    "PhotoMonitored",
+    "PhotoParams",
+    "PhotoWorkload",
+    "RaytraceLike",
+    "TasksParams",
+    "TasksWorkload",
+    "TspMonitored",
+    "TspParams",
+    "TspWorkload",
+    "TypecheckerLike",
+    "WalkPlan",
+    "Workload",
+    "build_walk",
+    "sleeper_state_lines",
+    "walk_batches",
+]
+
+#: the four performance applications, by paper name
+PERFORMANCE_WORKLOADS = {
+    "tasks": TasksWorkload,
+    "merge": MergeWorkload,
+    "photo": PhotoWorkload,
+    "tsp": TspWorkload,
+}
+
+#: the monitored applications for the Figure 5/6 accuracy runs
+MONITORED_APPS = {
+    "barnes": BarnesLike,
+    "fmm": FmmLike,
+    "ocean": OceanLike,
+    "merge": MergeMonitored,
+    "photo": PhotoMonitored,
+    "tsp": TspMonitored,
+}
+
+#: the Figure 7 anomalous applications
+ANOMALOUS_APPS = {
+    "typechecker": TypecheckerLike,
+    "raytrace": RaytraceLike,
+}

@@ -1,0 +1,63 @@
+"""Workload protocols.
+
+Two kinds of workload drive the experiments, matching the paper's two
+evaluation modes:
+
+- :class:`Workload` -- a full multi-threaded application used for the
+  *performance* experiments (Figures 8-9, Table 5): ``build`` allocates
+  regions, creates threads (with annotations) and the driver runs it to
+  completion under each scheduling policy.
+
+- :class:`MonitoredApp` -- an application whose single "work" thread is
+  traced for the *model accuracy* experiments (Figures 5-7): the paper
+  runs the initialisation stage, flushes the thread's state from the
+  cache, then monitors the uninterrupted execution of one work thread on
+  a uniprocessor (section 3.3).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, List, Optional
+
+if TYPE_CHECKING:
+    from repro.machine.address import Region
+    from repro.threads.runtime import Runtime
+
+
+class Workload:
+    """A multi-threaded application for performance runs."""
+
+    name = "abstract"
+
+    def build(self, runtime: "Runtime") -> None:
+        """Allocate regions and create the thread structure."""
+        raise NotImplementedError
+
+
+class MonitoredApp:
+    """An application exposing one traceable "work" thread."""
+
+    name = "abstract"
+    #: 'c' (SPLASH-2-like) or 'sather' -- the paper contrasts the two
+    language = "c"
+
+    def setup(self, runtime: "Runtime") -> None:
+        """Allocate regions and perform the initialisation stage."""
+        raise NotImplementedError
+
+    def init_body(self) -> Optional[Generator]:
+        """Generator for the initialisation-phase touches, or ``None``.
+
+        Run before the cache flush so page mappings (and bin loads) are
+        established the way the real program would establish them.
+        """
+        return None
+
+    def work_body(self) -> Generator:
+        """The monitored work thread's body."""
+        raise NotImplementedError
+
+    def state_regions(self) -> List["Region"]:
+        """Regions comprising the work thread's state (tracer ground
+        truth)."""
+        raise NotImplementedError

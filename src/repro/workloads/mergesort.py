@@ -1,0 +1,181 @@
+"""Parallel mergesort -- the paper's running annotation example.
+
+The code fragment in section 2.3 splits the input into two sublists sorted
+by child threads, then merges in the parent; the annotations
+
+    at_share(tid_l, at_self(), 1.0)
+    at_share(tid_r, at_self(), 1.0)
+
+record that each child's state is fully contained in the parent's.  The
+paper's measured configuration (Table 4): 100,000 uniformly distributed
+elements, insertion sort below 100 elements, 1024 threads; speedup comes
+"almost entirely through user annotations: very light-weight threads are
+created to perform a single operation, but substantial locality across
+threads exists for any path in a task tree from the root to the leafs"
+(section 5).
+
+The sort is real: a shared numpy array is actually sorted, and the
+simulated touches cover exactly the slices each thread reads and writes.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+import numpy as np
+
+from repro.machine.address import Region
+from repro.threads.events import Acquire, Compute, Join, Release, Touch
+from repro.threads.sync import Mutex
+from repro.workloads.base import MonitoredApp, Workload
+from repro.workloads.params import MergeParams
+
+#: 8-byte elements, 64-byte lines
+ELEMENTS_PER_LINE = 8
+
+
+def _slice_lines(region: Region, lo: int, hi: int) -> np.ndarray:
+    """Virtual lines backing elements [lo, hi) of the array region."""
+    first = lo // ELEMENTS_PER_LINE
+    last = (hi - 1) // ELEMENTS_PER_LINE
+    return region.line_slice(first, last - first + 1)
+
+
+class MergeWorkload(Workload):
+    """Thread-per-node parallel mergesort with full sharing annotations."""
+
+    name = "merge"
+
+    def __init__(
+        self, params: MergeParams = MergeParams(), annotate: bool = True
+    ):
+        self.params = params
+        self.annotate = annotate  # off for the annotation ablation
+        self.data: Optional[np.ndarray] = None
+        self.array: Optional[Region] = None
+        self.threads_created = 0
+        #: the runtime allocator's lock: merge buffers are heap-allocated,
+        #: and allocation is serialised exactly as in the paper's tsp note
+        self.alloc_mutex = Mutex(name="merge-allocator")
+
+    def build(self, runtime) -> None:
+        p = self.params
+        rng = np.random.default_rng(p.seed)
+        self.data = rng.integers(0, 2**31, size=p.num_elements, dtype=np.int64)
+        self.array = runtime.alloc("merge-array", p.num_elements * 8)
+        runtime.at_create(
+            lambda: self._sort_body(runtime, 0, p.num_elements), name="merge-root"
+        )
+
+    def _sort_body(self, runtime, lo: int, hi: int) -> Generator:
+        p = self.params
+        size = hi - lo
+        lines = _slice_lines(self.array, lo, hi)
+        if size <= p.leaf_cutoff:
+            yield Touch(lines)
+            self.data[lo:hi].sort()  # the real leaf sort
+            yield Compute(size * p.compute_per_element)
+            yield Touch(lines, write=True)
+            return
+        mid = (lo + hi) // 2
+        tid_l = runtime.at_create(
+            lambda: self._sort_body(runtime, lo, mid), name=f"merge-{lo}-{mid}"
+        )
+        tid_r = runtime.at_create(
+            lambda: self._sort_body(runtime, mid, hi), name=f"merge-{mid}-{hi}"
+        )
+        self.threads_created += 2
+        if self.annotate:
+            me = runtime.at_self()
+            runtime.at_share(tid_l, me, 1.0)
+            runtime.at_share(tid_r, me, 1.0)
+        yield Join(tid_l)
+        yield Join(tid_r)
+        # The real merge of the two sorted halves: read both halves, then
+        # heap-allocate the output buffer (serialised allocator).
+        yield Touch(lines)
+        yield Acquire(self.alloc_mutex)
+        yield Compute(40)
+        yield Release(self.alloc_mutex)
+        merged = np.empty(size, dtype=np.int64)
+        left, right = self.data[lo:mid], self.data[mid:hi]
+        # Vectorised stable merge: each right element lands after the left
+        # elements at most its size plus the right elements preceding it.
+        positions = np.searchsorted(left, right, side="right")
+        merged_idx = positions + np.arange(right.size)
+        merged[merged_idx] = right
+        mask = np.ones(size, dtype=bool)
+        mask[merged_idx] = False
+        merged[mask] = left
+        self.data[lo:hi] = merged
+        yield Compute(size * p.compute_per_element)
+        yield Touch(lines, write=True)
+
+    def verify_sorted(self) -> bool:
+        """Whether the shared array ended up actually sorted."""
+        return bool(np.all(np.diff(self.data) >= 0))
+
+
+class MergeMonitored(MonitoredApp):
+    """Single 'work' thread doing the whole sort (Figures 5-6).
+
+    Leaf slices are processed in a shuffled order before the hierarchical
+    merges, giving the scattered, linked-structure-like reference pattern
+    the paper associates with Sather programs (which "demonstrate less
+    clustering of references than programs written in C") -- the regime
+    where the model matches well.
+    """
+
+    name = "merge"
+    language = "sather"
+
+    def __init__(self, num_elements: int = 150_000, leaf_cutoff: int = 128,
+                 seed: int = 7):
+        self.num_elements = num_elements
+        self.leaf_cutoff = leaf_cutoff
+        self.seed = seed
+        self.data: Optional[np.ndarray] = None
+        self.array: Optional[Region] = None
+
+    def setup(self, runtime) -> None:
+        rng = np.random.default_rng(self.seed)
+        self.data = rng.integers(0, 2**31, size=self.num_elements, dtype=np.int64)
+        self.array = runtime.alloc("merge-array", self.num_elements * 8)
+
+    def init_body(self) -> Generator:
+        # Initialisation stage: populate the array (faults pages in).
+        yield Touch(self.array.lines(), write=True)
+        yield Compute(self.num_elements)
+
+    def work_body(self) -> Generator:
+        rng = np.random.default_rng(self.seed + 1)
+        n = self.num_elements
+        cutoff = self.leaf_cutoff
+        # Shuffled leaf pass.
+        leaves = list(range(0, n, cutoff))
+        rng.shuffle(leaves)
+        for lo in leaves:
+            hi = min(n, lo + cutoff)
+            yield Touch(_slice_lines(self.array, lo, hi))
+            self.data[lo:hi].sort()
+            yield Compute((hi - lo) * 4)
+            yield Touch(_slice_lines(self.array, lo, hi), write=True)
+        # Hierarchical merges, also in shuffled order per level.
+        width = cutoff
+        while width < n:
+            starts = list(range(0, n, 2 * width))
+            rng.shuffle(starts)
+            for lo in starts:
+                mid = min(n, lo + width)
+                hi = min(n, lo + 2 * width)
+                if mid >= hi:
+                    continue
+                yield Touch(_slice_lines(self.array, lo, hi))
+                chunk = np.sort(self.data[lo:hi], kind="mergesort")
+                self.data[lo:hi] = chunk
+                yield Compute((hi - lo) * 4)
+                yield Touch(_slice_lines(self.array, lo, hi), write=True)
+            width *= 2
+
+    def state_regions(self) -> List[Region]:
+        return [self.array]

@@ -1,0 +1,86 @@
+"""Input parameters for the performance applications (paper Table 4).
+
+The paper's runs:
+
+====== ======================================================================
+tasks  1024 tasks, footprints 100 lines each, 100 scheduling periods per task
+merge  100,000 uniformly distributed elements; insertion sort below size 100;
+       creates 1024 threads
+photo  "softening" filter on a 2048 x 2048 rgb pixmap; creates 2048 threads
+tsp    suboptimal path for 100 cities; measured the execution of 1000 threads
+====== ======================================================================
+
+``paper_scale()`` reproduces those sizes.  ``default()`` scales thread
+counts and data sizes down (documented per field) so the full Figure 8/9
+sweeps complete in minutes of wall-clock on the Python simulator; the
+*ratios* that drive the paper's effects (total working set several times
+the cache, per-thread footprints of ~100 lines, fine-grained threads) are
+preserved.  EXPERIMENTS.md records which scale each reported run used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TasksParams:
+    """Squillante-Lazowska `tasks`: disjoint wake/touch/block threads."""
+
+    num_tasks: int = 256
+    footprint_lines: int = 100  # the paper's per-task footprint
+    periods: int = 25
+    compute_per_period: int = 2200
+    sleep_cycles: int = 12_000  # ~ the active duration, per the benchmark
+
+    @staticmethod
+    def paper_scale() -> "TasksParams":
+        return TasksParams(num_tasks=1024, periods=100)
+
+
+@dataclass(frozen=True)
+class MergeParams:
+    """Parallel mergesort over uniformly distributed integers."""
+
+    num_elements: int = 100_000
+    leaf_cutoff: int = 100  # switch to insertion sort at or below this
+    compute_per_element: int = 4
+    seed: int = 12345
+
+    @staticmethod
+    def paper_scale() -> "MergeParams":
+        return MergeParams(num_elements=100_000)
+
+
+@dataclass(frozen=True)
+class PhotoParams:
+    """Softening filter over an RGB pixmap, one thread per row."""
+
+    width: int = 1024
+    height: int = 512  # threads = height
+    halo: int = 4  # neighbour rows read on each side
+    passes: int = 1
+    compute_per_row: int = 2_000
+
+    @staticmethod
+    def paper_scale() -> "PhotoParams":
+        return PhotoParams(width=2048, height=2048)
+
+
+@dataclass(frozen=True)
+class TspParams:
+    """Branch-and-bound TSP over adjacency matrices."""
+
+    num_cities: int = 48
+    #: branch while the partial path is at most this long, so the subspace
+    #: tree (at most 2**branch_levels leaves before pruning) is identical
+    #: under every scheduling policy
+    branch_levels: int = 8
+    #: hard safety cap; never binding for the default parameters
+    max_threads: int = 1000
+    compute_per_node: int = 1_500
+    seed: int = 424242
+
+    @staticmethod
+    def paper_scale() -> "TspParams":
+        return TspParams(num_cities=100, branch_levels=9, max_threads=2000)

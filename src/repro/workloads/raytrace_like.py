@@ -1,0 +1,108 @@
+"""`raytrace`-like workload exhibiting the Figure 7 anomaly.
+
+The paper: "Raytrace also demonstrates anomalous behavior.  In between
+short bursts, the majority of misses are conflict misses that do not
+significantly increase the footprint" (section 3.4) -- so the model,
+which maps every miss to a uniformly random cache line, substantially
+*overestimates* the footprint.
+
+The conflict structure is engineered the way real renderers hit it: the
+scene bank's object buffers are allocated at power-of-two strides
+(cache-size-aligned arenas), so their pages all prefer the same cache
+bin.  The Kessler-Hill placement can only spread same-colored pages over
+its few hierarchical candidates, leaving many object pages pairwise
+conflicting.  Rays then bounce between objects (real sphere-intersection
+math decides the bounce sequence), alternating between conflicting pages:
+the miss counter climbs steadily while the resident footprint stays
+pinned at the few bins the scene occupies.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+import numpy as np
+
+from repro.machine.address import Region
+from repro.threads.events import Compute, Touch
+from repro.workloads.base import MonitoredApp
+
+
+class RaytraceLike(MonitoredApp):
+    """Bouncing rays over a bin-conflicted scene bank."""
+
+    name = "raytrace"
+    language = "c"
+
+    def __init__(
+        self,
+        num_objects: int = 24,
+        num_rays: int = 500,
+        bounces: int = 12,
+        seed: int = 41,
+    ):
+        self.num_objects = num_objects
+        self.num_rays = num_rays
+        self.bounces = bounces
+        self.seed = seed
+        self.objects: List[Region] = []
+        self.framebuffer: Optional[Region] = None
+        self.centers: Optional[np.ndarray] = None
+
+    def setup(self, runtime) -> None:
+        rng = np.random.default_rng(self.seed)
+        self.centers = rng.uniform(-10.0, 10.0, size=(self.num_objects, 3))
+        space = runtime.machine.address_space
+        cache_pages = runtime.machine.config.l2_bytes // space.page_bytes
+        # Cache-size-aligned arena allocation: every object page gets the
+        # same preferred bin color.
+        for i in range(self.num_objects):
+            self.objects.append(
+                space.allocate(f"ray-object-{i}", space.page_bytes)
+            )
+            if i < self.num_objects - 1:
+                space.allocate(f"ray-gap-{i}", (cache_pages - 1) * space.page_bytes)
+        self.framebuffer = runtime.alloc_lines("ray-framebuffer", 2048)
+
+    def init_body(self) -> Generator:
+        for region in self.objects:
+            yield Touch(region.lines(), write=True)
+        yield Compute(self.num_objects * 100)
+
+    def _trace(self, origin: np.ndarray, direction: np.ndarray) -> List[int]:
+        """Real nearest-sphere intersection bounce sequence."""
+        hits = []
+        pos, d = origin.copy(), direction.copy()
+        for _ in range(self.bounces):
+            to_centers = self.centers - pos
+            along = to_centers @ d
+            perp2 = (to_centers**2).sum(axis=1) - along**2
+            candidates = np.where((along > 1e-6) & (perp2 < 4.0))[0]
+            if candidates.size == 0:
+                break
+            nearest = int(candidates[np.argmin(along[candidates])])
+            hits.append(nearest)
+            pos = pos + d * float(along[nearest])
+            normal = pos - self.centers[nearest]
+            normal /= max(1e-9, np.linalg.norm(normal))
+            d = d - 2 * (d @ normal) * normal
+        return hits
+
+    def work_body(self) -> Generator:
+        rng = np.random.default_rng(self.seed + 1)
+        fb_lines = self.framebuffer.lines()
+        for ray in range(self.num_rays):
+            origin = rng.uniform(-12.0, 12.0, size=3)
+            direction = rng.normal(size=3)
+            direction /= np.linalg.norm(direction)
+            hits = self._trace(origin, direction)
+            for obj in hits:
+                yield Touch(self.objects[obj].lines())
+            yield Compute(60 * max(1, len(hits)))
+            # short bursts: a fresh framebuffer tile every so often
+            if ray % 25 == 0:
+                tile = (ray // 25) * 64 % self.framebuffer.num_lines
+                yield Touch(fb_lines[tile : tile + 64], write=True)
+
+    def state_regions(self) -> List[Region]:
+        return list(self.objects) + [self.framebuffer]

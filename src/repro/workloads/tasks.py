@@ -1,0 +1,47 @@
+"""The `tasks` benchmark (Squillante & Lazowska [21], paper Table 4).
+
+"Tasks creates a fixed number of identical threads with equal size, but
+disjoint footprints that repeatedly wake up, touch their state, and block
+for the same duration that they were active.  Since tasks have disjoint
+states, user annotations are not relevant in this case" (section 5).
+
+This is the pure processor-cache-affinity stressor: all the speedup a
+locality policy achieves here comes from the counter-driven footprint
+model alone.  With many more tasks than fit in the cache, FCFS cycles
+through all of them and every wakeup pays a full reload transient; LFF/CRT
+keep a cache-sized cohort hot (at the cost of fairness, which the paper
+discusses in section 7 -- all tasks still run to completion).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.threads.events import Compute, Sleep, touch_region
+from repro.workloads.base import Workload
+from repro.workloads.params import TasksParams
+
+
+class TasksWorkload(Workload):
+    """Fixed number of identical wake/touch/block threads."""
+
+    name = "tasks"
+
+    def __init__(self, params: TasksParams = TasksParams()):
+        self.params = params
+        self.tids: List[int] = []
+
+    def build(self, runtime) -> None:
+        p = self.params
+        for i in range(p.num_tasks):
+            region = runtime.alloc_lines(f"task-{i}", p.footprint_lines)
+
+            def body(region=region):
+                for _ in range(p.periods):
+                    yield touch_region(region)
+                    yield Compute(p.compute_per_period)
+                    yield Sleep(p.sleep_cycles)
+
+            tid = runtime.at_create(body, name=f"task-{i}")
+            runtime.declare_state(tid, [region])
+            self.tids.append(tid)

@@ -1,0 +1,50 @@
+"""Shared fixtures: tiny machines and models so tests run fast while
+exercising the same code paths as the full-size configurations."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.model import SharedStateModel
+from repro.core.sharing import SharingGraph
+from repro.machine.configs import SMALL, MachineConfig
+from repro.machine.smp import Machine
+
+
+@pytest.fixture
+def small_config() -> MachineConfig:
+    """16 KB E-cache (256 lines), 2 KB pages, 1 cpu."""
+    return SMALL
+
+
+@pytest.fixture
+def smp_config() -> MachineConfig:
+    """The small platform with 4 cpus and E5000-style remote pricing."""
+    return replace(
+        SMALL,
+        name="small-smp",
+        num_cpus=4,
+        timings=replace(SMALL.timings, l2_miss=50, l2_miss_remote=80),
+    )
+
+
+@pytest.fixture
+def machine(small_config) -> Machine:
+    return Machine(small_config, seed=7)
+
+
+@pytest.fixture
+def smp(smp_config) -> Machine:
+    return Machine(smp_config, seed=7)
+
+
+@pytest.fixture
+def model(small_config) -> SharedStateModel:
+    return SharedStateModel(small_config.l2_lines)
+
+
+@pytest.fixture
+def graph() -> SharingGraph:
+    return SharingGraph()

@@ -1,0 +1,138 @@
+"""Tests for the W-way associative model extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.assoc import AssocTables, AssociativeStateModel
+from repro.core.model import SharedStateModel
+from repro.machine.cache import SetAssociativeCache
+
+
+class TestReduction:
+    """W = 1 must reduce exactly to the paper's direct-mapped model."""
+
+    @pytest.mark.parametrize("misses", [0, 1, 10, 100, 1000])
+    def test_case2_equals_direct_mapped(self, misses):
+        assoc = AssociativeStateModel(256, 1)
+        direct = SharedStateModel(256)
+        assert assoc.expected_independent(100, misses) == pytest.approx(
+            direct.expected_independent(100, misses), rel=1e-9
+        )
+
+    @pytest.mark.parametrize("q", [0.0, 0.3, 1.0])
+    def test_case3_equals_direct_mapped(self, q):
+        assoc = AssociativeStateModel(256, 1)
+        direct = SharedStateModel(256)
+        assert assoc.expected_dependent(50, q, 80) == pytest.approx(
+            direct.expected_dependent(50, q, 80), rel=1e-9
+        )
+
+
+class TestSurvival:
+    def test_survival_at_zero_misses_is_one(self):
+        model = AssociativeStateModel(256, 4)
+        assert model.survival(0) == pytest.approx(1.0)
+
+    def test_survival_decreases_with_misses(self):
+        model = AssociativeStateModel(256, 4)
+        values = [model.survival(n) for n in (0, 100, 500, 2000)]
+        assert all(b < a for a, b in zip(values, values[1:]))
+
+    def test_more_ways_survive_longer_at_moderate_pressure(self):
+        """LRU protection: while per-set miss pressure stays below the
+        W-1 tolerance, survival grows with associativity."""
+        n = 100
+        values = [
+            AssociativeStateModel(256, w).survival(n) for w in (1, 2, 4)
+        ]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_ordering_inverts_under_heavy_pressure(self):
+        """With few sets, heavy traffic concentrates: very high
+        associativity eventually survives *worse* -- the trade-off the
+        closed form captures."""
+        n = 2000
+        assert (
+            AssociativeStateModel(256, 16).survival(n)
+            < AssociativeStateModel(256, 2).survival(n)
+        )
+
+    def test_survival_vectorised(self):
+        model = AssociativeStateModel(256, 2)
+        out = model.survival(np.asarray([0, 10, 100]))
+        assert out.shape == (3,)
+        assert out[0] == pytest.approx(1.0)
+
+    def test_negative_misses_rejected(self):
+        with pytest.raises(ValueError):
+            AssociativeStateModel(256, 2).survival(-1)
+
+
+class TestValidation:
+    def test_ways_must_divide_lines(self):
+        with pytest.raises(ValueError):
+            AssociativeStateModel(256, 3)
+
+    def test_footprint_range_checked(self):
+        model = AssociativeStateModel(256, 2)
+        with pytest.raises(ValueError):
+            model.expected_independent(300, 10)
+        with pytest.raises(ValueError):
+            model.expected_dependent(10, 1.5, 10)
+
+    def test_num_sets(self):
+        assert AssociativeStateModel(256, 4).num_sets == 64
+
+
+class TestAgainstSimulation:
+    def test_beats_direct_mapped_model_on_assoc_cache(self):
+        """The extension's reason to exist: on a 4-way cache its decay
+        prediction is closer to simulated truth than the paper's k**n."""
+        n_lines, ways = 256, 4
+        num_sets = n_lines // ways
+        rng = np.random.default_rng(1)
+        # one sleeper line per set: the clean regime of the derivation
+        sleeper = np.arange(10_000, 10_000 + num_sets)
+        survived = []
+        misses = 150
+        for _ in range(30):
+            cache = SetAssociativeCache(n_lines * 64, 64, ways=ways)
+            cache.access(sleeper)
+            walk = rng.integers(20_000, 500_000, size=misses).astype(np.int64)
+            cache.access(walk)
+            resident = set(cache.resident_lines().tolist())
+            survived.append(len(resident & set(sleeper.tolist())))
+        truth = float(np.mean(survived))
+        assoc = AssociativeStateModel(n_lines, ways).expected_independent(
+            num_sets, misses
+        )
+        direct = SharedStateModel(n_lines).expected_independent(
+            num_sets, misses
+        )
+        assert abs(assoc - truth) < abs(direct - truth)
+
+    def test_half_life_longer_with_ways(self):
+        h1 = AssociativeStateModel(256, 1).half_life()
+        h4 = AssociativeStateModel(256, 4).half_life()
+        assert h4 > h1
+
+
+class TestAssocTables:
+    def test_lookup_matches_model(self):
+        tables = AssocTables(256, 4, max_misses=500)
+        model = AssociativeStateModel(256, 4)
+        for n in (0, 50, 499):
+            assert tables.survival(n) == pytest.approx(model.survival(n))
+
+    def test_beyond_horizon_is_zero(self):
+        tables = AssocTables(256, 4, max_misses=100)
+        assert tables.survival(101) == 0.0
+
+    def test_negative_rejected(self):
+        tables = AssocTables(256, 2, max_misses=10)
+        with pytest.raises(ValueError):
+            tables.survival(-1)
+
+    def test_table_overhead_reported(self):
+        tables = AssocTables(256, 4, max_misses=1000)
+        assert tables.table_bytes == 1001 * 8

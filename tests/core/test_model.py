@@ -1,0 +1,153 @@
+"""Tests for the closed-form shared-state cache model (paper section 2.4)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.model import SharedStateModel
+
+
+@pytest.fixture
+def m():
+    return SharedStateModel(256)
+
+
+class TestBasics:
+    def test_k_definition(self, m):
+        assert m.k == 255 / 256
+
+    def test_decay_matches_power(self, m):
+        assert m.decay(10) == pytest.approx(m.k**10)
+
+    def test_decay_vectorised(self, m):
+        out = m.decay(np.asarray([0, 1, 2]))
+        assert out[0] == pytest.approx(1.0)
+        assert out[2] == pytest.approx(m.k**2)
+
+    def test_decay_huge_n_underflows_to_zero(self, m):
+        assert m.decay(10**7) == pytest.approx(0.0)
+
+    def test_negative_misses_rejected(self, m):
+        with pytest.raises(ValueError):
+            m.decay(-1)
+
+    def test_tiny_cache_rejected(self):
+        with pytest.raises(ValueError):
+            SharedStateModel(1)
+
+
+class TestCase1Running:
+    def test_formula(self, m):
+        n_cache = 256
+        expected = n_cache - (n_cache - 50) * m.k**10
+        assert m.expected_running(50, 10) == pytest.approx(expected)
+
+    def test_zero_misses_keeps_footprint(self, m):
+        assert m.expected_running(100, 0) == pytest.approx(100)
+
+    def test_growth_is_monotone_in_misses(self, m):
+        values = [m.expected_running(0, n) for n in range(0, 500, 50)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_asymptote_is_full_cache(self, m):
+        assert m.expected_running(0, 10**6) == pytest.approx(256)
+
+    def test_footprint_validation(self, m):
+        with pytest.raises(ValueError):
+            m.expected_running(300, 1)
+        with pytest.raises(ValueError):
+            m.expected_running(-1, 1)
+
+
+class TestCase2Independent:
+    def test_formula(self, m):
+        assert m.expected_independent(100, 10) == pytest.approx(100 * m.k**10)
+
+    def test_decay_is_monotone(self, m):
+        values = [m.expected_independent(200, n) for n in range(0, 500, 50)]
+        assert all(b < a for a, b in zip(values, values[1:]))
+
+    def test_decays_to_zero(self, m):
+        assert m.expected_independent(200, 10**6) == pytest.approx(0.0)
+
+    def test_zero_footprint_stays_zero(self, m):
+        assert m.expected_independent(0, 100) == 0.0
+
+
+class TestCase3Dependent:
+    def test_reduces_to_case1_at_q1(self, m):
+        assert m.expected_dependent(50, 1.0, 30) == pytest.approx(
+            m.expected_running(50, 30)
+        )
+
+    def test_reduces_to_case2_at_q0(self, m):
+        assert m.expected_dependent(50, 0.0, 30) == pytest.approx(
+            m.expected_independent(50, 30)
+        )
+
+    def test_converges_to_q_times_n(self, m):
+        assert m.expected_dependent(10, 0.4, 10**6) == pytest.approx(0.4 * 256)
+
+    def test_grows_when_below_asymptote(self, m):
+        assert m.expected_dependent(10, 0.5, 100) > 10
+
+    def test_decays_when_above_asymptote(self, m):
+        assert m.expected_dependent(200, 0.5, 100) < 200
+
+    def test_fixed_point_at_asymptote(self, m):
+        qn = 0.5 * 256
+        assert m.expected_dependent(qn, 0.5, 1000) == pytest.approx(qn)
+
+    def test_invalid_q_rejected(self, m):
+        with pytest.raises(ValueError):
+            m.expected_dependent(10, 1.5, 1)
+        with pytest.raises(ValueError):
+            m.expected_dependent(10, -0.1, 1)
+
+
+class TestDerived:
+    def test_asymptote(self, m):
+        assert m.asymptote(0.25) == 64.0
+        with pytest.raises(ValueError):
+            m.asymptote(2.0)
+
+    def test_misses_to_decay_half_life(self, m):
+        n_half = m.misses_to_decay(0.5)
+        assert m.expected_independent(100, n_half) == pytest.approx(50, rel=1e-6)
+
+    def test_misses_to_decay_validation(self, m):
+        with pytest.raises(ValueError):
+            m.misses_to_decay(0.0)
+
+    def test_reload_transient_plus_remaining_is_initial(self, m):
+        transient = m.reload_transient(100, 50)
+        remaining = m.expected_independent(100, 50)
+        assert transient + remaining == pytest.approx(100)
+
+    def test_cache_reload_ratio_bounds(self, m):
+        assert m.cache_reload_ratio(100, 100) == pytest.approx(0.0)
+        assert m.cache_reload_ratio(100, 0) == pytest.approx(1.0)
+        assert m.cache_reload_ratio(0, 0) == 0.0  # convention
+
+    def test_cache_reload_ratio_vectorised(self, m):
+        out = m.cache_reload_ratio(np.asarray([100.0, 50.0]), np.asarray([50.0, 50.0]))
+        assert out[0] == pytest.approx(0.5)
+        assert out[1] == pytest.approx(0.0)
+
+
+class TestMissesToReach:
+    def test_inverts_the_closed_form(self, m):
+        n = m.misses_to_reach(target=100, initial=20, q=0.8)
+        assert m.expected_dependent(20, 0.8, n) == pytest.approx(100, rel=1e-9)
+
+    def test_decay_direction(self, m):
+        """Also works for footprints shrinking toward the asymptote."""
+        n = m.misses_to_reach(target=150, initial=250, q=0.5)
+        assert m.expected_dependent(250, 0.5, n) == pytest.approx(150, rel=1e-9)
+
+    def test_unreachable_target_rejected(self, m):
+        with pytest.raises(ValueError):
+            m.misses_to_reach(target=200, initial=20, q=0.5)  # above qN=128
+        with pytest.raises(ValueError):
+            m.misses_to_reach(target=20, initial=20, q=0.5)  # not strict

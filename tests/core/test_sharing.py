@@ -1,0 +1,96 @@
+"""Tests for the at_share dependency graph."""
+
+import pytest
+
+from repro.core.sharing import SharingGraph
+
+
+class TestShare:
+    def test_edge_recorded(self, graph):
+        graph.share(1, 2, 0.5)
+        assert graph.coefficient(1, 2) == 0.5
+
+    def test_edges_are_directed(self, graph):
+        graph.share(1, 2, 0.5)
+        assert graph.coefficient(2, 1) == 0.0
+
+    def test_unannotated_pairs_are_zero(self, graph):
+        assert graph.coefficient(7, 8) == 0.0
+
+    def test_reannotation_changes_weight(self, graph):
+        graph.share(1, 2, 0.5)
+        graph.share(1, 2, 0.9)
+        assert graph.coefficient(1, 2) == 0.9
+        assert graph.num_edges() == 1
+
+    def test_zero_weight_removes_edge(self, graph):
+        graph.share(1, 2, 0.5)
+        graph.share(1, 2, 0.0)
+        assert (1, 2) not in graph
+        assert graph.num_edges() == 0
+
+    def test_self_edge_rejected(self, graph):
+        with pytest.raises(ValueError):
+            graph.share(1, 1, 0.5)
+
+    def test_out_of_range_weight_rejected(self, graph):
+        with pytest.raises(ValueError):
+            graph.share(1, 2, 1.5)
+        with pytest.raises(ValueError):
+            graph.share(1, 2, -0.1)
+
+
+class TestQueries:
+    def test_dependents_are_edge_destinations(self, graph):
+        graph.share(1, 2, 0.5)
+        graph.share(1, 3, 0.25)
+        assert dict(graph.dependents(1)) == {2: 0.5, 3: 0.25}
+        assert graph.dependents(2) == []
+
+    def test_dependencies_are_edge_sources(self, graph):
+        graph.share(1, 3, 0.5)
+        graph.share(2, 3, 0.25)
+        assert dict(graph.dependencies(3)) == {1: 0.5, 2: 0.25}
+
+    def test_out_degree(self, graph):
+        graph.share(1, 2, 0.5)
+        graph.share(1, 3, 0.5)
+        assert graph.out_degree(1) == 2
+        assert graph.out_degree(9) == 0
+
+    def test_edges_iteration(self, graph):
+        graph.share(1, 2, 0.5)
+        graph.share(3, 4, 0.1)
+        assert sorted(graph.edges()) == [(1, 2, 0.5), (3, 4, 0.1)]
+
+    def test_contains(self, graph):
+        graph.share(1, 2, 0.5)
+        assert (1, 2) in graph
+        assert (2, 1) not in graph
+
+
+class TestRemoveThread:
+    def test_removes_all_incident_edges(self, graph):
+        graph.share(1, 2, 0.5)
+        graph.share(3, 1, 0.4)
+        graph.share(3, 4, 0.2)
+        graph.remove_thread(1)
+        assert graph.num_edges() == 1
+        assert (3, 4) in graph
+        assert graph.dependents(1) == []
+        assert graph.dependencies(1) == []
+
+    def test_removing_unknown_thread_is_noop(self, graph):
+        graph.share(1, 2, 0.5)
+        graph.remove_thread(99)
+        assert graph.num_edges() == 1
+
+    def test_mergesort_annotation_pattern(self, graph):
+        """The paper's example: children fully shared with the parent."""
+        parent, left, right = 1, 2, 3
+        graph.share(left, parent, 1.0)
+        graph.share(right, parent, 1.0)
+        # when a child runs, the parent is its (only) dependent
+        assert graph.dependents(left) == [(parent, 1.0)]
+        # the parent's activity affects no one (no prefetch for children)
+        assert graph.dependents(parent) == []

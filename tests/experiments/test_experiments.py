@@ -1,0 +1,72 @@
+"""Smoke tests for the experiment modules (full runs live in benchmarks/)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig4 import run_fig4a, run_fig4b, run_fig4c, run_fig4d
+from repro.experiments.fig7 import adaptive_prediction
+from repro.experiments.table3 import format_table3, run_table3
+from repro.experiments.table5 import PAPER_TABLE5
+from repro.sim.metrics import MonitoredResult
+
+
+class TestFig4:
+    def test_executing_thread_accuracy(self):
+        curves = run_fig4a(initial_footprints=(0,), touches=6_000)
+        assert curves[0].mean_relative_error < 0.05
+
+    def test_independent_decay_accuracy(self):
+        curves = run_fig4b(initial_footprints=(4000,), touches=6_000)
+        assert curves[0].mean_relative_error < 0.05
+        # it actually decays
+        assert curves[0].observed[-1] < curves[0].observed[0]
+
+    def test_dependent_half_shared(self):
+        curves = run_fig4c(initial_footprints=(1000,), touches=8_000)
+        assert curves[0].mean_relative_error < 0.08
+
+    def test_dependent_converges_toward_qn(self):
+        curves = run_fig4d(coefficients=(0.5,), touches=30_000)
+        curve = curves[0]
+        asymptote = 0.5 * 8192
+        # the tail should be near the asymptote
+        assert abs(curve.observed[-1] - asymptote) < 0.25 * asymptote
+
+
+class TestTable3:
+    def test_independent_cost_is_zero(self):
+        results = run_table3(num_lines=512, threads=16, rounds=10)
+        for policy in ("lff", "crt"):
+            assert results[policy]["independent"] == 0.0
+            assert 0 < results[policy]["blocking"] < 12
+            assert 0 < results[policy]["dependent"] < 12
+
+    def test_formatting(self):
+        text = format_table3(run_table3(num_lines=512, threads=8, rounds=5))
+        assert "Table 3" in text
+        assert "lff" in text and "crt" in text
+
+
+class TestFig7Adaptive:
+    def test_adaptive_prediction_freezes_after_burst(self):
+        # synthetic trace: high MPI for 100 samples, then near-zero
+        misses = np.concatenate(
+            [np.arange(100) * 50, 5000 + np.arange(200)]
+        )
+        instructions = np.arange(300) * 1000
+        result = MonitoredResult(
+            app="synthetic",
+            language="c",
+            cache_lines=8192,
+            misses=misses,
+            observed=np.zeros(300, dtype=np.int64),
+            predicted=np.zeros(300),
+            instructions=instructions,
+        )
+        adaptive = adaptive_prediction(result, mpi_threshold=25.0, window=20)
+        # once frozen, the prediction stops growing
+        assert adaptive[-1] == pytest.approx(adaptive[-50])
+
+    def test_paper_reference_numbers_present(self):
+        assert PAPER_TABLE5["tasks"]["perf_1cpu"] == 2.38
+        assert PAPER_TABLE5["photo"]["elim_1cpu"] == -1.0

@@ -1,0 +1,112 @@
+"""Tests for the extension experiments (fairness, inference) and the
+wait-time accounting they rely on."""
+
+import pytest
+
+from repro.experiments.fairness import format_fairness_sweep, run_fairness_sweep
+from repro.experiments.inference_exp import (
+    build_producer_consumer,
+    format_inference_comparison,
+    run_inference_comparison,
+)
+from repro.machine.configs import SMALL
+from repro.machine.smp import Machine
+from repro.sched.fcfs import FCFSScheduler
+from repro.threads.events import Compute, Sleep
+from repro.threads.runtime import Runtime
+from repro.workloads import TasksParams
+
+
+class TestWaitAccounting:
+    def test_queued_thread_accumulates_wait(self, machine):
+        rt = Runtime(machine, FCFSScheduler(model_scheduler_memory=False))
+
+        def long_runner():
+            yield Compute(50_000)
+
+        def latecomer():
+            yield Compute(10)
+
+        rt.at_create(long_runner)
+        tid = rt.at_create(latecomer)
+        rt.run()
+        stats = rt.thread(tid).stats
+        assert stats.wait_cycles >= 50_000
+        assert stats.max_wait_cycles >= 50_000
+
+    def test_sleeping_does_not_count_as_waiting(self, machine):
+        rt = Runtime(machine, FCFSScheduler(model_scheduler_memory=False))
+
+        def sleeper():
+            yield Sleep(100_000)
+            yield Compute(10)
+
+        tid = rt.at_create(sleeper)
+        rt.run()
+        # woke on an idle machine: dispatched nearly immediately
+        assert rt.thread(tid).stats.max_wait_cycles < 10_000
+
+    def test_wait_resets_between_episodes(self, machine):
+        rt = Runtime(machine, FCFSScheduler(model_scheduler_memory=False))
+
+        def periodic():
+            for _ in range(3):
+                yield Compute(100)
+                yield Sleep(1000)
+
+        tid = rt.at_create(periodic)
+        rt.run()
+        stats = rt.thread(tid).stats
+        assert stats.max_wait_cycles <= stats.wait_cycles
+
+
+class TestFairnessSweep:
+    def test_sweep_structure(self):
+        results = run_fairness_sweep(
+            boosts=(0, 4),
+            config=SMALL,
+            params=TasksParams(num_tasks=12, footprint_lines=40, periods=5),
+        )
+        assert set(results) == {"fcfs", "lff", "lff boost=4"}
+        for stats in results.values():
+            assert stats["misses"] > 0
+            assert stats["max_wait"] >= 0
+
+    def test_lff_starves_more_than_fcfs(self):
+        results = run_fairness_sweep(
+            boosts=(0,),
+            config=SMALL,
+            params=TasksParams(num_tasks=16, footprint_lines=40, periods=6),
+        )
+        assert results["lff"]["max_wait"] > results["fcfs"]["max_wait"]
+
+    def test_formatting(self):
+        results = run_fairness_sweep(
+            boosts=(0,),
+            config=SMALL,
+            params=TasksParams(num_tasks=8, footprint_lines=30, periods=3),
+        )
+        text = format_fairness_sweep(results)
+        assert "max wait" in text
+
+
+class TestInferenceExperiment:
+    def test_producer_consumer_builds_and_runs(self, machine):
+        rt = Runtime(machine, FCFSScheduler(model_scheduler_memory=False))
+        build_producer_consumer(rt, pairs=2, buffer_lines=40, rounds=3)
+        rt.run()
+        assert all(not t.alive for t in rt.threads.values())
+
+    def test_annotations_create_edges(self, machine):
+        rt = Runtime(machine, FCFSScheduler(model_scheduler_memory=False))
+        build_producer_consumer(
+            rt, pairs=2, buffer_lines=40, rounds=3, annotate=True
+        )
+        assert rt.graph.num_edges() == 4  # two per pair
+
+    def test_comparison_smoke(self, smp_config):
+        results = run_inference_comparison(config=smp_config)
+        assert set(results) == {"fcfs", "lff", "lff+annotations",
+                                "lff+inference"}
+        text = format_inference_comparison(results)
+        assert "inferred edges" in text

@@ -1,0 +1,134 @@
+"""Tests for regions and the shared address space."""
+
+import numpy as np
+import pytest
+
+from repro.machine.address import AddressSpace, AllocationError, Region
+
+
+class TestRegion:
+    def test_end_is_base_plus_size(self):
+        region = Region("r", base=128, size=256)
+        assert region.end == 384
+
+    def test_line_range_covers_partial_lines(self):
+        # base 100 .. 163 straddles lines 1 and 2 (64-byte lines)
+        region = Region("r", base=100, size=64)
+        assert region.first_line == 1
+        assert region.last_line == 2
+        assert region.num_lines == 2
+
+    def test_lines_are_contiguous(self):
+        region = Region("r", base=0, size=64 * 10)
+        lines = region.lines()
+        assert lines.tolist() == list(range(10))
+
+    def test_line_slice_clamps_to_region(self):
+        region = Region("r", base=0, size=64 * 10)
+        assert region.line_slice(8, 100).tolist() == [8, 9]
+
+    def test_line_slice_negative_start_clamps(self):
+        region = Region("r", base=0, size=64 * 4)
+        assert region.line_slice(-5, 2).tolist() == [0, 1]
+
+    def test_slice_produces_subregion(self):
+        region = Region("r", base=0, size=1024)
+        sub = region.slice(128, 256)
+        assert sub.base == 128
+        assert sub.size == 256
+
+    def test_slice_outside_region_rejected(self):
+        region = Region("r", base=0, size=1024)
+        with pytest.raises(ValueError):
+            region.slice(900, 256)
+
+    def test_slice_zero_size_rejected(self):
+        region = Region("r", base=0, size=1024)
+        with pytest.raises(ValueError):
+            region.slice(0, 0)
+
+    def test_contains(self):
+        region = Region("r", base=100, size=50)
+        assert region.contains(100)
+        assert region.contains(149)
+        assert not region.contains(150)
+        assert not region.contains(99)
+
+    def test_len_is_size(self):
+        assert len(Region("r", base=0, size=77)) == 77
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Region("r", base=0, size=0)
+
+    def test_negative_base_rejected(self):
+        with pytest.raises(ValueError):
+            Region("r", base=-1, size=10)
+
+
+class TestAddressSpace:
+    def test_allocations_are_page_aligned(self):
+        space = AddressSpace()
+        a = space.allocate("a", 100)
+        b = space.allocate("b", 100)
+        assert a.base % space.page_bytes == 0
+        assert b.base % space.page_bytes == 0
+
+    def test_allocations_do_not_overlap(self):
+        space = AddressSpace()
+        a = space.allocate("a", 10_000)
+        b = space.allocate("b", 10_000)
+        assert b.base >= a.end
+
+    def test_allocate_lines_spans_exact_lines(self):
+        space = AddressSpace()
+        region = space.allocate_lines("r", 7)
+        assert region.num_lines == 7
+
+    def test_duplicate_name_rejected(self):
+        space = AddressSpace()
+        space.allocate("a", 100)
+        with pytest.raises(AllocationError):
+            space.allocate("a", 100)
+
+    def test_zero_size_rejected(self):
+        space = AddressSpace()
+        with pytest.raises(AllocationError):
+            space.allocate("a", 0)
+
+    def test_region_lookup(self):
+        space = AddressSpace()
+        a = space.allocate("a", 100)
+        assert space.region("a") is a
+        assert "a" in space
+        assert "b" not in space
+
+    def test_regions_in_allocation_order(self):
+        space = AddressSpace()
+        names = ["x", "y", "z"]
+        for name in names:
+            space.allocate(name, 10)
+        assert [r.name for r in space.regions()] == names
+
+    def test_bytes_allocated_counts_padding(self):
+        space = AddressSpace()
+        space.allocate("a", 1)  # rounds up to one page
+        assert space.bytes_allocated == space.page_bytes
+
+    def test_page_zero_unmapped(self):
+        space = AddressSpace()
+        region = space.allocate("a", 10)
+        assert region.base >= space.page_bytes
+
+    def test_page_and_line_of(self):
+        space = AddressSpace()
+        assert space.page_of(space.page_bytes + 1) == 1
+        assert space.line_of(space.line_bytes * 3) == 3
+
+    def test_page_must_be_line_multiple(self):
+        with pytest.raises(ValueError):
+            AddressSpace(line_bytes=64, page_bytes=100)
+
+    def test_lines_per_page(self):
+        space = AddressSpace(line_bytes=64, page_bytes=8192)
+        assert space.lines_per_page == 128

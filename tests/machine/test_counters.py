@@ -1,0 +1,102 @@
+"""Tests for the performance-counter emulation."""
+
+import pytest
+
+from repro.machine.counters import (
+    CounterAccessError,
+    CounterEvent,
+    MissCounterView,
+    PerformanceCounters,
+)
+
+
+class TestPerformanceCounters:
+    def test_default_events_are_refs_and_hits(self):
+        pics = PerformanceCounters()
+        assert pics.events == (
+            CounterEvent.ECACHE_REFS,
+            CounterEvent.ECACHE_HITS,
+        )
+
+    def test_records_selected_events_only(self):
+        pics = PerformanceCounters()
+        pics.record(CounterEvent.ECACHE_REFS, 10)
+        pics.record(CounterEvent.ECACHE_HITS, 7)
+        pics.record(CounterEvent.CYCLES, 99)  # not selected
+        assert pics.read() == (10, 7)
+
+    def test_configure_clears_and_switches(self):
+        pics = PerformanceCounters()
+        pics.record(CounterEvent.ECACHE_REFS, 5)
+        pics.configure(CounterEvent.CYCLES, CounterEvent.INSTRUCTIONS)
+        assert pics.read() == (0, 0)
+        pics.record(CounterEvent.CYCLES, 3)
+        assert pics.read() == (3, 0)
+
+    def test_32_bit_wraparound(self):
+        pics = PerformanceCounters()
+        pics.record(CounterEvent.ECACHE_REFS, (1 << 32) - 1)
+        pics.record(CounterEvent.ECACHE_REFS, 2)
+        assert pics.read()[0] == 1
+
+    def test_user_read_traps_without_pcr_bit(self):
+        pics = PerformanceCounters(user_access=False)
+        with pytest.raises(CounterAccessError):
+            pics.read()
+        assert pics.read(privileged=True) == (0, 0)
+
+    def test_user_reset_traps_without_pcr_bit(self):
+        pics = PerformanceCounters(user_access=False)
+        with pytest.raises(CounterAccessError):
+            pics.reset()
+        pics.reset(privileged=True)
+
+    def test_reset_clears_both(self):
+        pics = PerformanceCounters()
+        pics.record(CounterEvent.ECACHE_REFS, 5)
+        pics.record(CounterEvent.ECACHE_HITS, 2)
+        pics.reset()
+        assert pics.read() == (0, 0)
+
+    def test_reads_counted(self):
+        pics = PerformanceCounters()
+        pics.read()
+        pics.read()
+        assert pics.reads == 2
+
+
+class TestMissCounterView:
+    def test_interval_misses_is_refs_minus_hits(self):
+        pics = PerformanceCounters()
+        view = MissCounterView(pics)
+        pics.record(CounterEvent.ECACHE_REFS, 100)
+        pics.record(CounterEvent.ECACHE_HITS, 60)
+        assert view.interval_misses() == 40
+
+    def test_intervals_are_disjoint(self):
+        pics = PerformanceCounters()
+        view = MissCounterView(pics)
+        pics.record(CounterEvent.ECACHE_REFS, 10)
+        view.interval_misses()
+        pics.record(CounterEvent.ECACHE_REFS, 5)
+        pics.record(CounterEvent.ECACHE_HITS, 5)
+        assert view.interval_misses() == 0
+
+    def test_handles_counter_wrap(self):
+        pics = PerformanceCounters()
+        pics.record(CounterEvent.ECACHE_REFS, (1 << 32) - 10)
+        pics.record(CounterEvent.ECACHE_HITS, (1 << 32) - 10)
+        view = MissCounterView(pics)
+        pics.record(CounterEvent.ECACHE_REFS, 20)  # wraps
+        pics.record(CounterEvent.ECACHE_HITS, 5)
+        assert view.interval_misses() == 15
+
+    def test_requires_refs_hits_configuration(self):
+        pics = PerformanceCounters()
+        pics.configure(CounterEvent.CYCLES, CounterEvent.ECACHE_HITS)
+        with pytest.raises(ValueError):
+            MissCounterView(pics)
+
+    def test_read_cost_positive(self):
+        view = MissCounterView(PerformanceCounters())
+        assert view.read_cost_instructions > 0

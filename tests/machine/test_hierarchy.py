@@ -1,0 +1,76 @@
+"""Tests for the L1/L2 hierarchy with inclusion."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.machine.configs import SMALL
+from repro.machine.hierarchy import CacheHierarchy
+
+
+def lines(*values):
+    return np.asarray(values, dtype=np.int64)
+
+
+@pytest.fixture
+def l1_config():
+    return replace(SMALL, model_l1=True)
+
+
+class TestL2Only:
+    def test_data_goes_straight_to_l2(self):
+        h = CacheHierarchy(SMALL)
+        result = h.access_data(lines(1, 2, 3))
+        assert result.misses == 3
+        assert h.l2.stats.refs == 3
+
+    def test_no_l1_objects(self):
+        h = CacheHierarchy(SMALL)
+        assert h.l1d is None and h.l1i is None
+
+
+class TestWithL1:
+    def test_l1_filters_l2_references(self, l1_config):
+        h = CacheHierarchy(l1_config)
+        h.access_data(lines(1, 2, 3))
+        h.access_data(lines(1, 2, 3))  # L1 hits: no new L2 refs
+        assert h.l2.stats.refs == 3
+        assert h.l1d.stats.hits == 3
+
+    def test_instruction_path_uses_l1i(self, l1_config):
+        h = CacheHierarchy(l1_config)
+        h.access_instructions(lines(5))
+        assert h.l1i.stats.refs == 1
+        assert h.l1d.stats.refs == 0
+
+    def test_inclusion_on_l2_eviction(self, l1_config):
+        h = CacheHierarchy(l1_config)
+        n = h.l2.num_lines
+        h.access_data(lines(1))
+        assert h.l1d.contains(1)
+        h.access_data(lines(1 + n))  # evicts line 1 from L2
+        assert not h.l1d.contains(1)  # inclusion enforced
+
+    def test_invalidate_hits_all_levels(self, l1_config):
+        h = CacheHierarchy(l1_config)
+        h.access_data(lines(1))
+        h.access_instructions(lines(2))
+        h.invalidate(lines(1, 2))
+        assert not h.l1d.contains(1)
+        assert not h.l1i.contains(2)
+        assert not h.l2.contains(1)
+
+    def test_flush_clears_all_levels(self, l1_config):
+        h = CacheHierarchy(l1_config)
+        h.access_data(lines(1, 2))
+        h.access_instructions(lines(3))
+        h.flush()
+        assert h.l2.resident_lines().size == 0
+        assert h.l1d.resident_lines().size == 0
+        assert h.l1i.resident_lines().size == 0
+
+    def test_l2_misses_unaffected_by_l1_on_cold_access(self, l1_config):
+        h = CacheHierarchy(l1_config)
+        result = h.access_data(lines(1, 2, 3))
+        assert result.misses == 3

@@ -1,0 +1,87 @@
+"""Tests for the TLB model."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.machine.configs import SMALL
+from repro.machine.smp import Machine
+from repro.machine.tlb import TLB
+
+
+class TestTLB:
+    def test_cold_lookups_miss(self):
+        tlb = TLB(entries=4)
+        assert tlb.access([1, 2, 3]) == 3
+
+    def test_resident_lookups_hit(self):
+        tlb = TLB(entries=4)
+        tlb.access([1, 2])
+        assert tlb.access([1, 2]) == 0
+        assert tlb.hits == 2
+
+    def test_lru_eviction(self):
+        tlb = TLB(entries=2)
+        tlb.access([1, 2])
+        tlb.access([1])  # refresh 1
+        tlb.access([3])  # evicts 2
+        assert tlb.contains(1)
+        assert not tlb.contains(2)
+        assert tlb.contains(3)
+
+    def test_occupancy_bounded(self):
+        tlb = TLB(entries=3)
+        tlb.access(range(10))
+        assert tlb.occupancy == 3
+
+    def test_flush(self):
+        tlb = TLB(entries=4)
+        tlb.access([1, 2])
+        assert tlb.flush() == 2
+        assert tlb.occupancy == 0
+        assert tlb.access([1]) == 1  # cold again
+
+    def test_miss_rate(self):
+        tlb = TLB(entries=4)
+        tlb.access([1])
+        tlb.access([1])
+        assert tlb.miss_rate == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TLB(entries=0)
+        with pytest.raises(ValueError):
+            TLB(miss_penalty=0)
+
+
+class TestMachineIntegration:
+    def test_disabled_by_default(self, machine):
+        assert machine.tlbs == [None]
+
+    def test_tlb_misses_cost_cycles(self):
+        config = replace(SMALL, model_tlb=True)
+        with_tlb = Machine(config)
+        without = Machine(SMALL)
+        lines = np.arange(200)
+        with_tlb.touch(0, lines)
+        without.touch(0, lines)
+        assert with_tlb.cycles(0) > without.cycles(0)
+        penalty = with_tlb.tlbs[0].miss_penalty
+        expected_extra = with_tlb.tlbs[0].misses * penalty
+        assert with_tlb.cycles(0) - without.cycles(0) == expected_extra
+
+    def test_page_reuse_hits(self):
+        config = replace(SMALL, model_tlb=True)
+        machine = Machine(config)
+        machine.touch(0, np.arange(50))
+        before = machine.tlbs[0].misses
+        machine.touch(0, np.arange(50))
+        assert machine.tlbs[0].misses == before
+
+    def test_per_cpu_tlbs(self):
+        config = replace(SMALL, name="small2", num_cpus=2, model_tlb=True)
+        machine = Machine(config)
+        machine.touch(0, np.arange(50))
+        assert machine.tlbs[0].misses > 0
+        assert machine.tlbs[1].misses == 0

@@ -1,0 +1,95 @@
+"""Tests for the FCFS baseline scheduler."""
+
+import pytest
+
+from repro.machine.smp import Machine
+from repro.sched.fcfs import FCFSScheduler
+from repro.threads.events import Compute, Sleep
+from repro.threads.runtime import Runtime
+from repro.threads.thread import ThreadState
+
+
+class TestOrdering:
+    def test_dispatch_in_creation_order(self, machine):
+        scheduler = FCFSScheduler(model_scheduler_memory=False)
+        rt = Runtime(machine, scheduler)
+        order = []
+
+        def body(name):
+            def gen():
+                order.append(name)
+                yield Compute(10)
+            return gen
+
+        for name in "abcd":
+            rt.at_create(body(name))
+        rt.run()
+        assert order == list("abcd")
+
+    def test_wakeups_queue_at_tail(self, machine):
+        scheduler = FCFSScheduler(model_scheduler_memory=False)
+        rt = Runtime(machine, scheduler)
+        order = []
+
+        def sleeper():
+            yield Sleep(100)
+            order.append("sleeper")
+
+        def worker(name):
+            def gen():
+                order.append(name)
+                yield Compute(50_000)
+            return gen
+
+        rt.at_create(sleeper)
+        rt.at_create(worker("w1"))
+        rt.at_create(worker("w2"))
+        rt.run()
+        assert order.index("sleeper") > order.index("w1")
+
+    def test_has_runnable_tracks_queue(self, machine):
+        scheduler = FCFSScheduler(model_scheduler_memory=False)
+        rt = Runtime(machine, scheduler)
+        assert not scheduler.has_runnable()
+
+        def body():
+            yield Compute(1)
+
+        rt.at_create(body)
+        assert scheduler.has_runnable()
+        rt.run()
+        assert not scheduler.has_runnable()
+
+    def test_stale_entries_skipped(self, machine):
+        scheduler = FCFSScheduler(model_scheduler_memory=False)
+        rt = Runtime(machine, scheduler)
+
+        def body():
+            yield Compute(1)
+
+        tid = rt.at_create(body)
+        thread = rt.thread(tid)
+        thread.mark_ready()  # invalidates the queued entry
+        scheduler.thread_ready(thread)  # fresh entry
+        picked, _cost = scheduler.pick(0)
+        assert picked is thread
+        # the stale entry must not yield a second dispatch
+        thread.state = ThreadState.RUNNING
+        again, _cost = scheduler.pick(0)
+        assert again is None
+
+    def test_queue_memory_modelled_when_enabled(self, machine):
+        scheduler = FCFSScheduler(model_scheduler_memory=True)
+        rt = Runtime(machine, scheduler)
+        assert "fcfs-queue" in machine.address_space
+
+    def test_pick_cost_positive(self, machine):
+        scheduler = FCFSScheduler(model_scheduler_memory=False)
+        rt = Runtime(machine, scheduler)
+
+        def body():
+            yield Compute(1)
+
+        rt.at_create(body)
+        _t, cost = scheduler.pick(0)
+        assert cost > 0

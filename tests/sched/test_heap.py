@@ -1,0 +1,140 @@
+"""Tests for the lazy-deletion priority heap."""
+
+import pytest
+
+from repro.sched.heap import PriorityHeap
+from repro.threads.thread import ActiveThread, ThreadState
+
+
+def ready_thread(tid):
+    t = ActiveThread(tid, iter(()))
+    t.state = ThreadState.READY
+    return t
+
+
+def version_fn(versions):
+    return lambda thread: versions.get(thread.tid)
+
+
+class TestPushPop:
+    def test_pops_highest_priority(self):
+        heap = PriorityHeap()
+        a, b = ready_thread(1), ready_thread(2)
+        heap.push(a, priority=1.0, version=0)
+        heap.push(b, priority=5.0, version=0)
+        entry, _ = heap.pop_valid(version_fn({1: 0, 2: 0}))
+        assert entry.thread is b
+
+    def test_fifo_tiebreak(self):
+        heap = PriorityHeap()
+        a, b = ready_thread(1), ready_thread(2)
+        heap.push(a, priority=1.0, version=0)
+        heap.push(b, priority=1.0, version=0)
+        entry, _ = heap.pop_valid(version_fn({1: 0, 2: 0}))
+        assert entry.thread is a
+
+    def test_empty_pop(self):
+        heap = PriorityHeap()
+        entry, pops = heap.pop_valid(version_fn({}))
+        assert entry is None
+        assert pops == 0
+
+    def test_push_returns_depth(self):
+        heap = PriorityHeap()
+        depth = heap.push(ready_thread(1), 1.0, 0)
+        assert depth >= 1
+
+
+class TestLazyInvalidation:
+    def test_non_ready_thread_skipped(self):
+        heap = PriorityHeap()
+        t = ready_thread(1)
+        heap.push(t, 1.0, 0)
+        t.state = ThreadState.RUNNING
+        entry, pops = heap.pop_valid(version_fn({1: 0}))
+        assert entry is None
+        assert pops == 1
+
+    def test_stale_seq_skipped(self):
+        heap = PriorityHeap()
+        t = ready_thread(1)
+        heap.push(t, 1.0, 0)
+        t.mark_ready()  # bumps ready_seq, invalidating the entry
+        entry, _ = heap.pop_valid(version_fn({1: 0}))
+        assert entry is None
+
+    def test_stale_version_skipped(self):
+        heap = PriorityHeap()
+        t = ready_thread(1)
+        heap.push(t, 1.0, version=3)
+        entry, _ = heap.pop_valid(version_fn({1: 4}))
+        assert entry is None
+
+    def test_missing_version_skipped(self):
+        heap = PriorityHeap()
+        t = ready_thread(1)
+        heap.push(t, 1.0, version=0)
+        entry, _ = heap.pop_valid(version_fn({}))
+        assert entry is None
+
+    def test_valid_entry_found_beneath_stale_ones(self):
+        heap = PriorityHeap()
+        stale = ready_thread(1)
+        live = ready_thread(2)
+        heap.push(stale, 9.0, version=0)
+        heap.push(live, 1.0, version=0)
+        stale.state = ThreadState.BLOCKED
+        entry, pops = heap.pop_valid(version_fn({1: 0, 2: 0}))
+        assert entry.thread is live
+        assert pops == 2
+
+
+class TestMinValid:
+    def test_returns_lowest_priority(self):
+        heap = PriorityHeap()
+        a, b, c = (ready_thread(i) for i in (1, 2, 3))
+        heap.push(a, 5.0, 0)
+        heap.push(b, 1.0, 0)
+        heap.push(c, 3.0, 0)
+        entry = heap.min_valid(version_fn({1: 0, 2: 0, 3: 0}))
+        assert entry.thread is b
+
+    def test_skips_invalid(self):
+        heap = PriorityHeap()
+        a, b = ready_thread(1), ready_thread(2)
+        heap.push(a, 1.0, 0)
+        heap.push(b, 5.0, 0)
+        a.state = ThreadState.RUNNING
+        entry = heap.min_valid(version_fn({1: 0, 2: 0}))
+        assert entry.thread is b
+
+    def test_empty(self):
+        assert PriorityHeap().min_valid(version_fn({})) is None
+
+
+class TestCompact:
+    def test_drops_dead_entries(self):
+        heap = PriorityHeap()
+        threads = [ready_thread(i) for i in range(6)]
+        for t in threads:
+            heap.push(t, float(t.tid), 0)
+        for t in threads[:4]:
+            t.state = ThreadState.DONE
+        survivors = heap.compact(version_fn({t.tid: 0 for t in threads}))
+        assert survivors == 2
+        assert len(heap) == 2
+
+    def test_heap_property_preserved(self):
+        heap = PriorityHeap()
+        threads = [ready_thread(i) for i in range(10)]
+        for t in threads:
+            heap.push(t, float(t.tid % 5), 0)
+        heap.compact(version_fn({t.tid: 0 for t in threads}))
+        versions = version_fn({t.tid: 0 for t in threads})
+        last = float("inf")
+        while True:
+            entry, _ = heap.pop_valid(versions)
+            if entry is None:
+                break
+            assert entry.priority <= last
+            last = entry.priority

@@ -1,0 +1,247 @@
+"""Tests for the locality scheduler (heaps, threshold, stealing, repush)."""
+
+import numpy as np
+import pytest
+
+from repro.machine.smp import Machine
+from repro.sched.locality import LocalityScheduler, make_crt, make_lff
+from repro.threads.events import Compute, Sleep, Touch
+from repro.threads.runtime import Runtime
+from repro.threads.thread import ThreadState
+
+
+def build(machine, **kwargs):
+    kwargs.setdefault("model_scheduler_memory", False)
+    scheduler = make_lff(**kwargs)
+    return Runtime(machine, scheduler), scheduler
+
+
+class TestAffinity:
+    def test_rewoken_thread_prefers_its_cpu(self, smp):
+        """A thread with cached state must resume where the state is."""
+        rt, scheduler = build(smp, threshold_lines=8)
+        regions = [rt.alloc_lines(f"r{i}", 60) for i in range(8)]
+
+        def body(region):
+            def gen():
+                for _ in range(6):
+                    yield Touch(region.lines())
+                    yield Compute(100)
+                    yield Sleep(4000)
+            return gen
+
+        tids = [rt.at_create(body(r), name=f"t{i}") for i, r in enumerate(regions)]
+        rt.run()
+        migrations = sum(rt.thread(t).stats.migrations for t in tids)
+        intervals = sum(rt.thread(t).stats.intervals for t in tids)
+        # affinity: far fewer migrations than intervals
+        assert migrations < intervals / 4
+
+    def test_beats_fcfs_on_disjoint_tasks(self, machine, small_config):
+        """The headline effect: fewer misses than FCFS when footprints
+        outnumber the cache."""
+        from repro.sched.fcfs import FCFSScheduler
+
+        def run(mach, scheduler):
+            rt = Runtime(mach, scheduler)
+            regions = [rt.alloc_lines(f"r{i}", 40) for i in range(12)]
+
+            def body(region):
+                def gen():
+                    for _ in range(8):
+                        yield Touch(region.lines())
+                        yield Sleep(3000)
+                return gen
+
+            for i, r in enumerate(regions):
+                rt.at_create(body(r))
+            rt.run()
+            return mach.total_l2_misses()
+
+        fcfs = run(Machine(small_config, seed=1),
+                   FCFSScheduler(model_scheduler_memory=False))
+        lff = run(Machine(small_config, seed=1),
+                  make_lff(model_scheduler_memory=False, threshold_lines=8))
+        assert lff < fcfs * 0.6
+
+
+class TestThreshold:
+    def test_small_footprints_go_to_global_queue(self, machine):
+        rt, scheduler = build(machine, threshold_lines=1000.0)  # nothing qualifies
+        region = rt.alloc_lines("r", 20)
+
+        def body():
+            for _ in range(3):
+                yield Touch(region.lines())
+                yield Sleep(1000)
+
+        rt.at_create(body)
+        rt.run()
+        assert all(len(h) == 0 for h in scheduler.heaps)
+
+    def test_demotion_counts(self, machine):
+        rt, scheduler = build(machine, threshold_lines=8)
+        assert scheduler.demotions >= 0  # attribute exists and starts sane
+
+
+class TestStealing:
+    def test_idle_cpu_steals_cold_thread(self, smp):
+        rt, scheduler = build(smp, threshold_lines=4, steal_max_footprint=1e9)
+        region_a = rt.alloc_lines("a", 30)
+
+        def hog():
+            # long-running: keeps its cpu busy
+            for _ in range(4):
+                yield Touch(region_a.lines())
+                yield Compute(200_000)
+
+        def small(i):
+            region = rt.alloc_lines(f"s{i}", 8)
+
+            def gen():
+                for _ in range(3):
+                    yield Touch(region.lines())
+                    yield Sleep(500)
+            return gen
+
+        rt.at_create(hog)
+        for i in range(6):
+            rt.at_create(small(i))
+        rt.run()
+        # work got distributed: more than one cpu executed instructions
+        busy = [c for c in smp.cpus if c.instructions > 0]
+        assert len(busy) > 1
+
+    def test_steal_respects_footprint_cap(self, smp):
+        scheduler = make_lff(
+            model_scheduler_memory=False,
+            threshold_lines=4,
+            steal_max_footprint=0.0,  # never steal
+        )
+        rt = Runtime(smp, scheduler)
+        region = rt.alloc_lines("r", 30)
+
+        def body():
+            for _ in range(3):
+                yield Touch(region.lines())
+                yield Sleep(1000)
+
+        rt.at_create(body)
+        rt.run()
+        assert scheduler.steals == 0
+
+    def test_steal_disabled(self, smp):
+        scheduler = make_lff(model_scheduler_memory=False, steal=False)
+        rt = Runtime(smp, scheduler)
+
+        def body():
+            yield Compute(10)
+
+        rt.at_create(body)
+        rt.run()
+        assert scheduler.steals == 0
+
+
+class TestDependentRepush:
+    def test_ready_dependent_enters_blockers_heap(self, machine):
+        rt, scheduler = build(machine, threshold_lines=4)
+        region = rt.alloc_lines("r", 50)
+
+        def active():
+            yield Touch(region.lines())
+            yield Compute(10)
+
+        def passive():
+            yield Sleep(1)  # immediately sleeps, then becomes ready
+            yield Compute(100_000)
+
+        passive_tid = rt.at_create(passive)
+        active_tid = rt.at_create(active)
+        rt.at_share(active_tid, passive_tid, 0.8)
+        rt.run()
+        # the dependent got a footprint entry on cpu 0 from active's block
+        assert scheduler.scheme.cumulative_misses(0) > 0
+
+    def test_no_thread_lost_when_dependent_below_threshold(self, machine):
+        """Regression: a dependent whose priority update bumps its version
+        while its footprint is below threshold must stay findable."""
+        rt, scheduler = build(machine, threshold_lines=10_000.0)
+        region = rt.alloc_lines("r", 30)
+
+        def active():
+            for _ in range(3):
+                yield Touch(region.lines())
+                yield Sleep(500)
+
+        def passive():
+            yield Sleep(1)
+            yield Compute(10)
+
+        passive_tid = rt.at_create(passive)
+        active_tid = rt.at_create(active)
+        rt.at_share(active_tid, passive_tid, 0.9)
+        rt.run()  # must terminate: nobody may be lost
+        assert rt.thread(passive_tid).state is ThreadState.DONE
+
+
+class TestFairnessEscape:
+    def test_fairness_boost_dispatches_from_fifo(self, machine):
+        scheduler = make_lff(
+            model_scheduler_memory=False, threshold_lines=4, fairness_boost=2
+        )
+        rt = Runtime(machine, scheduler)
+        region = rt.alloc_lines("r", 40)
+
+        def hot():
+            for _ in range(5):
+                yield Touch(region.lines())
+                yield Sleep(500)
+
+        def cold(i):
+            def gen():
+                yield Compute(10)
+            return gen
+
+        rt.at_create(hot)
+        for i in range(5):
+            rt.at_create(cold(i))
+        rt.run()  # all complete; boost path exercised
+        assert all(not t.alive for t in rt.threads.values())
+
+
+class TestSchedulerMemory:
+    def test_regions_allocated_when_modelled(self, smp):
+        scheduler = make_lff(model_scheduler_memory=True)
+        rt = Runtime(smp, scheduler)
+        space = smp.address_space
+        assert "sched-heap-cpu0" in space
+        assert "sched-global-queue" in space
+        assert "sched-entries-cpu0" in space
+
+    def test_no_regions_without_model(self, smp):
+        scheduler = make_lff(model_scheduler_memory=False)
+        rt = Runtime(smp, scheduler)
+        assert "sched-heap-cpu0" not in smp.address_space
+
+
+class TestCRTVariant:
+    def test_crt_scheduler_runs(self, machine):
+        scheduler = make_crt(model_scheduler_memory=False, threshold_lines=8)
+        rt = Runtime(machine, scheduler)
+        region = rt.alloc_lines("r", 30)
+
+        def body():
+            for _ in range(4):
+                yield Touch(region.lines())
+                yield Sleep(1000)
+
+        rt.at_create(body)
+        rt.run()
+        assert scheduler.name == "crt"
+        assert all(not t.alive for t in rt.threads.values())
+
+    def test_invalid_creation_order_param(self):
+        with pytest.raises(ValueError):
+            from repro.workloads.photo import PhotoWorkload
+
+            PhotoWorkload(creation_order="zigzag")

@@ -1,0 +1,114 @@
+"""Tests for post-run analysis."""
+
+import numpy as np
+import pytest
+
+from repro.machine.smp import Machine
+from repro.sched.fcfs import FCFSScheduler
+from repro.sim.analysis import (
+    cpu_summaries,
+    load_imbalance,
+    overhead_fraction,
+    remote_miss_fraction,
+    run_report,
+    scheduler_overhead_cycles,
+    thread_summaries,
+)
+from repro.threads.events import Compute, Sleep, Touch
+from repro.threads.runtime import Runtime
+
+
+@pytest.fixture
+def finished_run(smp):
+    rt = Runtime(smp, FCFSScheduler(model_scheduler_memory=False))
+    regions = [rt.alloc_lines(f"r{i}", 30) for i in range(4)]
+
+    def body(region):
+        def gen():
+            for _ in range(3):
+                yield Touch(region.lines())
+                yield Compute(500)
+                yield Sleep(2000)
+        return gen
+
+    for i, r in enumerate(regions):
+        rt.at_create(body(r), name=f"w{i}")
+    rt.run()
+    return smp, rt
+
+
+class TestThreadSummaries:
+    def test_one_row_per_thread(self, finished_run):
+        _machine, rt = finished_run
+        rows = thread_summaries(rt)
+        assert len(rows) == 4
+        assert [r.tid for r in rows] == sorted(r.tid for r in rows)
+
+    def test_counts_match_thread_stats(self, finished_run):
+        _machine, rt = finished_run
+        row = thread_summaries(rt)[0]
+        thread = rt.threads[row.tid]
+        assert row.refs == thread.stats.refs
+        assert row.misses == thread.stats.misses
+
+    def test_miss_rate(self, finished_run):
+        _machine, rt = finished_run
+        row = thread_summaries(rt)[0]
+        assert 0.0 <= row.miss_rate <= 1.0
+
+
+class TestCpuSummaries:
+    def test_one_row_per_cpu(self, finished_run):
+        machine, _rt = finished_run
+        rows = cpu_summaries(machine)
+        assert len(rows) == machine.config.num_cpus
+
+    def test_totals_match_machine(self, finished_run):
+        machine, _rt = finished_run
+        rows = cpu_summaries(machine)
+        assert sum(r.misses for r in rows) == machine.total_l2_misses()
+
+    def test_local_plus_remote_is_total(self, finished_run):
+        machine, _rt = finished_run
+        for row in cpu_summaries(machine):
+            assert row.local_misses + row.remote_misses == row.misses
+
+
+class TestDerivedMetrics:
+    def test_load_imbalance_at_least_one(self, finished_run):
+        machine, _rt = finished_run
+        assert load_imbalance(machine) >= 1.0
+
+    def test_remote_fraction_bounds(self, finished_run):
+        machine, _rt = finished_run
+        assert 0.0 <= remote_miss_fraction(machine) <= 1.0
+
+    def test_remote_fraction_zero_on_uniprocessor(self, machine):
+        rt = Runtime(machine, FCFSScheduler(model_scheduler_memory=False))
+        region = rt.alloc_lines("r", 20)
+
+        def body():
+            yield Touch(region.lines())
+
+        rt.at_create(body)
+        rt.run()
+        assert remote_miss_fraction(machine) == 0.0
+
+    def test_overhead_scales_with_switches(self, finished_run):
+        _machine, rt = finished_run
+        assert scheduler_overhead_cycles(rt) > 0
+        assert 0.0 < overhead_fraction(rt) < 1.0
+
+
+class TestRunReport:
+    def test_report_contains_sections(self, finished_run):
+        machine, rt = finished_run
+        text = run_report(machine, rt)
+        assert "Run summary" in text
+        assert "Per-cpu totals" in text
+        assert "Heaviest" in text
+
+    def test_report_top_limits_rows(self, finished_run):
+        machine, rt = finished_run
+        text = run_report(machine, rt, top=2)
+        assert "Heaviest 2 threads" in text

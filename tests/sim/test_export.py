@@ -1,0 +1,89 @@
+"""Tests for CSV/JSON exporters."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.sim.export import (
+    curves_to_csv,
+    load_json,
+    monitored_to_csv,
+    perf_results_to_csv,
+    to_json,
+)
+from repro.sim.metrics import MonitoredResult, PerfResult
+
+
+@pytest.fixture
+def monitored():
+    return MonitoredResult(
+        app="demo",
+        language="c",
+        cache_lines=256,
+        misses=np.asarray([0, 10, 20]),
+        observed=np.asarray([0, 9, 17]),
+        predicted=np.asarray([0.0, 9.8, 18.9]),
+        instructions=np.asarray([0, 100, 200]),
+    )
+
+
+def read_csv(path):
+    with open(path, newline="") as handle:
+        return list(csv.reader(handle))
+
+
+class TestMonitoredCsv:
+    def test_roundtrip(self, monitored, tmp_path):
+        out = tmp_path / "trace.csv"
+        monitored_to_csv(monitored, out)
+        rows = read_csv(out)
+        assert rows[0] == ["misses", "observed", "predicted", "instructions"]
+        assert rows[1] == ["0", "0", "0.0", "0"]
+        assert len(rows) == 4
+
+
+class TestPerfCsv:
+    def test_flattens_with_baselines(self, tmp_path):
+        base = PerfResult("w", "fcfs", 1, 200, 1000, 100, 150, 5)
+        fast = PerfResult("w", "lff", 1, 100, 1000, 40, 150, 5)
+        out = tmp_path / "perf.csv"
+        perf_results_to_csv({"w": {"fcfs": base, "lff": fast}}, out)
+        rows = read_csv(out)
+        assert len(rows) == 3
+        lff_row = rows[2]
+        assert lff_row[0] == "w"
+        assert float(lff_row[-2]) == pytest.approx(0.6)  # eliminated
+        assert float(lff_row[-1]) == pytest.approx(2.0)  # speedup
+
+
+class TestCurvesCsv:
+    def test_long_form(self, tmp_path):
+        from repro.experiments.fig4 import Curve
+
+        curve = Curve(
+            "S0=0",
+            misses=np.asarray([0, 5]),
+            observed=np.asarray([0, 4]),
+            predicted=np.asarray([0.0, 4.9]),
+        )
+        out = tmp_path / "curves.csv"
+        curves_to_csv({"a": curve}, out)
+        rows = read_csv(out)
+        assert rows[1][0] == "a"
+        assert len(rows) == 3
+
+
+class TestJson:
+    def test_numpy_and_dataclass_roundtrip(self, tmp_path):
+        payload = {
+            "arr": np.asarray([1, 2, 3]),
+            "scalar": np.float64(1.5),
+            "result": PerfResult("w", "lff", 1, 100, 1000, 40, 150, 5),
+        }
+        out = tmp_path / "data.json"
+        to_json(payload, out)
+        loaded = load_json(out)
+        assert loaded["arr"] == [1, 2, 3]
+        assert loaded["scalar"] == 1.5
+        assert loaded["result"]["l2_misses"] == 40

