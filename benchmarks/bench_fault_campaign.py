@@ -1,0 +1,66 @@
+"""Fault campaign: the paper's robustness contract under chaos.
+
+Section 2.3: annotations and counter readings are hints -- "incorrect
+information may affect performance, but it does not affect the
+correctness of the program."  This bench runs the fig4/fig8 workloads
+under every fault class and asserts the three halves of the contract:
+
+- hint faults (corrupted annotations, perturbed counters) and absorbed
+  thread delays/crashes leave per-thread results **bit-identical**;
+- a counter-faulted LFF degrades gracefully: no worse than 1.10x the
+  fault-free FCFS baseline's cycles (the scheduler clamps implausible
+  readings and falls back to FCFS ordering when anomalies persist);
+- every injected livelock is converted by the watchdog into a
+  diagnostic WatchdogTimeout instead of a hang.
+"""
+
+from conftest import once, report
+
+from repro.faults import EXPECTS_TIMEOUT, run_campaign, format_campaign
+from repro.faults.campaign import campaign_workloads
+from repro.machine.configs import SMALL
+from repro.sched import SCHEDULERS
+from repro.sim.driver import run_hardened
+
+
+def test_fault_campaign(benchmark):
+    rows = once(
+        benchmark,
+        run_campaign,
+        workloads=campaign_workloads("smoke"),
+        policies=("fcfs", "lff"),
+    )
+    report("fault_campaign", format_campaign(rows))
+
+    assert rows, "campaign produced no cells"
+    for row in rows:
+        cell = f"{row.workload}/{row.policy}/{row.fault_class}"
+        if row.fault_class in EXPECTS_TIMEOUT:
+            # a hang must become a diagnostic, never a completed lie
+            assert row.outcome == "watchdog-timeout", (
+                f"{cell}: expected watchdog diagnosis, got {row.outcome} "
+                f"({row.detail})"
+            )
+        else:
+            assert row.outcome == "identical", (
+                f"{cell}: {row.outcome} ({row.detail})"
+            )
+
+
+def test_lff_counter_fault_degradation():
+    """Counter-faulted LFF stays within 1.10x of fault-free FCFS."""
+    from repro.faults import FAULT_CLASSES
+
+    factory = campaign_workloads("smoke")["tasks"]
+    fcfs = run_hardened(factory, SMALL, SCHEDULERS["fcfs"], plan=None)
+    budget = 1.10 * fcfs.perf.cycles
+    for cname in ("counter_noise", "counter_saturate", "counter_wrap",
+                  "counter_zero"):
+        faulty = run_hardened(
+            factory, SMALL, SCHEDULERS["lff"], plan=FAULT_CLASSES[cname](0)
+        )
+        assert faulty.signature == fcfs.signature, cname
+        assert faulty.perf.cycles <= budget, (
+            f"{cname}: {faulty.perf.cycles} cycles vs FCFS "
+            f"{fcfs.perf.cycles} (budget {budget:.0f})"
+        )

@@ -6,7 +6,8 @@ Commands:
 - ``compare``    one workload under FCFS/LFF/CRT side by side;
 - ``trace``      a monitored app's footprint trace vs the model;
 - ``model``      evaluate the closed-form model directly;
-- ``experiment`` regenerate a paper table/figure by name.
+- ``experiment`` regenerate a paper table/figure by name;
+- ``faults run`` the fault-injection campaign (robustness contract).
 
 Everything is deterministic given ``--seed``.
 """
@@ -233,6 +234,44 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_faults_run(args) -> int:
+    from repro.faults import (
+        FAULT_CLASSES,
+        campaign_workloads,
+        format_campaign,
+        run_campaign,
+    )
+
+    workloads = campaign_workloads(args.scale)
+    if args.workload != "all":
+        if args.workload not in workloads:
+            print(
+                "repro faults run: unknown workload %r (choose from %s)"
+                % (args.workload, ", ".join(sorted(workloads) + ["all"])),
+                file=sys.stderr,
+            )
+            return 2
+        workloads = {args.workload: workloads[args.workload]}
+    if args.fault != "all" and args.fault not in FAULT_CLASSES:
+        print(
+            "repro faults run: unknown fault class %r (choose from %s)"
+            % (args.fault, ", ".join(sorted(FAULT_CLASSES) + ["all"])),
+            file=sys.stderr,
+        )
+        return 2
+    fault_classes = (
+        list(FAULT_CLASSES) if args.fault == "all" else [args.fault]
+    )
+    rows = run_campaign(
+        workloads=workloads,
+        policies=tuple(args.policy or ("fcfs", "lff")),
+        fault_classes=fault_classes,
+        seed=args.seed,
+    )
+    print(format_campaign(rows))
+    return 0 if all(r.ok for r in rows) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -287,6 +326,37 @@ def build_parser() -> argparse.ArgumentParser:
         ],
     )
     exp_p.set_defaults(func=_cmd_experiment)
+
+    faults_p = sub.add_parser(
+        "faults", help="fault injection: hints must never affect correctness"
+    )
+    faults_sub = faults_p.add_subparsers(dest="faults_command", required=True)
+    faults_run_p = faults_sub.add_parser(
+        "run", help="run the fault campaign and report per-cell outcomes"
+    )
+    # choices are resolved lazily at run time; listed here for --help only
+    faults_run_p.add_argument(
+        "--workload",
+        default="all",
+        help="campaign workload name, or 'all' "
+        "(randomwalk/tasks/merge/photo/tsp)",
+    )
+    faults_run_p.add_argument(
+        "--fault",
+        default="all",
+        help="fault class name (see repro.faults.FAULT_CLASSES), or 'all'",
+    )
+    faults_run_p.add_argument(
+        "--policy",
+        action="append",
+        choices=sorted(SCHEDULERS),
+        help="policy to exercise (repeatable; default: fcfs and lff)",
+    )
+    faults_run_p.add_argument(
+        "--scale", choices=("smoke", "default"), default="smoke"
+    )
+    faults_run_p.add_argument("--seed", type=int, default=0)
+    faults_run_p.set_defaults(func=_cmd_faults_run)
     return parser
 
 

@@ -1,0 +1,60 @@
+"""Deterministic fault injection and the robustness campaign.
+
+The paper's central robustness claim (section 2.3) is that sharing
+annotations and counter readings are *hints*: wrong values may cost
+performance but can never change program results.  This package makes
+that claim falsifiable:
+
+- :mod:`repro.faults.plan` -- seeded, frozen :class:`FaultPlan`
+  descriptions of which chaos to inject (annotation corruption, counter
+  perturbation, thread delays/crashes/livelocks) and the canonical
+  :data:`FAULT_CLASSES` the campaign sweeps;
+- :mod:`repro.faults.injector` -- the :class:`FaultInjector` wired into a
+  :class:`~repro.threads.runtime.Runtime`, executing a plan from one
+  seeded RNG so faulty runs replay bit-identically;
+- :mod:`repro.faults.invariants` -- the :class:`InvariantChecker`
+  observer that referees every run (thread-state transitions, mutex
+  ownership, heap-priority invariants);
+- :mod:`repro.faults.campaign` -- :func:`run_campaign`, asserting
+  bit-identical results under hint faults and typed diagnostics under
+  induced hangs.
+
+Hardening counterparts live next to the code they harden: the watchdog
+and :func:`~repro.sim.driver.run_hardened` in :mod:`repro.sim.driver`,
+counter-anomaly degradation in :mod:`repro.sched.locality`, wait-for
+cycle reporting in :mod:`repro.threads.errors`.
+"""
+
+from repro.faults.campaign import (
+    CampaignRow,
+    campaign_workloads,
+    format_campaign,
+    run_campaign,
+)
+from repro.faults.injector import FaultInjector, FaultyCounterView, InjectedCrash
+from repro.faults.invariants import InvariantChecker
+from repro.faults.plan import (
+    EXPECTS_TIMEOUT,
+    FAULT_CLASSES,
+    AnnotationFaults,
+    CounterFaults,
+    FaultPlan,
+    ThreadFaults,
+)
+
+__all__ = [
+    "AnnotationFaults",
+    "CampaignRow",
+    "CounterFaults",
+    "EXPECTS_TIMEOUT",
+    "FAULT_CLASSES",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultyCounterView",
+    "InjectedCrash",
+    "InvariantChecker",
+    "ThreadFaults",
+    "campaign_workloads",
+    "format_campaign",
+    "run_campaign",
+]

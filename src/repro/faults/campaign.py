@@ -1,0 +1,266 @@
+"""The fault campaign: chaos-test the paper's robustness contract.
+
+Section 2.3 of the paper argues that sharing annotations and performance
+counter readings are *hints*: "incorrect information may affect
+performance, but it does not affect the correctness of the program."
+``run_campaign`` turns that sentence into an executable assertion: for
+each (workload, policy) pair it runs a fault-free baseline, then replays
+the run under every fault class in :data:`~repro.faults.plan.
+FAULT_CLASSES`, and compares per-thread result signatures
+(:func:`~repro.sim.driver.workload_signature`).
+
+Expected outcomes, per fault class:
+
+- hint faults (``annotation_*``, ``counter_*``) and absorbed thread
+  delays: the run completes with a **bit-identical** signature, within a
+  bounded slowdown;
+- ``thread_crash``: the watchdog retries with a reseeded plan and the
+  surviving attempt's signature is bit-identical;
+- ``thread_livelock``: the run does *not* complete -- the watchdog must
+  convert the hang into a :class:`~repro.threads.errors.WatchdogTimeout`
+  diagnostic, which the campaign records as the expected outcome.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.faults.plan import EXPECTS_TIMEOUT, FAULT_CLASSES, FaultPlan
+from repro.machine.configs import SMALL, MachineConfig
+from repro.sched import SCHEDULERS
+from repro.sim.driver import (
+    HardenedResult,
+    Watchdog,
+    run_hardened,
+    workload_signature,
+)
+from repro.sim.report import format_table
+from repro.threads.errors import WatchdogTimeout
+from repro.workloads.mergesort import MergeWorkload
+from repro.workloads.params import MergeParams, PhotoParams, TasksParams, TspParams
+from repro.workloads.photo import PhotoWorkload
+from repro.workloads.randomwalk import RandomWalkWorkload
+from repro.workloads.tasks import TasksWorkload
+from repro.workloads.tsp import TspWorkload
+
+
+def campaign_workloads(scale: str = "smoke") -> Dict[str, Callable]:
+    """Workload factories for the campaign.
+
+    ``smoke`` shrinks every application so a full fault sweep stays in
+    seconds; ``default`` uses the experiments' default parameters.
+    """
+    if scale == "smoke":
+        return {
+            "randomwalk": lambda: RandomWalkWorkload(
+                total_touches=4096, periods=3
+            ),
+            "tasks": lambda: TasksWorkload(
+                TasksParams(num_tasks=24, periods=4)
+            ),
+            "merge": lambda: MergeWorkload(
+                MergeParams(num_elements=4000, leaf_cutoff=250)
+            ),
+            "photo": lambda: PhotoWorkload(
+                PhotoParams(width=128, height=32)
+            ),
+            "tsp": lambda: TspWorkload(
+                TspParams(num_cities=12, branch_levels=4)
+            ),
+        }
+    if scale == "default":
+        return {
+            "randomwalk": lambda: RandomWalkWorkload(),
+            "tasks": lambda: TasksWorkload(),
+            "merge": lambda: MergeWorkload(),
+            "photo": lambda: PhotoWorkload(),
+            "tsp": lambda: TspWorkload(),
+        }
+    raise ValueError(f"unknown campaign scale {scale!r}")
+
+
+@dataclass
+class CampaignRow:
+    """Outcome of one (workload, policy, fault class) cell."""
+
+    workload: str
+    policy: str
+    fault_class: str
+    outcome: str  # "identical" | "watchdog-timeout" | "DIVERGED" | "ERROR"
+    ok: bool  # outcome matches the fault class's contract
+    slowdown: Optional[float] = None  # cycles vs fault-free baseline
+    attempts: int = 1
+    detail: str = ""
+    result: Optional[HardenedResult] = field(default=None, repr=False)
+
+
+def _diff_signatures(base, faulty) -> str:
+    """First few per-thread differences, for the diagnostic column."""
+    base_only = Counter(base) - Counter(faulty)
+    faulty_only = Counter(faulty) - Counter(base)
+    diffs = [f"baseline-only {e}" for e in sorted(base_only)[:3]]
+    diffs += [f"faulty-only {e}" for e in sorted(faulty_only)[:3]]
+    return "; ".join(diffs)
+
+
+def run_campaign(
+    workloads: Optional[Dict[str, Callable]] = None,
+    policies: Iterable[str] = ("fcfs", "lff"),
+    fault_classes: Optional[Iterable[str]] = None,
+    config: MachineConfig = SMALL,
+    seed: int = 0,
+    watchdog_factory: Optional[Callable[[], Watchdog]] = None,
+) -> List[CampaignRow]:
+    """Run the full fault matrix; returns one row per cell.
+
+    Every row's ``ok`` means "the contract held": hint faults left
+    results bit-identical, crashes were survived by retry, livelocks
+    became watchdog diagnostics.  A ``DIVERGED`` or ``ERROR`` row is a
+    genuine robustness bug.
+    """
+    if workloads is None:
+        workloads = campaign_workloads("smoke")
+    if fault_classes is None:
+        fault_classes = list(FAULT_CLASSES)
+    if watchdog_factory is None:
+        watchdog_factory = lambda: Watchdog(step_budget=50_000, max_chunks=40)
+
+    rows: List[CampaignRow] = []
+    for wname, factory in workloads.items():
+        for policy in policies:
+            scheduler_factory = SCHEDULERS[policy]
+            baseline = run_hardened(
+                factory,
+                config,
+                scheduler_factory,
+                plan=None,
+                seed=seed,
+                watchdog=watchdog_factory(),
+            )
+            for cname in fault_classes:
+                plan = FAULT_CLASSES[cname](seed)
+                rows.append(
+                    _run_cell(
+                        wname,
+                        policy,
+                        cname,
+                        plan,
+                        factory,
+                        scheduler_factory,
+                        config,
+                        seed,
+                        baseline,
+                        watchdog_factory(),
+                    )
+                )
+    return rows
+
+
+def _run_cell(
+    wname: str,
+    policy: str,
+    cname: str,
+    plan: FaultPlan,
+    factory: Callable,
+    scheduler_factory: Callable,
+    config: MachineConfig,
+    seed: int,
+    baseline: HardenedResult,
+    watchdog: Watchdog,
+) -> CampaignRow:
+    expects_timeout = cname in EXPECTS_TIMEOUT
+    try:
+        result = run_hardened(
+            factory,
+            config,
+            scheduler_factory,
+            plan=plan,
+            seed=seed,
+            watchdog=watchdog,
+        )
+    except WatchdogTimeout as timeout:
+        done = sum(1 for s in timeout.partial if s[3] == "done")
+        detail = f"{done}/{len(timeout.partial)} threads finished; {timeout}"
+        return CampaignRow(
+            workload=wname,
+            policy=policy,
+            fault_class=cname,
+            outcome="watchdog-timeout",
+            ok=expects_timeout,
+            detail=detail if not expects_timeout else f"{done}/"
+            f"{len(timeout.partial)} threads finished before diagnosis",
+        )
+    except Exception as exc:  # an unhardened escape is a campaign failure
+        return CampaignRow(
+            workload=wname,
+            policy=policy,
+            fault_class=cname,
+            outcome="ERROR",
+            ok=False,
+            detail=f"{type(exc).__name__}: {exc}",
+        )
+    if expects_timeout:
+        return CampaignRow(
+            workload=wname,
+            policy=policy,
+            fault_class=cname,
+            outcome="completed",
+            ok=False,
+            detail="expected a WatchdogTimeout diagnostic, run completed",
+            result=result,
+        )
+    identical = result.signature == baseline.signature
+    slowdown = (
+        result.perf.cycles / baseline.perf.cycles
+        if baseline.perf.cycles
+        else None
+    )
+    return CampaignRow(
+        workload=wname,
+        policy=policy,
+        fault_class=cname,
+        outcome="identical" if identical else "DIVERGED",
+        ok=identical,
+        slowdown=slowdown,
+        attempts=result.attempts,
+        detail=(
+            ""
+            if identical
+            else _diff_signatures(baseline.signature, result.signature)
+        ),
+        result=result,
+    )
+
+
+def format_campaign(rows: List[CampaignRow]) -> str:
+    """Render campaign rows as the bench/CLI table."""
+    table = format_table(
+        ["workload", "policy", "fault class", "outcome", "slowdown",
+         "tries", "ok"],
+        [
+            (
+                r.workload,
+                r.policy,
+                r.fault_class,
+                r.outcome,
+                "-" if r.slowdown is None else f"{r.slowdown:.2f}x",
+                r.attempts,
+                "ok" if r.ok else "FAIL",
+            )
+            for r in rows
+        ],
+        title="fault campaign (hints must never affect correctness)",
+    )
+    failures = [r for r in rows if not r.ok]
+    lines = [table]
+    for r in failures:
+        lines.append(
+            f"FAIL {r.workload}/{r.policy}/{r.fault_class}: {r.detail}"
+        )
+    lines.append(
+        f"{len(rows) - len(failures)}/{len(rows)} cells honoured the "
+        f"hint contract"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,186 @@
+"""The fault injector: executes a :class:`~repro.faults.plan.FaultPlan`.
+
+One injector instance is wired into one :class:`~repro.threads.runtime.
+Runtime` (pass it as ``Runtime(machine, scheduler, injector=...)``).  The
+runtime calls three duck-typed hooks:
+
+- :meth:`transform_share` intercepts every ``at_share`` annotation and may
+  drop it, corrupt its coefficient, or fabricate extra edges;
+- :meth:`wrap_view` wraps each cpu's :class:`~repro.machine.counters.
+  MissCounterView` so interval miss readings can be perturbed (noise,
+  saturation, wraparound artefacts, stuck-at-zero) *after* the true
+  hardware read -- the machine's caches and clocks are never touched;
+- :meth:`before_step` fires thread faults: cpu-clock delays, an
+  :class:`InjectedCrash`, or a livelock spin.
+
+All decisions come from one ``numpy`` RNG seeded from the plan, and the
+surrounding simulation is deterministic, so every faulty run replays
+bit-identically for a given seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.faults.plan import FaultPlan
+from repro.threads.errors import ThreadError
+
+
+class InjectedCrash(ThreadError):
+    """A fault-injected thread crash (the analogue of a thread dying
+    mid-interval).  The watchdog responds with retry-with-reseed."""
+
+
+class FaultyCounterView:
+    """A :class:`MissCounterView` look-alike that perturbs readings.
+
+    The perturbation is applied to the *returned* miss count only: the
+    underlying view still performs its real (and correctly charged) PIC
+    reads, so injecting counter faults changes what the scheduler is told,
+    never what the program did.
+    """
+
+    def __init__(self, inner, injector: "FaultInjector", cpu: int) -> None:
+        self._inner = inner
+        self._injector = injector
+        self._cpu = cpu
+
+    def interval_misses(self) -> int:
+        return self._injector.perturb_misses(
+            self._cpu, self._inner.interval_misses()
+        )
+
+    @property
+    def read_cost_instructions(self) -> int:
+        return self._inner.read_cost_instructions
+
+
+class FaultInjector:
+    """Stateful executor of a fault plan, attached to one runtime."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.rng = np.random.default_rng(plan.seed)
+        self.runtime = None
+        # injection tallies, for diagnostics and campaign reporting
+        self.dropped_edges = 0
+        self.corrupted_edges = 0
+        self.bogus_edges = 0
+        self.counter_faults = 0
+        self.delays = 0
+        self.crashes = 0
+        self.livelocks = 0
+
+    def attach(self, runtime) -> None:
+        self.runtime = runtime
+
+    # -- annotation faults ---------------------------------------------------
+
+    def transform_share(
+        self, src: int, dst: int, q: float
+    ) -> List[Tuple[int, int, float]]:
+        """Rewrite one ``at_share(src, dst, q)`` into the edges actually
+        applied (possibly none, possibly with extras)."""
+        faults = self.plan.annotation
+        if faults is None:
+            return [(src, dst, q)]
+        edges: List[Tuple[int, int, float]] = []
+        roll = self.rng.random()
+        if roll < faults.drop_prob:
+            self.dropped_edges += 1
+        elif roll < faults.drop_prob + faults.corrupt_prob:
+            self.corrupted_edges += 1
+            edges.append((src, dst, float(self.rng.random())))
+        else:
+            edges.append((src, dst, q))
+        if self.rng.random() < faults.bogus_prob:
+            bogus = self._bogus_edge(src, dst)
+            if bogus is not None:
+                self.bogus_edges += 1
+                edges.append(bogus)
+        return edges
+
+    def _bogus_edge(
+        self, src: int, dst: int
+    ) -> Optional[Tuple[int, int, float]]:
+        threads = self.runtime.threads if self.runtime is not None else {}
+        candidates = sorted(
+            tid for tid, t in threads.items() if t.alive and tid != src
+        )
+        if not candidates:
+            return None
+        target = candidates[int(self.rng.integers(len(candidates)))]
+        return (src, target, float(self.rng.random()))
+
+    # -- counter faults ------------------------------------------------------
+
+    def wrap_view(self, cpu: int, view) -> Union[FaultyCounterView, object]:
+        if self.plan.counter is None:
+            return view
+        return FaultyCounterView(view, self, cpu)
+
+    def perturb_misses(self, cpu: int, misses: int) -> int:
+        faults = self.plan.counter
+        if faults is None or self.rng.random() >= faults.prob:
+            return misses
+        self.counter_faults += 1
+        wrap = 1 << faults.width_bits
+        if faults.mode == "zero":
+            return 0
+        if faults.mode == "saturate":
+            return wrap - 1
+        if faults.mode == "wrap":
+            # the reading a naive delta would produce had the register
+            # wrapped mid-interval: a huge bogus value when misses < offset
+            return (misses - faults.magnitude) % wrap
+        # noise: may go negative -- the scheduler must clamp, not crash
+        return misses + int(
+            self.rng.integers(-faults.magnitude, faults.magnitude + 1)
+        )
+
+    # -- thread faults -------------------------------------------------------
+
+    def before_step(self, cpu: int, thread) -> Optional[Union[str, tuple]]:
+        """Decide a thread fault for this step.
+
+        Returns ``None`` (no fault), ``("delay", instructions)``, or
+        ``"livelock"``; raises :class:`InjectedCrash` for crashes.
+        """
+        faults = self.plan.thread
+        if faults is None:
+            return None
+        if self.rng.random() >= faults.prob:
+            return None
+        if faults.mode == "delay":
+            self.delays += 1
+            return ("delay", faults.delay_instructions)
+        if faults.mode == "crash":
+            if self.crashes >= faults.max_injections:
+                return None
+            self.crashes += 1
+            raise InjectedCrash(
+                f"injected crash in {thread} at event "
+                f"{self.runtime.events_executed if self.runtime else '?'}"
+            )
+        if self.livelocks >= faults.max_injections:
+            return None
+        self.livelocks += 1
+        return "livelock"
+
+    # -- reporting -----------------------------------------------------------
+
+    def summary(self) -> dict:
+        """Injection tallies for diagnostics."""
+        return {
+            "plan": self.plan.active_classes,
+            "seed": self.plan.seed,
+            "dropped_edges": self.dropped_edges,
+            "corrupted_edges": self.corrupted_edges,
+            "bogus_edges": self.bogus_edges,
+            "counter_faults": self.counter_faults,
+            "delays": self.delays,
+            "crashes": self.crashes,
+            "livelocks": self.livelocks,
+        }

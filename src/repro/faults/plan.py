@@ -1,0 +1,154 @@
+"""Deterministic, seeded fault plans.
+
+A :class:`FaultPlan` is a pure description of which chaos to inject into a
+run: which hint paths to corrupt (sharing annotations, counter readings)
+and how to perturb threads (delays, crashes, livelocks).  Plans are frozen
+dataclasses; all randomness lives in the :class:`~repro.faults.injector.
+FaultInjector` built from a plan, whose RNG is seeded from ``plan.seed``.
+Because the simulation itself is deterministic, a given (workload, config,
+policy, plan) tuple replays bit-identically -- the property every
+campaign assertion rests on.
+
+The paper's robustness contract (section 2.3) splits the fault space in
+two:
+
+- **hint faults** (annotation and counter classes) may cost performance
+  but must never change program results;
+- **thread faults** exercise the runtime's hardening instead: delays must
+  be absorbed, crashes must be retried, livelocks must be converted into
+  a diagnostic :class:`~repro.threads.errors.WatchdogTimeout`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Optional
+
+#: mixing constant for reseeding (the 64-bit golden ratio, as used by
+#: splitmix64) so derived seeds decorrelate from the parent seed
+_GOLDEN = 0x9E3779B97F4A7C15
+_MASK = (1 << 63) - 1
+
+
+@dataclass(frozen=True)
+class AnnotationFaults:
+    """Corrupt the ``at_share`` hint path."""
+
+    #: probability an annotation is silently dropped
+    drop_prob: float = 0.0
+    #: probability an annotation's q is replaced with a random value
+    corrupt_prob: float = 0.0
+    #: probability an extra bogus edge to a random live thread is added
+    bogus_prob: float = 0.0
+
+
+@dataclass(frozen=True)
+class CounterFaults:
+    """Perturb per-interval PIC miss readings."""
+
+    #: "noise" | "saturate" | "wrap" | "zero"
+    mode: str = "noise"
+    #: per-read probability the fault fires
+    prob: float = 1.0
+    #: noise amplitude / wrap offset, in miss counts
+    magnitude: int = 64
+    #: simulated register width for saturation/wrap artefacts
+    width_bits: int = 32
+
+    _MODES = ("noise", "saturate", "wrap", "zero")
+
+    def __post_init__(self) -> None:
+        if self.mode not in self._MODES:
+            raise ValueError(f"unknown counter fault mode {self.mode!r}")
+
+
+@dataclass(frozen=True)
+class ThreadFaults:
+    """Crash, hang, or delay threads mid-interval."""
+
+    #: "delay" | "crash" | "livelock"
+    mode: str = "delay"
+    #: per-step probability the fault fires
+    prob: float = 0.001
+    #: cpu-clock stall per delay injection, in instructions
+    delay_instructions: int = 50_000
+    #: crash/livelock injections are capped at this many per run
+    max_injections: int = 1
+
+    _MODES = ("delay", "crash", "livelock")
+
+    def __post_init__(self) -> None:
+        if self.mode not in self._MODES:
+            raise ValueError(f"unknown thread fault mode {self.mode!r}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded combination of fault classes; any subset may be active."""
+
+    seed: int = 0
+    annotation: Optional[AnnotationFaults] = None
+    counter: Optional[CounterFaults] = None
+    thread: Optional[ThreadFaults] = None
+
+    def reseed(self, attempt: int) -> "FaultPlan":
+        """The same plan with a decorrelated seed, for retry-with-reseed:
+        a transient fault is unlikely to recur at the same point."""
+        mixed = (self.seed * _GOLDEN + attempt * 0x85EBCA6B) & _MASK
+        return replace(self, seed=mixed)
+
+    def without_thread_faults(self) -> "FaultPlan":
+        """The plan with thread perturbation disabled -- the watchdog's
+        last-resort "safe mode" when crashes persist across reseeds."""
+        return replace(self, thread=None)
+
+    @property
+    def active_classes(self) -> str:
+        parts = []
+        if self.annotation is not None:
+            parts.append("annotation")
+        if self.counter is not None:
+            parts.append(f"counter:{self.counter.mode}")
+        if self.thread is not None:
+            parts.append(f"thread:{self.thread.mode}")
+        return "+".join(parts) or "none"
+
+
+#: canonical fault classes the campaign and CLI iterate over
+FAULT_CLASSES: Dict[str, Callable[[int], FaultPlan]] = {
+    "annotation_chaos": lambda seed: FaultPlan(
+        seed=seed,
+        annotation=AnnotationFaults(
+            drop_prob=0.3, corrupt_prob=0.4, bogus_prob=0.3
+        ),
+    ),
+    "counter_noise": lambda seed: FaultPlan(
+        seed=seed, counter=CounterFaults(mode="noise", magnitude=64)
+    ),
+    "counter_saturate": lambda seed: FaultPlan(
+        seed=seed, counter=CounterFaults(mode="saturate", prob=0.25)
+    ),
+    "counter_wrap": lambda seed: FaultPlan(
+        seed=seed,
+        counter=CounterFaults(mode="wrap", prob=0.25, magnitude=1000),
+    ),
+    "counter_zero": lambda seed: FaultPlan(
+        seed=seed, counter=CounterFaults(mode="zero")
+    ),
+    "thread_delay": lambda seed: FaultPlan(
+        seed=seed, thread=ThreadFaults(mode="delay", prob=0.01)
+    ),
+    # crash/livelock use a high per-step probability so the (single,
+    # capped) injection fires even in smoke-scale runs of a few hundred
+    # steps; max_injections keeps long runs to one fault occurrence
+    "thread_crash": lambda seed: FaultPlan(
+        seed=seed, thread=ThreadFaults(mode="crash", prob=0.05)
+    ),
+    "thread_livelock": lambda seed: FaultPlan(
+        seed=seed, thread=ThreadFaults(mode="livelock", prob=0.05)
+    ),
+}
+
+#: fault classes whose *expected* campaign outcome is a WatchdogTimeout
+#: diagnostic rather than a completed run
+EXPECTS_TIMEOUT = frozenset({"thread_livelock"})

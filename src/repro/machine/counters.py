@@ -30,7 +30,9 @@ from typing import Tuple
 #: reading and resetting the appropriate registers" (section 5).
 READ_COST_INSTRUCTIONS = 6
 
-_WRAP = 1 << 32
+#: default PIC register width (UltraSPARC PICs are 32 bits wide)
+DEFAULT_WIDTH_BITS = 32
+_WRAP = 1 << DEFAULT_WIDTH_BITS
 
 
 class CounterEvent(Enum):
@@ -51,11 +53,12 @@ class CounterAccessError(Exception):
 @dataclass
 class _Pic:
     event: CounterEvent
+    wrap: int = _WRAP
     value: int = 0
 
     def add(self, event: CounterEvent, amount: int) -> None:
         if event is self.event:
-            self.value = (self.value + amount) % _WRAP
+            self.value = (self.value + amount) % self.wrap
 
 
 class PerformanceCounters:
@@ -71,8 +74,14 @@ class PerformanceCounters:
         pic0: CounterEvent = CounterEvent.ECACHE_REFS,
         pic1: CounterEvent = CounterEvent.ECACHE_HITS,
         user_access: bool = True,
+        width_bits: int = DEFAULT_WIDTH_BITS,
     ) -> None:
-        self._pics = (_Pic(pic0), _Pic(pic1))
+        if width_bits < 1:
+            raise ValueError("counter width must be at least one bit")
+        self.width_bits = width_bits
+        #: modulus of the registers; raw values live in [0, wrap)
+        self.wrap = 1 << width_bits
+        self._pics = (_Pic(pic0, self.wrap), _Pic(pic1, self.wrap))
         self.user_access = user_access
         self.reads = 0
 
@@ -82,7 +91,7 @@ class PerformanceCounters:
         Only two events can be live at once -- the hardware constraint the
         paper works within.
         """
-        self._pics = (_Pic(pic0), _Pic(pic1))
+        self._pics = (_Pic(pic0, self.wrap), _Pic(pic1, self.wrap))
 
     @property
     def events(self) -> Tuple[CounterEvent, CounterEvent]:
@@ -118,7 +127,12 @@ class MissCounterView:
 
     This is the scheduler-facing API used at every context switch: it reads
     refs/hits, subtracts the values at the start of the scheduling interval
-    (handling 32-bit wraparound), and reports the interval's miss count.
+    (modulo the register width, so wraparound between reads is harmless as
+    long as an interval accumulates fewer than ``wrap`` events), and
+    reports the interval's miss count.  A glitched pair of reads in which
+    the hit delta exceeds the ref delta -- physically impossible, so
+    necessarily a wrap artefact or hardware fault -- is clamped to zero
+    misses rather than reported as a negative count.
     """
 
     def __init__(self, counters: PerformanceCounters) -> None:
@@ -128,15 +142,16 @@ class MissCounterView:
                 f"got {counters.events}"
             )
         self._counters = counters
+        self._wrap = counters.wrap
         self._last_refs, self._last_hits = counters.read()
 
     def interval_misses(self) -> int:
-        """Misses since the previous call (or construction)."""
+        """Misses since the previous call (or construction); never negative."""
         refs, hits = self._counters.read()
-        d_refs = (refs - self._last_refs) % _WRAP
-        d_hits = (hits - self._last_hits) % _WRAP
+        d_refs = (refs - self._last_refs) % self._wrap
+        d_hits = (hits - self._last_hits) % self._wrap
         self._last_refs, self._last_hits = refs, hits
-        return d_refs - d_hits
+        return max(0, d_refs - d_hits)
 
     @property
     def read_cost_instructions(self) -> int:

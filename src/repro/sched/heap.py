@@ -16,6 +16,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Tuple
 
+from repro.threads.errors import InvariantViolation
 from repro.threads.thread import ActiveThread, ThreadState
 
 
@@ -104,6 +105,31 @@ class PriorityHeap:
         heapq.heapify(live)
         self._heap = live
         return len(live)
+
+    def validate(self) -> None:
+        """Check the heap's structural invariants; raises
+        :class:`InvariantViolation` on the first breach.
+
+        Two properties must always hold, no matter how corrupted the
+        priorities fed to :meth:`push` were (they are hints):
+
+        - the array satisfies the binary-heap order: every parent's sort
+          key is <= both children's (min-heap on the negated priority);
+        - every entry's sort key is consistent with its recorded priority.
+        """
+        heap = self._heap
+        for i, entry in enumerate(heap):
+            if entry.sort_key[0] != -entry.priority:
+                raise InvariantViolation(
+                    f"heap entry {i} sort key {entry.sort_key} inconsistent "
+                    f"with priority {entry.priority}"
+                )
+            for child in (2 * i + 1, 2 * i + 2):
+                if child < len(heap) and heap[i].sort_key > heap[child].sort_key:
+                    raise InvariantViolation(
+                        f"heap order violated at index {i}: parent "
+                        f"{heap[i].sort_key} > child {heap[child].sort_key}"
+                    )
 
     def __iter__(self) -> Iterator[HeapEntry]:
         return iter(self._heap)

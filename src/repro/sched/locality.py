@@ -43,6 +43,13 @@ QUEUE_OP_COST = 5
 HEAP_OP_COST = 8
 #: heap entries per cache line for the simulated-memory model
 ENTRIES_PER_LINE = 2
+#: an interval's miss reading above this multiple of the cache size is
+#: implausible (even a pure-miss interval touching a region this many
+#: times the cache would be pathological) and treated as a counter fault
+MISS_CAP_FACTOR = 16
+#: implausible readings tolerated before the scheduler stops trusting the
+#: counters altogether and falls back to FCFS ordering
+DEGRADE_AFTER = 3
 
 
 class LocalityScheduler(Scheduler):
@@ -81,6 +88,13 @@ class LocalityScheduler(Scheduler):
         self.steals = 0
         self.demotions = 0
         self.compactions = 0
+        #: implausible counter readings seen (negative or absurdly large)
+        self.counter_anomalies = 0
+        #: set once the counters are deemed untrustworthy: the scheduler
+        #: then degrades gracefully to FCFS ordering via the global queue
+        #: instead of acting on garbage priorities
+        self.degraded = False
+        self._miss_cap = None  # resolved at attach time
 
     def attach(self, runtime) -> None:
         self.runtime = runtime
@@ -92,6 +106,7 @@ class LocalityScheduler(Scheduler):
             self.steal_max_footprint = machine.config.l2_lines / 16
         if self.threshold_lines is None:
             self.threshold_lines = max(1.0, machine.config.l2_lines / 256)
+        self._miss_cap = MISS_CAP_FACTOR * machine.config.l2_lines
         self.heaps = [PriorityHeap() for _ in range(num_cpus)]
         if self.model_scheduler_memory:
             space = machine.address_space
@@ -168,11 +183,34 @@ class LocalityScheduler(Scheduler):
 
     # -- scheduler callbacks ---------------------------------------------------
 
+    def _sanitize_misses(self, misses: int) -> int:
+        """Clamp an interval miss reading to the plausible range.
+
+        The counters are hints: a reading outside [0, cap] (negative from
+        a wrap glitch, enormous from saturation or a stuck register) must
+        not be allowed to poison the footprint model or crash priority
+        arithmetic.  Repeated anomalies flip the scheduler into degraded
+        FCFS mode -- correctness is never at stake, only locality.
+        """
+        if 0 <= misses <= self._miss_cap:
+            return misses
+        self.counter_anomalies += 1
+        if self.counter_anomalies >= DEGRADE_AFTER:
+            self.degraded = True
+        return min(max(misses, 0), self._miss_cap)
+
     def thread_ready(self, thread: ActiveThread) -> int:
         cost = QUEUE_OP_COST
         scheme = self.scheme
         placed = False
         cpu_hint = thread.last_cpu
+        if self.degraded:
+            # Counters are untrusted: skip priority placement entirely and
+            # serve everyone from the global FIFO, FCFS-style.
+            self._global.append((thread, thread.ready_seq))
+            self._touch_queue(cpu_hint)
+            self._ready += 1
+            return cost
         for cpu in range(len(self.heaps)):
             entry = scheme.entry(cpu, thread.tid)
             if entry is None:
@@ -200,6 +238,7 @@ class LocalityScheduler(Scheduler):
     def thread_blocked(
         self, cpu: int, thread: ActiveThread, misses: int, finished: bool
     ) -> int:
+        misses = self._sanitize_misses(misses)
         scheme = self.scheme
         flops_before = scheme.cost.blocking + scheme.cost.dependent
         scheme.on_block(cpu, thread.tid, misses)
@@ -234,6 +273,14 @@ class LocalityScheduler(Scheduler):
     def pick(self, cpu: int) -> Tuple[Optional[ActiveThread], int]:
         self._picks += 1
         cost = 0
+        if self.degraded:
+            # FCFS fallback: global queue first, then drain whatever is
+            # left in the heaps from before degradation, then steal.
+            thread, fifo_cost = self._pop_global(cpu)
+            cost += fifo_cost
+            if thread is not None:
+                self._ready -= 1
+                return thread, cost
         if (
             self.fairness_boost
             and self._picks % self.fairness_boost == 0

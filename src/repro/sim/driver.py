@@ -1,4 +1,4 @@
-"""Experiment drivers: performance runs and monitored-footprint runs.
+"""Experiment drivers: performance, monitored-footprint, and hardened runs.
 
 ``run_performance`` reproduces the section 5 methodology: build the
 workload, run it to completion under a policy, report cycles/misses.
@@ -10,11 +10,21 @@ during the computation stage and their state is flushed from the cache.
 After threads resume, their footprints are monitored by our cache
 simulator ...  we monitor the uninterrupted execution of a single 'work'
 thread on an UltraSPARC-1 processor."
+
+``run_hardened`` is the production-minded variant behind the fault
+campaign (see :mod:`repro.faults`): the run executes under a
+:class:`Watchdog` that enforces step budgets, checkpoints partial
+results at every budget boundary, detects livelock and starvation, and
+answers injected crashes with retry-with-reseed.  A hung or crashed run
+therefore ends in a typed diagnostic
+(:class:`~repro.threads.errors.WatchdogTimeout`) carrying the checkpoint
+history instead of spinning forever.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -25,6 +35,7 @@ from repro.sched.base import Scheduler
 from repro.sched.fcfs import FCFSScheduler
 from repro.sim.metrics import MonitoredResult, PerfResult
 from repro.sim.tracer import FootprintTracer
+from repro.threads.errors import StepBudgetExceeded, WatchdogTimeout
 from repro.threads.runtime import Observer, Runtime
 from repro.workloads.base import MonitoredApp, Workload
 
@@ -128,4 +139,277 @@ def run_monitored(
         observed=observed,
         predicted=predicted,
         instructions=instructions,
+    )
+
+
+# -- hardened runs: watchdog, checkpoints, retry-with-reseed ------------------
+
+
+Signature = Tuple[Tuple[str, int, int, str], ...]
+
+
+def workload_signature(runtime: Runtime) -> Signature:
+    """The correctness signature of a run: per-thread ground truth.
+
+    A sorted tuple of ``(name, refs, instructions, state)``.  References
+    and instructions count what the thread's *program* did, independent
+    of where or when it was scheduled, so two runs of the same workload
+    must produce identical signatures no matter how the hints were
+    corrupted.  Injected delays stall the cpu clock without charging the
+    thread, and so also leave the signature untouched.
+
+    Sorted by (schedule-invariant) thread name rather than keyed by tid:
+    workloads that create threads dynamically (merge, tsp) assign tids
+    in execution order, which a scheduling perturbation legitimately
+    changes without changing any thread's results.
+    """
+    return tuple(
+        sorted(
+            (t.name, t.stats.refs, t.stats.instructions, t.state.value)
+            for t in runtime.threads.values()
+        )
+    )
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A progress snapshot taken at a step-budget boundary."""
+
+    events: int
+    cycles: int
+    done: int  # threads finished
+    live: int  # threads still alive
+    thread_instructions: int  # ground-truth work completed so far
+    thread_refs: int
+
+    @property
+    def progress(self) -> Tuple[int, int, int]:
+        """The forward-progress tuple the stall detector compares.
+
+        Events and cycles always grow (a livelocked thread still spins),
+        so progress is measured by completed threads and by ground-truth
+        program work: a Yield-spin advances none of these.
+        """
+        return (self.done, self.thread_instructions, self.thread_refs)
+
+
+class Watchdog:
+    """Supervises a runtime with a step budget and a stall detector.
+
+    ``supervise`` drives ``runtime.run`` in chunks of ``step_budget``
+    events, checkpointing at every boundary.  If the progress tuple is
+    unchanged for ``stall_chunks`` consecutive chunks, or the total
+    ``max_chunks`` budget is exhausted, the run is declared hung and a
+    :class:`WatchdogTimeout` carrying the checkpoint history and the
+    partial result signature is raised -- an injected livelock becomes a
+    diagnostic instead of an infinite loop.  Optionally, READY threads
+    left undispatched for more than ``starvation_cycles`` also trip the
+    watchdog (off by default: FCFS-bound workloads legitimately queue).
+    """
+
+    def __init__(
+        self,
+        step_budget: int = 200_000,
+        max_chunks: int = 64,
+        stall_chunks: int = 2,
+        starvation_cycles: Optional[int] = None,
+    ) -> None:
+        self.step_budget = step_budget
+        self.max_chunks = max_chunks
+        self.stall_chunks = stall_chunks
+        self.starvation_cycles = starvation_cycles
+        self.checkpoints: List[Checkpoint] = []
+
+    def _checkpoint(self, runtime: Runtime) -> Checkpoint:
+        threads = runtime.threads.values()
+        cp = Checkpoint(
+            events=runtime.events_executed,
+            cycles=runtime.machine.time(),
+            done=sum(1 for t in threads if not t.alive),
+            live=sum(1 for t in threads if t.alive),
+            thread_instructions=sum(t.stats.instructions for t in threads),
+            thread_refs=sum(t.stats.refs for t in threads),
+        )
+        self.checkpoints.append(cp)
+        return cp
+
+    def _stalled_threads(self, runtime: Runtime) -> List:
+        """Live threads that contributed nothing across the stall window
+        (best-effort naming for the diagnostic; livelocked threads are
+        flagged directly)."""
+        return [
+            t
+            for t in runtime.threads.values()
+            if t.alive and (t.fault_livelocked or t.state.value == "blocked")
+        ]
+
+    def _starved_threads(self, runtime: Runtime) -> List:
+        if self.starvation_cycles is None:
+            return []
+        now = runtime.machine.time()
+        return [
+            t
+            for t in runtime.threads.values()
+            if t.ready_at is not None
+            and now - t.ready_at > self.starvation_cycles
+        ]
+
+    def _timeout(self, runtime: Runtime, reason: str) -> WatchdogTimeout:
+        stalled = self._stalled_threads(runtime)
+        detail = ""
+        if stalled:
+            detail = "; stalled: " + ", ".join(t.name for t in stalled)
+        return WatchdogTimeout(
+            f"watchdog: {reason} after {runtime.events_executed} events"
+            f"{detail}",
+            checkpoints=[vars(cp) for cp in self.checkpoints],
+            partial=workload_signature(runtime),
+            stalled=stalled,
+        )
+
+    def supervise(self, runtime: Runtime) -> None:
+        """Run ``runtime`` to completion or raise :class:`WatchdogTimeout`.
+
+        May also propagate whatever the workload itself raises (including
+        an :class:`~repro.faults.injector.InjectedCrash` from the fault
+        injector, handled one level up by :func:`run_hardened`).
+        """
+        stalled_for = 0
+        last_progress: Optional[Tuple[int, int, int]] = None
+        for chunk in range(1, self.max_chunks + 1):
+            try:
+                runtime.run(max_events=chunk * self.step_budget)
+            except StepBudgetExceeded:
+                cp = self._checkpoint(runtime)
+                if cp.progress == last_progress:
+                    stalled_for += 1
+                    if stalled_for >= self.stall_chunks:
+                        raise self._timeout(
+                            runtime,
+                            f"no forward progress across "
+                            f"{stalled_for * self.step_budget} events",
+                        ) from None
+                else:
+                    stalled_for = 0
+                    last_progress = cp.progress
+                starved = self._starved_threads(runtime)
+                if starved:
+                    names = ", ".join(t.name for t in starved)
+                    raise self._timeout(
+                        runtime, f"starvation: {names} ready too long"
+                    ) from None
+            else:
+                self._checkpoint(runtime)
+                return
+        raise self._timeout(
+            runtime,
+            f"step budget exhausted ({self.max_chunks * self.step_budget} "
+            f"events)",
+        )
+
+
+@dataclass
+class HardenedResult:
+    """Outcome of :func:`run_hardened`."""
+
+    perf: PerfResult
+    #: per-thread correctness signature (see :func:`workload_signature`)
+    signature: Signature
+    #: 1 on a clean first run; >1 means retries-with-reseed happened
+    attempts: int
+    #: watchdog checkpoints of the successful attempt
+    checkpoints: List[Checkpoint] = field(default_factory=list)
+    #: injection tallies from the injector (empty dict when no plan)
+    injections: Dict = field(default_factory=dict)
+    #: light/deep invariant check counts (empty when checking disabled)
+    invariant_checks: Dict = field(default_factory=dict)
+    #: True if the final attempt ran with thread faults stripped
+    safe_mode: bool = False
+
+
+def run_hardened(
+    workload_factory: Callable[[], Workload],
+    config: MachineConfig,
+    scheduler_factory: Callable[[], Scheduler],
+    plan=None,
+    seed: int = 0,
+    watchdog: Optional[Watchdog] = None,
+    max_attempts: int = 3,
+    invariants: bool = True,
+) -> HardenedResult:
+    """Run a workload under fault injection with full hardening.
+
+    Builds a fresh machine/scheduler/runtime/workload per attempt (the
+    factories make each retry hermetic), injects faults per ``plan`` (a
+    :class:`~repro.faults.plan.FaultPlan`, or ``None`` for a fault-free
+    reference run), supervises with a :class:`Watchdog`, and validates
+    invariants every step.  An :class:`InjectedCrash` triggers
+    retry-with-reseed; if crashes persist, the final attempt strips
+    thread faults from the plan (``safe_mode``) so hint faults are still
+    exercised while the run is guaranteed crash-free.  A hung run raises
+    :class:`WatchdogTimeout`; everything else returns a
+    :class:`HardenedResult`.
+    """
+    # Imported lazily: repro.faults depends on this module for the
+    # campaign, so a module-level import here would be circular.
+    from repro.faults.injector import FaultInjector, InjectedCrash
+    from repro.faults.invariants import InvariantChecker
+
+    last_crash: Optional[Exception] = None
+    for attempt in range(1, max_attempts + 1):
+        attempt_plan = plan
+        safe_mode = False
+        if plan is not None and attempt > 1:
+            if attempt == max_attempts and plan.thread is not None:
+                attempt_plan = plan.without_thread_faults().reseed(attempt)
+                safe_mode = True
+            else:
+                attempt_plan = plan.reseed(attempt)
+        injector = (
+            FaultInjector(attempt_plan) if attempt_plan is not None else None
+        )
+        machine = Machine(config, seed=seed)
+        scheduler = scheduler_factory()
+        runtime = Runtime(machine, scheduler, injector=injector)
+        checker: Optional[InvariantChecker] = None
+        if invariants:
+            checker = InvariantChecker(runtime)
+            runtime.add_observer(checker)
+        workload = workload_factory()
+        workload.build(runtime)
+        dog = watchdog if watchdog is not None else Watchdog()
+        dog.checkpoints = []
+        try:
+            dog.supervise(runtime)
+        except InjectedCrash as crash:
+            last_crash = crash
+            continue
+        if checker is not None:
+            checker.deep_check()  # final sweep at quiescence
+        perf = PerfResult(
+            workload=workload.name,
+            scheduler=scheduler.name,
+            num_cpus=config.num_cpus,
+            cycles=machine.time(),
+            instructions=machine.total_instructions(),
+            l2_misses=machine.total_l2_misses(),
+            l2_refs=sum(cpu.l2.stats.refs for cpu in machine.cpus),
+            context_switches=runtime.context_switches,
+            steals=getattr(scheduler, "steals", 0),
+        )
+        return HardenedResult(
+            perf=perf,
+            signature=workload_signature(runtime),
+            attempts=attempt,
+            checkpoints=list(dog.checkpoints),
+            injections=injector.summary() if injector is not None else {},
+            invariant_checks=(
+                {"light": checker.checks, "deep": checker.deep_checks}
+                if checker is not None
+                else {}
+            ),
+            safe_mode=safe_mode,
+        )
+    raise WatchdogTimeout(
+        f"crashed on all {max_attempts} attempts: {last_crash}",
     )

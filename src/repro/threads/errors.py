@@ -1,6 +1,14 @@
-"""Exceptions raised by the thread runtime."""
+"""Exceptions raised by the thread runtime, and wait-for diagnostics.
+
+The error hierarchy doubles as the runtime's hardening surface: the
+fault-injection campaign (see :mod:`repro.faults`) asserts that every
+induced failure surfaces as one of these typed, diagnosable exceptions
+rather than a silent hang or a corrupted result.
+"""
 
 from __future__ import annotations
+
+from typing import List, Optional
 
 
 class ThreadError(Exception):
@@ -12,11 +20,119 @@ class SyncError(ThreadError):
     mutex, waiting on a condition without holding its mutex)."""
 
 
+class StepBudgetExceeded(ThreadError):
+    """``Runtime.run`` hit its ``max_events`` budget before completion.
+
+    A subclass of :class:`ThreadError` so legacy callers that caught the
+    generic error keep working; the watchdog catches this specifically to
+    checkpoint progress and decide between extending the budget and
+    declaring a livelock.  The runtime is left in a consistent state and
+    ``run`` may be called again with a larger budget to continue.
+    """
+
+    def __init__(self, max_events: int) -> None:
+        super().__init__(f"exceeded max_events={max_events}")
+        self.max_events = max_events
+
+
+class InvariantViolation(ThreadError):
+    """An internal runtime/scheduler invariant does not hold.
+
+    Raised by :class:`repro.faults.invariants.InvariantChecker` and
+    :meth:`repro.sched.heap.PriorityHeap.validate`.  Any occurrence is a
+    bug in the runtime or scheduler, never in the workload: sharing
+    annotations and counter readings are hints and must not be able to
+    break these invariants no matter how corrupted they are.
+    """
+
+
+class WatchdogTimeout(ThreadError):
+    """The watchdog gave up on a run: livelock, starvation, or an
+    exhausted step budget.
+
+    Carries the watchdog's checkpoint history and the partial results of
+    threads that did complete, so a hung run still yields a diagnosis
+    instead of nothing.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        checkpoints: Optional[List[dict]] = None,
+        partial=None,
+        stalled: Optional[list] = None,
+    ) -> None:
+        super().__init__(message)
+        #: progress snapshots taken at every step-budget boundary
+        self.checkpoints = checkpoints or []
+        #: result signature entries (name, refs, instructions, state) of
+        #: every thread, including the ones that DID finish
+        self.partial = partial if partial is not None else ()
+        #: threads that made no progress across the final budget window
+        self.stalled = stalled or []
+
+
+def find_wait_cycle(blocked: list) -> Optional[list]:
+    """Follow thread -> resource -> owner links to find a wait-for cycle.
+
+    Each blocked thread records what it waits on (``thread.waiting_on``):
+    a mutex (whose ``owner`` is the next thread in the chain), another
+    thread (a join target), or an ownerless object (semaphore, barrier,
+    condition) at which the chain ends.  Returns the threads forming the
+    first cycle found, in chain order, or ``None`` when no ownership cycle
+    exists (e.g. a barrier that will never fill).
+    """
+    for start in blocked:
+        chain: list = []
+        seen: dict = {}
+        thread = start
+        while thread is not None:
+            resource = getattr(thread, "waiting_on", None)
+            if resource is None:
+                break
+            if id(thread) in seen:
+                return chain[seen[id(thread)]:]
+            seen[id(thread)] = len(chain)
+            chain.append(thread)
+            if hasattr(resource, "ready_seq"):  # a join target (thread)
+                thread = resource
+            else:
+                thread = getattr(resource, "owner", None)
+    return None
+
+
+def _describe_resource(resource) -> str:
+    if hasattr(resource, "ready_seq"):  # an ActiveThread join target
+        return f"join({resource.name})"
+    name = getattr(resource, "name", repr(resource))
+    owner = getattr(resource, "owner", None)
+    if owner is not None:
+        return f"{name} (held by {owner.name})"
+    return name
+
+
 class DeadlockError(ThreadError):
     """Every cpu is idle, no thread is runnable or sleeping, yet live
-    threads remain blocked."""
+    threads remain blocked.
 
-    def __init__(self, blocked: list) -> None:
-        names = ", ".join(str(t) for t in blocked)
-        super().__init__(f"deadlock: blocked threads remain: {names}")
+    When the blockage forms an ownership cycle (mutexes and joins), the
+    message spells out the actual wait-for chain -- thread -> resource ->
+    owner -> ... -> thread -- rather than just listing the casualties.
+    """
+
+    def __init__(self, blocked: list, cycle: Optional[list] = None) -> None:
+        if cycle:
+            hops = []
+            for thread in cycle:
+                hops.append(thread.name)
+                hops.append(_describe_resource(thread.waiting_on))
+            hops.append(cycle[0].name)
+            message = "deadlock: wait-for cycle: " + " -> ".join(hops)
+        else:
+            names = ", ".join(str(t) for t in blocked)
+            message = f"deadlock: blocked threads remain: {names}"
+        super().__init__(message)
         self.blocked = blocked
+        #: the threads forming the detected wait-for cycle (None if the
+        #: blockage has no ownership cycle, e.g. an unfillable barrier)
+        self.cycle = cycle

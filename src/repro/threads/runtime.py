@@ -38,7 +38,13 @@ from repro.machine.address import Region
 from repro.machine.counters import MissCounterView
 from repro.machine.smp import Machine
 from repro.threads import events as ev
-from repro.threads.errors import DeadlockError, SyncError, ThreadError
+from repro.threads.errors import (
+    DeadlockError,
+    StepBudgetExceeded,
+    SyncError,
+    ThreadError,
+    find_wait_cycle,
+)
 from repro.threads.sync import Barrier, Condition, Mutex, Semaphore
 from repro.threads.thread import ActiveThread, ThreadState
 
@@ -72,20 +78,40 @@ class Observer:
     ) -> None:
         """A scheduling interval ended with ``misses`` E-cache misses."""
 
+    def on_event(self, cpu: int, thread: ActiveThread, event) -> None:
+        """A thread yielded ``event``, about to be interpreted.
+
+        Called before the event mutates any runtime state, so the runtime
+        is at a consistent point -- the hook the invariant checker uses.
+        """
+
 
 class Runtime:
     """Interprets thread bodies against a machine under a scheduler."""
 
-    def __init__(self, machine: Machine, scheduler) -> None:
+    def __init__(self, machine: Machine, scheduler, injector=None) -> None:
         self.machine = machine
         self.scheduler = scheduler
+        #: optional fault injector (see repro.faults): corrupts the hint
+        #: paths (annotations, counter readings) and perturbs threads.
+        #: The runtime only relies on its duck-typed hook methods.
+        self.injector = injector
         self.graph = SharingGraph()
         self.threads: Dict[int, ActiveThread] = {}
         self.observers: List[Observer] = []
+        #: observers that implement the per-event hook; ad-hoc duck-typed
+        #: observers (common in tests) may omit on_event entirely
+        self._event_observers: List[Observer] = []
         self._next_tid = 1
         self._live = 0
         self._current: List[Optional[ActiveThread]] = [None] * machine.config.num_cpus
         self._views = [MissCounterView(cpu.counters) for cpu in machine.cpus]
+        if injector is not None:
+            injector.attach(self)
+            self._views = [
+                injector.wrap_view(cpu_id, view)
+                for cpu_id, view in enumerate(self._views)
+            ]
         self._timers: List[tuple] = []  # (wake_cycles, seq, thread)
         self._timer_seq = 0
         self._stepping: Optional[ActiveThread] = None
@@ -99,6 +125,8 @@ class Runtime:
     def add_observer(self, observer: Observer) -> None:
         """Attach a measurement observer."""
         self.observers.append(observer)
+        if hasattr(observer, "on_event"):
+            self._event_observers.append(observer)
 
     def alloc(self, name: str, size: int) -> Region:
         """Allocate a named region in the shared address space."""
@@ -131,8 +159,14 @@ class Runtime:
 
     def at_share(self, src_tid: int, dst_tid: int, q: float) -> None:
         """The paper's annotation: fraction ``q`` of ``src_tid``'s state is
-        shared with ``dst_tid``.  A hint only; never affects correctness."""
-        self.graph.share(src_tid, dst_tid, q)
+        shared with ``dst_tid``.  A hint only; never affects correctness --
+        which is exactly why the fault injector is allowed to drop,
+        corrupt, or fabricate these edges."""
+        edges = [(src_tid, dst_tid, q)]
+        if self.injector is not None:
+            edges = self.injector.transform_share(src_tid, dst_tid, q)
+        for src, dst, coeff in edges:
+            self.graph.share(src, dst, coeff)
 
     def at_self(self) -> int:
         """Tid of the thread whose body is currently executing."""
@@ -161,7 +195,7 @@ class Runtime:
         """Run until every thread finishes (or ``max_events`` is hit)."""
         while self._live > 0:
             if max_events is not None and self.events_executed >= max_events:
-                raise ThreadError(f"exceeded max_events={max_events}")
+                raise StepBudgetExceeded(max_events)
             cpu = self._min_clock_cpu()
             self._release_timers(self.machine.cycles(cpu))
             thread = self._current[cpu]
@@ -211,7 +245,7 @@ class Runtime:
             return
         blocked = [t for t in self.threads.values() if t.alive]
         if blocked:
-            raise DeadlockError(blocked)
+            raise DeadlockError(blocked, cycle=find_wait_cycle(blocked))
         # _live said someone is alive but nobody is; internal inconsistency
         raise ThreadError("scheduler lost track of live threads")
 
@@ -277,6 +311,7 @@ class Runtime:
 
     def _wake(self, thread: ActiveThread) -> None:
         thread.pending_mutex = None
+        thread.waiting_on = None
         thread.mark_ready()
         thread.ready_at = self.machine.time()
         self._charge(self._stepping_cpu(), self.scheduler.thread_ready(thread))
@@ -293,6 +328,21 @@ class Runtime:
     # -- event interpretation ---------------------------------------------------
 
     def _step(self, cpu: int, thread: ActiveThread) -> None:
+        if self.injector is not None:
+            # May raise InjectedCrash; "delay" stalls the cpu clock only
+            # (never the thread's own accounting), "livelock" pins the
+            # thread in a yield spin without advancing its body.
+            action = self.injector.before_step(cpu, thread)
+            if action is not None:
+                kind = action[0] if isinstance(action, tuple) else action
+                if kind == "delay":
+                    self.machine.compute(cpu, action[1])
+                elif kind == "livelock":
+                    thread.fault_livelocked = True
+        if thread.fault_livelocked:
+            self.events_executed += 1
+            self._execute(cpu, thread, ev.Yield())
+            return
         self._stepping = thread
         try:
             event = next(thread.body)
@@ -305,6 +355,8 @@ class Runtime:
         self._execute(cpu, thread, event)
 
     def _execute(self, cpu: int, thread: ActiveThread, event) -> None:
+        for observer in self._event_observers:
+            observer.on_event(cpu, thread, event)
         if isinstance(event, ev.Touch):
             result = self.machine.touch(cpu, event.lines, write=event.write)
             thread.stats.refs += result.refs
@@ -322,6 +374,7 @@ class Runtime:
         elif isinstance(event, ev.Acquire):
             self.machine.compute(cpu, SYNC_COST)
             if not event.mutex.acquire(thread):
+                thread.waiting_on = event.mutex
                 self._block(cpu, thread)
         elif isinstance(event, ev.Release):
             self.machine.compute(cpu, SYNC_COST)
@@ -333,6 +386,7 @@ class Runtime:
         elif isinstance(event, ev.SemWait):
             self.machine.compute(cpu, SYNC_COST)
             if not event.semaphore.wait(thread):
+                thread.waiting_on = event.semaphore
                 self._block(cpu, thread)
         elif isinstance(event, ev.SemPost):
             self.machine.compute(cpu, SYNC_COST)
@@ -345,6 +399,7 @@ class Runtime:
             self.machine.compute(cpu, SYNC_COST)
             woken = event.barrier.arrive(thread)
             if woken is None:
+                thread.waiting_on = event.barrier
                 self._block(cpu, thread)
             else:
                 self._stepping = thread
@@ -374,6 +429,7 @@ class Runtime:
                 raise ThreadError(f"join on unknown tid {event.tid}")
             if target.alive:
                 target.joiners.append(thread)
+                thread.waiting_on = target
                 self._block(cpu, thread)
         elif isinstance(event, ev.Yield):
             thread.mark_ready()
@@ -402,6 +458,7 @@ class Runtime:
         new_owner = event.mutex.release(thread)
         event.condition.add_waiter(thread)
         thread.pending_mutex = event.mutex
+        thread.waiting_on = event.condition
         if new_owner is not None:
             self._stepping = thread
             self._wake(new_owner)

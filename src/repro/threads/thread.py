@@ -56,6 +56,13 @@ class ActiveThread:
         #: set when the thread is blocked inside CondWait and must reacquire
         #: the mutex before resuming
         self.pending_mutex = None
+        #: the object this thread is blocked on (mutex/semaphore/barrier/
+        #: condition, or the ActiveThread it joined); None while not
+        #: blocked.  Feeds wait-for cycle reporting in DeadlockError.
+        self.waiting_on = None
+        #: set by fault injection: the thread spins (yields) forever
+        #: without advancing its body, modelling a livelocked thread
+        self.fault_livelocked = False
 
     @property
     def alive(self) -> bool:

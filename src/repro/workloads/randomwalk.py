@@ -20,11 +20,13 @@ annotation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
 
 from repro.machine.address import Region
+from repro.threads.events import Compute, Sleep, Touch
+from repro.workloads.base import Workload
 
 
 @dataclass(frozen=True)
@@ -103,3 +105,95 @@ def walk_batches(
         take = min(batch, remaining)
         yield rng.choice(lines, size=take, replace=True)
         remaining -= take
+
+
+class _RuntimeSpace:
+    """Adapts a runtime's allocator to the ``space`` protocol of
+    :func:`build_walk` (``allocate_lines``)."""
+
+    def __init__(self, runtime) -> None:
+        self._runtime = runtime
+
+    def allocate_lines(self, name: str, num_lines: int) -> Region:
+        return self._runtime.alloc_lines(name, num_lines)
+
+
+class RandomWalkWorkload(Workload):
+    """The figure 4 setup as a runnable performance workload.
+
+    One walker thread touches random lines of a large region while
+    dependent sleepers periodically wake, touch their (partially shared)
+    state, and sleep again.  Dependent sleepers are annotated with
+    ``at_share(walker, sleeper, q)`` matching their *physical* overlap, so
+    the workload exercises every hint path the fault campaign corrupts:
+    sharing annotations, counter-driven priorities, and sleep/wake churn.
+
+    All randomness comes from a build-time seed consumed only by the
+    walker's own generator, so thread-level results (refs, instructions)
+    are identical under every schedule -- the property the campaign's
+    bit-identical assertions rely on.
+    """
+
+    name = "randomwalk"
+
+    def __init__(
+        self,
+        total_touches: int = 16_384,
+        batch: int = 128,
+        compute_per_batch: int = 600,
+        sleeper_footprints: Sequence[int] = (64, 128, 192, 256),
+        sleeper_shares: Sequence[float] = (0.0, 0.25, 0.5, 0.75),
+        periods: int = 6,
+        sleep_cycles: int = 15_000,
+        compute_per_period: int = 1_200,
+        seed: int = 97,
+    ) -> None:
+        if len(sleeper_footprints) != len(sleeper_shares):
+            raise ValueError("one share per sleeper footprint required")
+        self.total_touches = total_touches
+        self.batch = batch
+        self.compute_per_batch = compute_per_batch
+        self.sleeper_footprints = list(sleeper_footprints)
+        self.sleeper_shares = list(sleeper_shares)
+        self.periods = periods
+        self.sleep_cycles = sleep_cycles
+        self.compute_per_period = compute_per_period
+        self.seed = seed
+        self.walker_tid: Optional[int] = None
+        self.sleeper_tids: List[int] = []
+
+    def build(self, runtime) -> None:
+        plan = build_walk(
+            _RuntimeSpace(runtime),
+            runtime.machine.config.l2_lines,
+            self.sleeper_footprints,
+            self.sleeper_shares,
+        )
+        rng = np.random.default_rng(self.seed)
+
+        def walker_body():
+            for lines in walk_batches(
+                plan.walker_region, self.total_touches, rng, self.batch
+            ):
+                yield Touch(lines)
+                yield Compute(self.compute_per_batch)
+
+        self.walker_tid = runtime.at_create(walker_body, name="walker")
+        runtime.declare_state(self.walker_tid, [plan.walker_region])
+
+        self.sleeper_tids = []
+        for i, footprint in enumerate(self.sleeper_footprints):
+            state = sleeper_state_lines(plan, i, footprint)
+
+            def sleeper_body(state=state):
+                for _ in range(self.periods):
+                    yield Touch(state)
+                    yield Compute(self.compute_per_period)
+                    yield Sleep(self.sleep_cycles)
+
+            tid = runtime.at_create(sleeper_body, name=f"sleeper-{i}")
+            runtime.declare_state(tid, [plan.sleeper_regions[i]])
+            share = plan.sleeper_shares[i]
+            if share > 0.0:
+                runtime.at_share(self.walker_tid, tid, share)
+            self.sleeper_tids.append(tid)

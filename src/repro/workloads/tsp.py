@@ -177,11 +177,14 @@ class TspWorkload(Workload):
                 break
             child_path = path + [city]
             child_cost = cost + float(step_cost)
+            # Path-based name: unique per subspace and independent of the
+            # order node bodies happened to execute in, so per-thread
+            # results can be compared across schedules (fault campaign).
             tid = runtime.at_create(
                 lambda cp=child_path, cc=child_cost: self._node_body(
                     runtime, cp, cc, parent=matrix
                 ),
-                name=f"tsp-node-{node_id}-{city}",
+                name="tsp-node-" + "-".join(map(str, child_path)),
             )
             self.threads_created += 1
             if self.annotate:

@@ -1,0 +1,76 @@
+"""Tests for the fault campaign driver and its reporting."""
+
+import pytest
+
+from repro.faults import campaign_workloads, format_campaign, run_campaign
+from repro.faults.campaign import CampaignRow
+from repro.workloads.randomwalk import RandomWalkWorkload
+
+
+def _fast_workloads():
+    return {
+        "randomwalk": lambda: RandomWalkWorkload(
+            total_touches=1024, periods=2
+        )
+    }
+
+
+class TestCampaign:
+    def test_hint_faults_leave_results_identical(self):
+        rows = run_campaign(
+            workloads=_fast_workloads(),
+            policies=("fcfs", "lff"),
+            fault_classes=["annotation_chaos", "counter_noise",
+                           "counter_zero"],
+        )
+        assert len(rows) == 6
+        for row in rows:
+            assert row.outcome == "identical", row.detail
+            assert row.ok
+            assert row.slowdown is not None
+
+    def test_livelock_expects_watchdog_timeout(self):
+        rows = run_campaign(
+            workloads=_fast_workloads(),
+            policies=("fcfs",),
+            fault_classes=["thread_livelock"],
+        )
+        (row,) = rows
+        assert row.outcome == "watchdog-timeout"
+        assert row.ok
+
+    def test_crash_survived_by_retry(self):
+        rows = run_campaign(
+            workloads=_fast_workloads(),
+            policies=("fcfs",),
+            fault_classes=["thread_crash"],
+        )
+        (row,) = rows
+        assert row.outcome == "identical", row.detail
+        assert row.attempts > 1
+
+    def test_format_lists_failures(self):
+        ok = CampaignRow("w", "fcfs", "counter_zero", "identical", True,
+                         slowdown=1.0)
+        bad = CampaignRow("w", "fcfs", "counter_wrap", "DIVERGED", False,
+                          detail="tid 3 differs")
+        text = format_campaign([ok, bad])
+        assert "1/2 cells honoured the hint contract" in text
+        assert "FAIL w/fcfs/counter_wrap: tid 3 differs" in text
+
+
+class TestWorkloadRegistry:
+    def test_smoke_and_default_scales(self):
+        for scale in ("smoke", "default"):
+            registry = campaign_workloads(scale)
+            assert set(registry) == {
+                "randomwalk", "tasks", "merge", "photo", "tsp"
+            }
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            campaign_workloads("galactic")
+
+    def test_factories_build_fresh_instances(self):
+        factory = campaign_workloads("smoke")["randomwalk"]
+        assert factory() is not factory()

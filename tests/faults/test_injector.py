@@ -1,0 +1,175 @@
+"""Tests for the fault injector's three hook families."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.faults import (
+    AnnotationFaults,
+    CounterFaults,
+    FaultInjector,
+    FaultPlan,
+    FaultyCounterView,
+    InjectedCrash,
+    ThreadFaults,
+)
+
+
+def _injector(**kwargs):
+    return FaultInjector(FaultPlan(seed=5, **kwargs))
+
+
+def _fake_runtime(tids):
+    threads = {
+        tid: SimpleNamespace(tid=tid, alive=True) for tid in tids
+    }
+    return SimpleNamespace(threads=threads, events_executed=0)
+
+
+class TestAnnotationFaults:
+    def test_no_plan_passes_through(self):
+        inj = _injector()
+        assert inj.transform_share(1, 2, 0.7) == [(1, 2, 0.7)]
+
+    def test_drop_all(self):
+        inj = _injector(annotation=AnnotationFaults(drop_prob=1.0))
+        assert inj.transform_share(1, 2, 0.7) == []
+        assert inj.dropped_edges == 1
+
+    def test_corrupt_rewrites_q_only(self):
+        inj = _injector(annotation=AnnotationFaults(corrupt_prob=1.0))
+        edges = inj.transform_share(1, 2, 0.7)
+        assert len(edges) == 1
+        src, dst, q = edges[0]
+        assert (src, dst) == (1, 2)
+        assert 0.0 <= q < 1.0
+        assert inj.corrupted_edges == 1
+
+    def test_bogus_edge_targets_a_live_thread(self):
+        inj = _injector(annotation=AnnotationFaults(bogus_prob=1.0))
+        inj.attach(_fake_runtime([1, 2, 3]))
+        edges = inj.transform_share(1, 2, 0.7)
+        assert edges[0] == (1, 2, 0.7)  # the real edge survives
+        assert len(edges) == 2
+        src, dst, _q = edges[1]
+        assert src == 1
+        assert dst in (2, 3)  # never a self-edge
+        assert inj.bogus_edges == 1
+
+    def test_bogus_without_candidates_skipped(self):
+        inj = _injector(annotation=AnnotationFaults(bogus_prob=1.0))
+        inj.attach(_fake_runtime([1]))
+        assert inj.transform_share(1, 1, 0.5) == [(1, 1, 0.5)]
+        assert inj.bogus_edges == 0
+
+
+class _StubView:
+    read_cost_instructions = 6
+
+    def __init__(self, misses):
+        self._misses = misses
+
+    def interval_misses(self):
+        return self._misses
+
+
+class TestCounterFaults:
+    def test_no_counter_plan_keeps_raw_view(self):
+        inj = _injector()
+        view = _StubView(10)
+        assert inj.wrap_view(0, view) is view
+
+    def test_counter_plan_wraps_view(self):
+        inj = _injector(counter=CounterFaults(mode="zero"))
+        wrapped = inj.wrap_view(0, _StubView(10))
+        assert isinstance(wrapped, FaultyCounterView)
+        assert wrapped.read_cost_instructions == 6
+
+    def test_zero_mode(self):
+        inj = _injector(counter=CounterFaults(mode="zero", prob=1.0))
+        assert inj.wrap_view(0, _StubView(123)).interval_misses() == 0
+
+    def test_saturate_mode(self):
+        inj = _injector(
+            counter=CounterFaults(mode="saturate", prob=1.0, width_bits=16)
+        )
+        assert inj.wrap_view(0, _StubView(5)).interval_misses() == 2**16 - 1
+
+    def test_wrap_mode_produces_huge_reading(self):
+        inj = _injector(
+            counter=CounterFaults(
+                mode="wrap", prob=1.0, magnitude=100, width_bits=32
+            )
+        )
+        # misses < magnitude: the naive wrapped delta is enormous
+        assert inj.wrap_view(0, _StubView(5)).interval_misses() == (
+            (5 - 100) % 2**32
+        )
+
+    def test_noise_mode_bounded(self):
+        inj = _injector(
+            counter=CounterFaults(mode="noise", prob=1.0, magnitude=8)
+        )
+        for _ in range(50):
+            assert abs(inj.wrap_view(0, _StubView(100)).interval_misses()
+                       - 100) <= 8
+
+    def test_prob_zero_never_fires(self):
+        inj = _injector(counter=CounterFaults(mode="zero", prob=0.0))
+        assert inj.wrap_view(0, _StubView(42)).interval_misses() == 42
+        assert inj.counter_faults == 0
+
+
+class TestThreadFaults:
+    def test_no_plan_no_fault(self):
+        inj = _injector()
+        assert inj.before_step(0, None) is None
+
+    def test_delay_returns_instruction_stall(self):
+        inj = _injector(
+            thread=ThreadFaults(
+                mode="delay", prob=1.0, delay_instructions=777
+            )
+        )
+        assert inj.before_step(0, None) == ("delay", 777)
+        assert inj.delays == 1
+
+    def test_crash_raises_and_is_capped(self):
+        inj = _injector(
+            thread=ThreadFaults(mode="crash", prob=1.0, max_injections=1)
+        )
+        inj.attach(_fake_runtime([1]))
+        thread = SimpleNamespace(tid=1)
+        with pytest.raises(InjectedCrash):
+            inj.before_step(0, thread)
+        # the cap: a second roll never crashes again
+        assert inj.before_step(0, thread) is None
+        assert inj.crashes == 1
+
+    def test_livelock_capped(self):
+        inj = _injector(
+            thread=ThreadFaults(mode="livelock", prob=1.0, max_injections=2)
+        )
+        assert inj.before_step(0, None) == "livelock"
+        assert inj.before_step(0, None) == "livelock"
+        assert inj.before_step(0, None) is None
+        assert inj.livelocks == 2
+
+
+class TestDeterminismAndReporting:
+    def test_same_seed_same_decisions(self):
+        plan = FaultPlan(
+            seed=9, annotation=AnnotationFaults(drop_prob=0.5)
+        )
+        a, b = FaultInjector(plan), FaultInjector(plan)
+        edges_a = [a.transform_share(1, 2, 0.5) for _ in range(50)]
+        edges_b = [b.transform_share(1, 2, 0.5) for _ in range(50)]
+        assert edges_a == edges_b
+
+    def test_summary_reports_tallies(self):
+        inj = _injector(annotation=AnnotationFaults(drop_prob=1.0))
+        inj.transform_share(1, 2, 0.5)
+        summary = inj.summary()
+        assert summary["dropped_edges"] == 1
+        assert summary["plan"] == "annotation"
+        assert summary["seed"] == 5

@@ -1,0 +1,100 @@
+"""Tests for the runtime invariant checker."""
+
+import pytest
+
+from repro.faults import InvariantChecker
+from repro.sched.fcfs import FCFSScheduler
+from repro.sched.locality import make_lff
+from repro.threads.errors import InvariantViolation
+from repro.threads.events import Acquire, Compute, Release, Sleep, Touch
+from repro.threads.runtime import Runtime
+from repro.threads.sync import Mutex
+from repro.threads.thread import ThreadState
+
+
+def _workload(runtime, threads=6):
+    mutex = Mutex(name="shared-lock")
+    region = runtime.alloc_lines("state", 32)
+
+    def body():
+        for _ in range(3):
+            yield Touch(region.lines())
+            yield Acquire(mutex)
+            yield Compute(50)
+            yield Release(mutex)
+            yield Sleep(500)
+
+    for i in range(threads):
+        runtime.at_create(body, name=f"w{i}")
+
+
+class TestCleanRuns:
+    def test_clean_fcfs_run_passes(self, machine):
+        runtime = Runtime(machine, FCFSScheduler(model_scheduler_memory=False))
+        checker = InvariantChecker(runtime, deep_every=4)
+        runtime.add_observer(checker)
+        _workload(runtime)
+        runtime.run()
+        checker.deep_check()
+        assert checker.checks > 0
+        assert checker.deep_checks > 0
+
+    def test_clean_lff_run_checks_heaps(self, smp):
+        runtime = Runtime(smp, make_lff())
+        checker = InvariantChecker(runtime, deep_every=1)
+        runtime.add_observer(checker)
+        _workload(runtime, threads=8)
+        runtime.run()
+        checker.deep_check()
+        assert all(t.state is ThreadState.DONE
+                   for t in runtime.threads.values())
+
+
+class TestDetection:
+    def test_live_count_drift_detected(self, machine):
+        runtime = Runtime(machine, FCFSScheduler(model_scheduler_memory=False))
+        checker = InvariantChecker(runtime)
+        _workload(runtime, threads=2)
+        runtime.run()
+        runtime._live += 1  # simulated bookkeeping corruption
+        with pytest.raises(InvariantViolation):
+            checker.deep_check()
+
+    def test_blocked_without_waiting_on_detected(self, machine):
+        runtime = Runtime(machine, FCFSScheduler(model_scheduler_memory=False))
+        checker = InvariantChecker(runtime)
+        _workload(runtime, threads=2)
+        runtime.run()
+        victim = next(iter(runtime.threads.values()))
+        victim.state = ThreadState.BLOCKED
+        victim.waiting_on = None
+        runtime._live += 1  # keep the live count consistent with the table
+        with pytest.raises(InvariantViolation):
+            checker.deep_check()
+
+    def test_dispatch_of_non_running_thread_detected(self, machine):
+        runtime = Runtime(machine, FCFSScheduler(model_scheduler_memory=False))
+        checker = InvariantChecker(runtime)
+        _workload(runtime, threads=1)
+        thread = next(iter(runtime.threads.values()))
+        assert thread.state is ThreadState.READY
+        with pytest.raises(InvariantViolation):
+            checker.on_dispatch(0, thread)
+
+    def test_corrupted_heap_detected(self, smp):
+        runtime = Runtime(smp, make_lff())
+        checker = InvariantChecker(runtime)
+        _workload(runtime, threads=8)
+        runtime.run()
+        heap = runtime.scheduler.heaps[0]
+        # leave a structurally broken entry behind
+        from repro.sched.heap import HeapEntry
+        from types import SimpleNamespace
+
+        fake = SimpleNamespace(ready_seq=0, state=ThreadState.READY, tid=999)
+        heap._heap.append(
+            HeapEntry(sort_key=(5.0, 0), thread=fake, priority=5.0,
+                      seq=0, version=0)
+        )
+        with pytest.raises(InvariantViolation):
+            checker.deep_check()

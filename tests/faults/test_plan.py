@@ -1,0 +1,77 @@
+"""Tests for fault plans: validation, reseeding, the class registry."""
+
+import pytest
+
+from repro.faults import (
+    EXPECTS_TIMEOUT,
+    FAULT_CLASSES,
+    AnnotationFaults,
+    CounterFaults,
+    FaultPlan,
+    ThreadFaults,
+)
+
+
+class TestValidation:
+    def test_unknown_counter_mode_rejected(self):
+        with pytest.raises(ValueError):
+            CounterFaults(mode="melt")
+
+    def test_unknown_thread_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ThreadFaults(mode="explode")
+
+    def test_plans_are_frozen(self):
+        plan = FaultPlan(seed=1)
+        with pytest.raises(AttributeError):
+            plan.seed = 2
+
+
+class TestReseed:
+    def test_reseed_changes_seed_only(self):
+        plan = FaultPlan(
+            seed=42, annotation=AnnotationFaults(drop_prob=0.5)
+        )
+        reseeded = plan.reseed(1)
+        assert reseeded.seed != plan.seed
+        assert reseeded.annotation == plan.annotation
+
+    def test_reseed_is_deterministic(self):
+        plan = FaultPlan(seed=42)
+        assert plan.reseed(3) == plan.reseed(3)
+
+    def test_attempts_decorrelate(self):
+        plan = FaultPlan(seed=42)
+        seeds = {plan.reseed(a).seed for a in range(1, 6)}
+        assert len(seeds) == 5
+
+    def test_without_thread_faults(self):
+        plan = FaultPlan(
+            seed=1,
+            counter=CounterFaults(mode="zero"),
+            thread=ThreadFaults(mode="crash"),
+        )
+        safe = plan.without_thread_faults()
+        assert safe.thread is None
+        assert safe.counter == plan.counter
+
+
+class TestRegistry:
+    def test_every_class_builds_a_plan(self):
+        for name, build in FAULT_CLASSES.items():
+            plan = build(7)
+            assert isinstance(plan, FaultPlan), name
+            assert plan.seed == 7
+            assert plan.active_classes != "none"
+
+    def test_timeout_classes_are_registered(self):
+        assert EXPECTS_TIMEOUT <= set(FAULT_CLASSES)
+
+    def test_active_classes_label(self):
+        plan = FaultPlan(
+            seed=0,
+            annotation=AnnotationFaults(drop_prob=1.0),
+            counter=CounterFaults(mode="wrap"),
+        )
+        assert plan.active_classes == "annotation+counter:wrap"
+        assert FaultPlan(seed=0).active_classes == "none"

@@ -1,0 +1,159 @@
+"""Tests for step budgets, the watchdog, and hardened runs."""
+
+import pytest
+
+from repro.faults import FaultPlan, ThreadFaults
+from repro.machine.configs import SMALL
+from repro.sched import SCHEDULERS
+from repro.sched.fcfs import FCFSScheduler
+from repro.sim.driver import Watchdog, run_hardened
+from repro.threads.errors import StepBudgetExceeded, WatchdogTimeout
+from repro.threads.events import Compute, Yield
+from repro.threads.runtime import Runtime
+from repro.workloads.params import TasksParams
+from repro.workloads.tasks import TasksWorkload
+
+
+def _runtime(machine):
+    return Runtime(machine, FCFSScheduler(model_scheduler_memory=False))
+
+
+class TestStepBudget:
+    def test_budget_exceeded_is_resumable(self, machine):
+        runtime = _runtime(machine)
+
+        def body():
+            for _ in range(100):
+                yield Compute(10)
+
+        runtime.at_create(body, name="worker")
+        with pytest.raises(StepBudgetExceeded):
+            runtime.run(max_events=10)
+        # the runtime is left consistent: a larger budget finishes the run
+        runtime.run(max_events=1_000)
+        assert all(not t.alive for t in runtime.threads.values())
+
+
+class TestWatchdog:
+    def test_completing_run_checkpoints_and_returns(self, machine):
+        runtime = _runtime(machine)
+
+        def body():
+            for _ in range(50):
+                yield Compute(10)
+
+        runtime.at_create(body, name="worker")
+        dog = Watchdog(step_budget=10, max_chunks=20)
+        dog.supervise(runtime)
+        assert dog.checkpoints
+        assert dog.checkpoints[-1].live == 0
+        assert dog.checkpoints[-1].done == 1
+
+    def test_livelock_becomes_diagnostic_timeout(self, machine):
+        runtime = _runtime(machine)
+
+        def finisher():
+            yield Compute(100)
+
+        def spinner():
+            while True:
+                yield Yield()
+
+        runtime.at_create(finisher, name="finisher")
+        runtime.at_create(spinner, name="spinner")
+        dog = Watchdog(step_budget=200, max_chunks=50, stall_chunks=2)
+        with pytest.raises(WatchdogTimeout) as excinfo:
+            dog.supervise(runtime)
+        err = excinfo.value
+        assert "no forward progress" in str(err)
+        assert len(err.checkpoints) >= 2
+        # partial results name the thread that DID finish
+        done = [s for s in err.partial if s[3] == "done"]
+        assert [s[0] for s in done] == ["finisher"]
+
+    def test_budget_exhaustion_becomes_timeout(self, machine):
+        runtime = _runtime(machine)
+
+        def body():
+            for _ in range(10_000):
+                yield Compute(10)
+
+        runtime.at_create(body, name="long")
+        dog = Watchdog(step_budget=10, max_chunks=3)
+        with pytest.raises(WatchdogTimeout) as excinfo:
+            dog.supervise(runtime)
+        assert "budget exhausted" in str(excinfo.value)
+
+    def test_starvation_detection(self, machine):
+        runtime = _runtime(machine)
+
+        def hog():
+            for _ in range(1_000):
+                yield Compute(10_000)
+
+        def waiter():
+            yield Compute(1)
+
+        runtime.at_create(hog, name="hog")
+        runtime.at_create(waiter, name="waiter")
+        dog = Watchdog(step_budget=20, max_chunks=100,
+                       starvation_cycles=5_000)
+        with pytest.raises(WatchdogTimeout) as excinfo:
+            dog.supervise(runtime)
+        assert "starvation" in str(excinfo.value)
+        assert "waiter" in str(excinfo.value)
+
+
+def _tiny_tasks():
+    return TasksWorkload(TasksParams(num_tasks=6, periods=3))
+
+
+class TestRunHardened:
+    def test_fault_free_run(self):
+        result = run_hardened(
+            _tiny_tasks, SMALL, SCHEDULERS["fcfs"], plan=None
+        )
+        assert result.attempts == 1
+        assert not result.safe_mode
+        assert result.injections == {}
+        assert result.invariant_checks["deep"] > 0
+        assert all(s[3] == "done" for s in result.signature)
+
+    def test_crash_retries_and_recovers_identically(self):
+        baseline = run_hardened(
+            _tiny_tasks, SMALL, SCHEDULERS["fcfs"], plan=None
+        )
+        crashy = FaultPlan(
+            seed=1, thread=ThreadFaults(mode="crash", prob=1.0)
+        )
+        result = run_hardened(
+            _tiny_tasks, SMALL, SCHEDULERS["fcfs"], plan=crashy,
+            max_attempts=3,
+        )
+        # prob=1 crashes every non-safe attempt: the final safe-mode
+        # attempt strips thread faults and must land the identical result
+        assert result.attempts == 3
+        assert result.safe_mode
+        assert result.signature == baseline.signature
+
+    def test_injected_livelock_raises_watchdog_timeout(self):
+        plan = FaultPlan(
+            seed=1, thread=ThreadFaults(mode="livelock", prob=1.0)
+        )
+        with pytest.raises(WatchdogTimeout):
+            run_hardened(
+                _tiny_tasks,
+                SMALL,
+                SCHEDULERS["fcfs"],
+                plan=plan,
+                watchdog=Watchdog(step_budget=500, max_chunks=30),
+            )
+
+    def test_signature_covers_every_thread(self):
+        result = run_hardened(
+            _tiny_tasks, SMALL, SCHEDULERS["fcfs"], plan=None
+        )
+        assert len(result.signature) == 6
+        assert sorted(s[0] for s in result.signature) == [
+            f"task-{i}" for i in range(6)
+        ]

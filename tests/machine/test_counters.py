@@ -39,6 +39,22 @@ class TestPerformanceCounters:
         pics.record(CounterEvent.ECACHE_REFS, 2)
         assert pics.read()[0] == 1
 
+    def test_width_parameterised_wraparound(self):
+        pics = PerformanceCounters(width_bits=8)
+        pics.record(CounterEvent.ECACHE_REFS, 255)
+        pics.record(CounterEvent.ECACHE_REFS, 3)
+        assert pics.read()[0] == 2
+
+    def test_configure_keeps_width(self):
+        pics = PerformanceCounters(width_bits=8)
+        pics.configure(CounterEvent.ECACHE_REFS, CounterEvent.ECACHE_HITS)
+        pics.record(CounterEvent.ECACHE_REFS, 300)
+        assert pics.read()[0] == 300 % 256
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            PerformanceCounters(width_bits=0)
+
     def test_user_read_traps_without_pcr_bit(self):
         pics = PerformanceCounters(user_access=False)
         with pytest.raises(CounterAccessError):
@@ -90,6 +106,23 @@ class TestMissCounterView:
         pics.record(CounterEvent.ECACHE_REFS, 20)  # wraps
         pics.record(CounterEvent.ECACHE_HITS, 5)
         assert view.interval_misses() == 15
+
+    def test_handles_wrap_at_narrow_width(self):
+        pics = PerformanceCounters(width_bits=8)
+        pics.record(CounterEvent.ECACHE_REFS, 250)
+        pics.record(CounterEvent.ECACHE_HITS, 250)
+        view = MissCounterView(pics)
+        pics.record(CounterEvent.ECACHE_REFS, 10)  # wraps past 256
+        pics.record(CounterEvent.ECACHE_HITS, 4)
+        assert view.interval_misses() == 6
+
+    def test_impossible_negative_delta_clamped(self):
+        # hits advancing past refs is physically impossible: a wrap
+        # artefact or hardware fault must read as 0, never negative
+        pics = PerformanceCounters()
+        view = MissCounterView(pics)
+        pics.record(CounterEvent.ECACHE_HITS, 50)
+        assert view.interval_misses() == 0
 
     def test_requires_refs_hits_configuration(self):
         pics = PerformanceCounters()

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.sched.heap import PriorityHeap
+from repro.sched.heap import HeapEntry, PriorityHeap
+from repro.threads.errors import InvariantViolation
 from repro.threads.thread import ActiveThread, ThreadState
 
 
@@ -110,6 +111,49 @@ class TestMinValid:
 
     def test_empty(self):
         assert PriorityHeap().min_valid(version_fn({})) is None
+
+
+class TestValidate:
+    def test_valid_heap_passes(self):
+        heap = PriorityHeap()
+        for i in range(16):
+            heap.push(ready_thread(i), float(i % 7), 0)
+        heap.validate()
+
+    def test_valid_after_compact(self):
+        heap = PriorityHeap()
+        threads = [ready_thread(i) for i in range(12)]
+        for t in threads:
+            heap.push(t, float(t.tid % 5), 0)
+        for t in threads[::2]:
+            t.state = ThreadState.DONE
+        heap.compact(version_fn({t.tid: 0 for t in threads}))
+        heap.validate()
+
+    def test_detects_order_violation(self):
+        heap = PriorityHeap()
+        for i in range(8):
+            heap.push(ready_thread(i), float(i), 0)
+        heap._heap.sort(key=lambda e: -e.sort_key[0])  # worst at the root
+        with pytest.raises(InvariantViolation):
+            heap.validate()
+
+    def test_detects_inconsistent_sort_key(self):
+        heap = PriorityHeap()
+        heap.push(ready_thread(1), 3.0, 0)
+        entry = heap._heap[0]
+        heap._heap[0] = HeapEntry(
+            sort_key=(-99.0, 0),
+            thread=entry.thread,
+            priority=entry.priority,
+            seq=entry.seq,
+            version=entry.version,
+        )
+        with pytest.raises(InvariantViolation):
+            heap.validate()
+
+    def test_empty_heap_valid(self):
+        PriorityHeap().validate()
 
 
 class TestCompact:

@@ -24,6 +24,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_faults_run_defaults(self):
+        args = build_parser().parse_args(["faults", "run"])
+        assert args.workload == "all"
+        assert args.fault == "all"
+        assert args.scale == "smoke"
+
+    def test_faults_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults"])
+
 
 class TestCommands:
     def test_model_command(self, capsys):
@@ -55,3 +65,12 @@ class TestCommands:
         assert main(["experiment", "table3"]) == 0
         out = capsys.readouterr().out
         assert "Table 3" in out
+
+    def test_faults_run_command(self, capsys):
+        # one workload x one fault class x one policy keeps it quick
+        assert main(["faults", "run", "--workload", "tasks",
+                     "--fault", "counter_zero", "--policy", "fcfs"]) == 0
+        out = capsys.readouterr().out
+        assert "counter_zero" in out
+        assert "identical" in out
+        assert "honoured the hint contract" in out

@@ -366,6 +366,63 @@ class TestDeadlock:
         with pytest.raises(DeadlockError):
             rt.run()
 
+    def test_deadlock_reports_wait_for_cycle(self, rt):
+        mutex_a = Mutex(name="mutex-a")
+        mutex_b = Mutex(name="mutex-b")
+
+        def one():
+            yield Acquire(mutex_a)
+            yield Yield()  # let "two" take mutex-b before we want it
+            yield Acquire(mutex_b)
+
+        def two():
+            yield Acquire(mutex_b)
+            yield Yield()
+            yield Acquire(mutex_a)
+
+        rt.at_create(one, name="one")
+        rt.at_create(two, name="two")
+        with pytest.raises(DeadlockError) as excinfo:
+            rt.run()
+        err = excinfo.value
+        # the error names the actual thread -> resource -> owner chain
+        assert err.cycle is not None
+        assert {t.name for t in err.cycle} == {"one", "two"}
+        message = str(err)
+        assert "wait-for cycle" in message
+        assert "mutex-a (held by one)" in message
+        assert "mutex-b (held by two)" in message
+
+    def test_join_cycle_spelled_out(self, rt):
+        tids = {}
+
+        def one():
+            yield Compute(10)
+            yield Join(tids["two"])
+
+        def two():
+            yield Compute(10)
+            yield Join(tids["one"])
+
+        tids["one"] = rt.at_create(one, name="one")
+        tids["two"] = rt.at_create(two, name="two")
+        with pytest.raises(DeadlockError) as excinfo:
+            rt.run()
+        assert "join(" in str(excinfo.value)
+        assert excinfo.value.cycle is not None
+
+    def test_cycle_free_deadlock_lists_casualties(self, rt):
+        barrier = Barrier(2)  # only one thread will ever arrive
+
+        def body():
+            yield BarrierWait(barrier)
+
+        rt.at_create(body, name="lonely")
+        with pytest.raises(DeadlockError) as excinfo:
+            rt.run()
+        assert excinfo.value.cycle is None
+        assert "lonely" in str(excinfo.value)
+
 
 class TestSMP:
     def test_threads_spread_across_cpus(self, smp_rt):
