@@ -1,0 +1,168 @@
+"""The diagnostic vocabulary shared by every analysis pass.
+
+A :class:`Diagnostic` is one finding: a stable code (``AN001``), a
+severity, an optional ``file:line`` anchor, and a human-readable message.
+Diagnostics order and render deterministically -- two runs of the same
+analysis over the same inputs produce byte-identical reports, which is
+what lets CI diff a report against a checked-in baseline.
+
+Codes are append-only: a code's meaning never changes once shipped, so
+baselines and suppressions stay valid across versions.  The registry:
+
+======  ========  ======================================================
+code    severity  meaning
+======  ========  ======================================================
+AN001   warning   missing-edge: threads demonstrably share state but no
+                  ``at_share`` edge (or annotated path) covers the pair
+AN002   warning   spurious-edge: an annotated pair shares (almost) no
+                  state in the observed run
+AN003   warning   mis-weighted-edge: annotated q is off by > 0.25 from
+                  the footprint-derived coefficient
+LK001   error     lock-order-cycle: the (static or dynamic) lock-order
+                  graph contains a cycle -- a potential deadlock
+LK002   warning   blocking-while-holding: a thread performed a blocking
+                  operation while holding a mutex
+LK003   error     finished-holding-lock: a thread ended its body still
+                  owning a mutex
+RS001   warning   unsynchronized-sharing: conflicting accesses to the
+                  same cache line with no happens-before ordering
+DT001   error     unseeded-rng: ``default_rng()`` with no seed
+DT002   warning   hidden-seed: ``default_rng(<literal>)`` buried in an
+                  implementation instead of a plumbed parameter
+DT003   error     wall-clock: reading host time inside the simulation
+DT004   warning   unordered-iteration: iterating a set (or set-valued
+                  name) where order can leak into results
+======  ========  ======================================================
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+#: code -> (severity, short title); append-only
+CODES: Dict[str, Tuple[str, str]] = {
+    "DT000": ("error", "parse-error"),
+    "AN001": ("warning", "missing-edge"),
+    "AN002": ("warning", "spurious-edge"),
+    "AN003": ("warning", "mis-weighted-edge"),
+    "LK001": ("error", "lock-order-cycle"),
+    "LK002": ("warning", "blocking-while-holding"),
+    "LK003": ("error", "finished-holding-lock"),
+    "RS001": ("warning", "unsynchronized-sharing"),
+    "DT001": ("error", "unseeded-rng"),
+    "DT002": ("warning", "hidden-seed"),
+    "DT003": ("error", "wall-clock"),
+    "DT004": ("warning", "unordered-iteration"),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analysis finding, ordered and fingerprinted deterministically."""
+
+    code: str
+    message: str
+    #: ``path:line`` anchor (repo-relative path), or None for findings
+    #: about run behaviour with no single source location
+    anchor: Optional[str] = None
+    #: which pass/workload produced it, e.g. ``annotations(merge)``
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+
+    @property
+    def severity(self) -> str:
+        return CODES[self.code][0]
+
+    @property
+    def title(self) -> str:
+        return CODES[self.code][1]
+
+    @property
+    def sort_key(self) -> tuple:
+        return (self.source, self.code, self.anchor or "", self.message)
+
+    def fingerprint(self) -> str:
+        """Stable identity for baselining: survives unrelated findings
+        appearing or disappearing around this one."""
+        payload = f"{self.code}|{self.source}|{self.anchor or ''}|{self.message}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
+
+    def render(self) -> str:
+        anchor = f"{self.anchor}: " if self.anchor else ""
+        src = f" [{self.source}]" if self.source else ""
+        return (
+            f"{anchor}{self.severity} {self.code} ({self.title}): "
+            f"{self.message}{src}"
+        )
+
+
+@dataclass
+class Report:
+    """An ordered collection of diagnostics plus baseline bookkeeping."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: fingerprints accepted by the checked-in baseline
+    baseline: Set[str] = field(default_factory=set)
+
+    def extend(self, found: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(found)
+
+    def finalize(self) -> None:
+        """Sort into the canonical deterministic order."""
+        self.diagnostics.sort(key=lambda d: d.sort_key)
+
+    def new_diagnostics(self) -> List[Diagnostic]:
+        """Findings not covered by the baseline."""
+        return [
+            d for d in self.diagnostics if d.fingerprint() not in self.baseline
+        ]
+
+    def render(self) -> str:
+        """The byte-stable report text."""
+        self.finalize()
+        lines: List[str] = []
+        fresh = 0
+        for diag in self.diagnostics:
+            suppressed = diag.fingerprint() in self.baseline
+            marker = "  (baseline)" if suppressed else ""
+            if not suppressed:
+                fresh += 1
+            lines.append(f"{diag.fingerprint()}  {diag.render()}{marker}")
+        lines.append(
+            f"-- {len(self.diagnostics)} finding(s), {fresh} new, "
+            f"{len(self.diagnostics) - fresh} baselined"
+        )
+        return "\n".join(lines)
+
+
+def write_baseline(path: str, report: Report) -> None:
+    """Persist every current finding as accepted."""
+    report.finalize()
+    lines = [
+        "# repro analyze baseline: accepted diagnostic fingerprints.",
+        "# Regenerate with `repro analyze --all-workloads --write-baseline`.",
+    ]
+    for diag in report.diagnostics:
+        lines.append(f"{diag.fingerprint()}  {diag.code} {diag.message}")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("\n".join(lines) + "\n")
+
+
+def load_baseline(path: str) -> Set[str]:
+    """Accepted fingerprints (first token of each non-comment line)."""
+    accepted: Set[str] = set()
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                accepted.add(line.split()[0])
+    except FileNotFoundError:
+        pass
+    return accepted

@@ -7,7 +7,9 @@ Commands:
 - ``trace``      a monitored app's footprint trace vs the model;
 - ``model``      evaluate the closed-form model directly;
 - ``experiment`` regenerate a paper table/figure by name;
-- ``faults run`` the fault-injection campaign (robustness contract).
+- ``faults run`` the fault-injection campaign (robustness contract);
+- ``analyze``    annotation lint / lock-order / race passes (byte-stable);
+- ``lint``       the repro-lint determinism pass over the simulator source.
 
 Everything is deterministic given ``--seed``.
 """
@@ -272,6 +274,55 @@ def _cmd_faults_run(args) -> int:
     return 0 if all(r.ok for r in rows) else 1
 
 
+def _cmd_analyze(args) -> int:
+    from repro.analysis import (
+        lint_workload_names,
+        run_analysis,
+        write_baseline,
+    )
+
+    names = lint_workload_names()
+    if not args.all_workloads and args.workload:
+        unknown = [w for w in args.workload if w not in names]
+        if unknown:
+            print(
+                "repro analyze: unknown workload(s) %s (choose from %s)"
+                % (", ".join(unknown), ", ".join(names)),
+                file=sys.stderr,
+            )
+            return 2
+        names = args.workload
+    passes = tuple(args.passes or ())
+    report = run_analysis(
+        workloads=names,
+        passes=passes if passes else ("annotations", "locks", "races"),
+        baseline_path=args.baseline,
+        with_lint=args.with_lint,
+    )
+    if args.write_baseline:
+        if args.baseline is None:
+            print(
+                "repro analyze: --write-baseline needs --baseline FILE",
+                file=sys.stderr,
+            )
+            return 2
+        write_baseline(args.baseline, report)
+        print(f"wrote {len(report.diagnostics)} fingerprint(s) to {args.baseline}")
+        return 0
+    print(report.render())
+    return 1 if report.new_diagnostics() else 0
+
+
+def _cmd_lint(args) -> int:
+    from repro.analysis import lint_paths
+
+    found = lint_paths(args.paths or None)
+    for diag in found:
+        print(diag.render())
+    print(f"-- repro-lint: {len(found)} finding(s)")
+    return 1 if found else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -357,6 +408,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     faults_run_p.add_argument("--seed", type=int, default=0)
     faults_run_p.set_defaults(func=_cmd_faults_run)
+
+    analyze_p = sub.add_parser(
+        "analyze",
+        help="annotation lint, lock-order, and race analysis passes",
+    )
+    analyze_p.add_argument(
+        "--workload",
+        action="append",
+        help="workload to analyze (repeatable; default: all)",
+    )
+    analyze_p.add_argument(
+        "--all-workloads", action="store_true",
+        help="analyze every registered workload",
+    )
+    analyze_p.add_argument(
+        "--pass",
+        dest="passes",
+        action="append",
+        choices=("annotations", "locks", "races"),
+        help="run only this pass (repeatable; default: all three)",
+    )
+    analyze_p.add_argument(
+        "--baseline",
+        help="baseline file of accepted diagnostic fingerprints",
+    )
+    analyze_p.add_argument(
+        "--write-baseline", action="store_true",
+        help="accept all current findings into --baseline and exit",
+    )
+    analyze_p.add_argument(
+        "--with-lint", action="store_true",
+        help="also run the repro-lint determinism pass",
+    )
+    analyze_p.set_defaults(func=_cmd_analyze)
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="repro-lint: determinism pass over the simulator source",
+    )
+    lint_p.add_argument(
+        "paths", nargs="*",
+        help="files or directories under src/ (default: repro/sched, "
+        "repro/sim, repro/machine)",
+    )
+    lint_p.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -193,7 +193,7 @@ class SharingInference(Observer):
         for page in my_pages:
             candidates |= self._page_owners.get(page, set())
         candidates.discard(tid)
-        for other in candidates:
+        for other in sorted(candidates):
             other_sig = self._signatures.get(other)
             if other_sig is None or len(other_sig) < self.min_pages:
                 continue

@@ -157,7 +157,7 @@ class Machine:
     def _invalidate_remote_copies(self, writer: int, plines: np.ndarray) -> None:
         victims_by_cpu: Dict[int, List[int]] = {}
         for pline in plines.tolist():
-            for cpu_id in self.directory.holders(pline) - {writer}:
+            for cpu_id in sorted(self.directory.holders(pline) - {writer}):
                 victims_by_cpu.setdefault(cpu_id, []).append(pline)
         for cpu_id, victims in victims_by_cpu.items():
             self.cpus[cpu_id].hierarchy.invalidate(

@@ -29,11 +29,19 @@ class PlacementPolicy:
     cache contents.
     """
 
-    def __init__(self, num_bins: int, rng: Optional[np.random.Generator] = None):
+    def __init__(
+        self,
+        num_bins: int,
+        rng: Optional[np.random.Generator] = None,
+        seed: int = 0,
+    ):
         if num_bins <= 0:
             raise ValueError("cache must have at least one page bin")
         self.num_bins = num_bins
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        #: the tiebreak stream: either the machine's generator, or one
+        #: derived from the explicit ``seed`` parameter -- never an
+        #: implicit constant buried in the implementation
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
 
     def choose_bin(self, vpage: int) -> int:
         """Pick the cache bin (page color) for a faulting page."""
@@ -71,8 +79,13 @@ class KesslerHillPlacement(PlacementPolicy):
     #: virtual color's group, wherever the current load is lightest
     leaf_group: int = 4
 
-    def __init__(self, num_bins: int, rng: Optional[np.random.Generator] = None):
-        super().__init__(num_bins, rng)
+    def __init__(
+        self,
+        num_bins: int,
+        rng: Optional[np.random.Generator] = None,
+        seed: int = 0,
+    ):
+        super().__init__(num_bins, rng, seed=seed)
         self._bin_load = np.zeros(num_bins, dtype=np.int64)
 
     def choose_bin(self, vpage: int) -> int:

@@ -145,7 +145,7 @@ class LocalityScheduler(Scheduler):
             line_idxs.add((pos // ENTRIES_PER_LINE) % self._heap_lines)
             pos >>= 1
         lines = region.first_line + np.fromiter(
-            line_idxs, dtype=np.int64, count=len(line_idxs)
+            sorted(line_idxs), dtype=np.int64, count=len(line_idxs)
         )
         self._kernel_touch(on_cpu, lines)
 

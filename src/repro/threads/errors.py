@@ -104,7 +104,9 @@ def find_wait_cycle(blocked: list) -> Optional[list]:
 def _describe_resource(resource) -> str:
     if hasattr(resource, "ready_seq"):  # an ActiveThread join target
         return f"join({resource.name})"
-    name = getattr(resource, "name", repr(resource))
+    name = getattr(resource, "label", None) or getattr(
+        resource, "name", repr(resource)
+    )
     owner = getattr(resource, "owner", None)
     if owner is not None:
         return f"{name} (held by {owner.name})"

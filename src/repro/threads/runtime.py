@@ -56,6 +56,20 @@ CREATE_COST = 200
 
 Body = Union[Generator, Callable[[], Generator]]
 
+#: sync-carrying event classes -> attributes holding their sync objects;
+#: the interpreter registers (auto-names) these before observers see the
+#: event, so every observer and error message agrees on the name
+_SYNC_EVENT_ATTRS = {
+    ev.Acquire: ("mutex",),
+    ev.Release: ("mutex",),
+    ev.SemWait: ("semaphore",),
+    ev.SemPost: ("semaphore",),
+    ev.BarrierWait: ("barrier",),
+    ev.CondWait: ("condition", "mutex"),
+    ev.CondSignal: ("condition",),
+    ev.CondBroadcast: ("condition",),
+}
+
 
 class Observer:
     """Measurement hook interface; all methods optional no-ops.
@@ -85,6 +99,17 @@ class Observer:
         is at a consistent point -- the hook the invariant checker uses.
         """
 
+    def on_create(
+        self, parent: Optional[ActiveThread], thread: ActiveThread
+    ) -> None:
+        """``at_create`` registered ``thread`` (``parent`` is the creating
+        thread, or ``None`` when created from outside any thread body).
+
+        The creation edge is a happens-before edge: everything the parent
+        did before ``at_create`` is ordered before the child's first step
+        -- which is what the race sanitizer consumes this hook for.
+        """
+
 
 class Runtime:
     """Interprets thread bodies against a machine under a scheduler."""
@@ -102,6 +127,13 @@ class Runtime:
         #: observers that implement the per-event hook; ad-hoc duck-typed
         #: observers (common in tests) may omit on_event entirely
         self._event_observers: List[Observer] = []
+        #: observers implementing the thread-creation hook (same contract)
+        self._create_observers: List[Observer] = []
+        #: per-kind counters for lazily naming anonymous sync objects; a
+        #: per-runtime registry (not a class counter) so auto names -- and
+        #: trace signatures built from them -- do not depend on how many
+        #: objects earlier runs in the same process created
+        self._sync_counters: Dict[str, int] = {}
         self._next_tid = 1
         self._live = 0
         self._current: List[Optional[ActiveThread]] = [None] * machine.config.num_cpus
@@ -127,6 +159,20 @@ class Runtime:
         self.observers.append(observer)
         if hasattr(observer, "on_event"):
             self._event_observers.append(observer)
+        if hasattr(observer, "on_create"):
+            self._create_observers.append(observer)
+
+    def register_sync(self, obj) -> None:
+        """Assign an anonymous sync object its per-runtime auto name.
+
+        Idempotent; explicit names are never overwritten.  Called by the
+        event interpreter on first sight and by analysis observers that
+        need a stable name before the interpreter branch runs.
+        """
+        if obj.name is None:
+            count = self._sync_counters.get(obj.kind, 0) + 1
+            self._sync_counters[obj.kind] = count
+            obj.name = f"{obj.kind}-{count}"
 
     def alloc(self, name: str, size: int) -> Region:
         """Allocate a named region in the shared address space."""
@@ -155,6 +201,8 @@ class Runtime:
             self.machine.compute(cpu, CREATE_COST)
         self._charge(cpu, self.scheduler.thread_created(thread))
         self._charge(cpu, self.scheduler.thread_ready(thread))
+        for observer in self._create_observers:
+            observer.on_create(self._stepping, thread)
         return tid
 
     def at_share(self, src_tid: int, dst_tid: int, q: float) -> None:
@@ -355,6 +403,10 @@ class Runtime:
         self._execute(cpu, thread, event)
 
     def _execute(self, cpu: int, thread: ActiveThread, event) -> None:
+        sync_attrs = _SYNC_EVENT_ATTRS.get(event.__class__)
+        if sync_attrs is not None:
+            for attr in sync_attrs:
+                self.register_sync(getattr(event, attr))
         for observer in self._event_observers:
             observer.on_event(cpu, thread, event)
         if isinstance(event, ev.Touch):
@@ -452,8 +504,8 @@ class Runtime:
     def _cond_wait(self, cpu: int, thread: ActiveThread, event: ev.CondWait) -> None:
         if event.mutex.owner is not thread:
             raise SyncError(
-                f"{thread} waited on {event.condition.name} without holding "
-                f"{event.mutex.name}"
+                f"{thread} waited on {event.condition.label} without holding "
+                f"{event.mutex.label}"
             )
         new_owner = event.mutex.release(thread)
         event.condition.add_waiter(thread)

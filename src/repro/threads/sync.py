@@ -6,6 +6,13 @@ returns which threads the runtime must wake; the runtime performs the
 actual state transitions and scheduler notifications.  All wait queues are
 FIFO, and mutex release hands ownership directly to the first waiter
 (avoiding convoys and making runs deterministic).
+
+Unnamed objects are numbered lazily by the :class:`~repro.threads.
+runtime.Runtime` that first interprets an event on them (see
+``Runtime.register_sync``), never by a class-level counter: per-runtime
+numbering keeps auto-generated names -- and with them trace signatures
+and diagnostics -- identical no matter how many sync objects earlier
+tests or runs created in the same process.
 """
 
 from __future__ import annotations
@@ -17,14 +24,28 @@ from repro.threads.errors import SyncError
 from repro.threads.thread import ActiveThread
 
 
-class Mutex:
-    """A blocking mutual-exclusion lock with direct handoff."""
+class SyncObject:
+    """Base for the sync vocabulary: a lazily named, kinded object."""
 
-    _next_id = 0
+    #: short kind tag used for auto-generated names ("mutex-3")
+    kind = "sync"
 
     def __init__(self, name: Optional[str] = None):
-        Mutex._next_id += 1
-        self.name = name or f"mutex-{Mutex._next_id}"
+        self.name = name
+
+    @property
+    def label(self) -> str:
+        """Display name; stable once a runtime has registered the object."""
+        return self.name if self.name is not None else f"{self.kind}(unnamed)"
+
+
+class Mutex(SyncObject):
+    """A blocking mutual-exclusion lock with direct handoff."""
+
+    kind = "mutex"
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name)
         self.owner: Optional[ActiveThread] = None
         self._waiters: Deque[ActiveThread] = deque()
 
@@ -34,14 +55,14 @@ class Mutex:
             self.owner = thread
             return True
         if self.owner is thread:
-            raise SyncError(f"{thread} re-acquired non-recursive {self.name}")
+            raise SyncError(f"{thread} re-acquired non-recursive {self.label}")
         self._waiters.append(thread)
         return False
 
     def release(self, thread: ActiveThread) -> Optional[ActiveThread]:
         """Release the lock; returns the waiter that now owns it, if any."""
         if self.owner is not thread:
-            raise SyncError(f"{thread} released {self.name} it does not own")
+            raise SyncError(f"{thread} released {self.label} it does not own")
         if self._waiters:
             self.owner = self._waiters.popleft()
             return self.owner
@@ -54,16 +75,15 @@ class Mutex:
         return len(self._waiters)
 
 
-class Semaphore:
+class Semaphore(SyncObject):
     """A counting semaphore with FIFO wakeup and direct handoff."""
 
-    _next_id = 0
+    kind = "sem"
 
     def __init__(self, count: int = 0, name: Optional[str] = None):
         if count < 0:
             raise ValueError("semaphore count must be non-negative")
-        Semaphore._next_id += 1
-        self.name = name or f"sem-{Semaphore._next_id}"
+        super().__init__(name)
         self.count = count
         self._waiters: Deque[ActiveThread] = deque()
 
@@ -89,16 +109,15 @@ class Semaphore:
         return len(self._waiters)
 
 
-class Barrier:
+class Barrier(SyncObject):
     """A cyclic barrier for a fixed number of parties."""
 
-    _next_id = 0
+    kind = "barrier"
 
     def __init__(self, parties: int, name: Optional[str] = None):
         if parties < 1:
             raise ValueError("barrier needs at least one party")
-        Barrier._next_id += 1
-        self.name = name or f"barrier-{Barrier._next_id}"
+        super().__init__(name)
         self.parties = parties
         self._waiters: List[ActiveThread] = []
         self.generation = 0
@@ -124,14 +143,13 @@ class Barrier:
         return len(self._waiters)
 
 
-class Condition:
+class Condition(SyncObject):
     """A condition variable used with an external mutex."""
 
-    _next_id = 0
+    kind = "cond"
 
     def __init__(self, name: Optional[str] = None):
-        Condition._next_id += 1
-        self.name = name or f"cond-{Condition._next_id}"
+        super().__init__(name)
         self._waiters: Deque[ActiveThread] = deque()
 
     def add_waiter(self, thread: ActiveThread) -> None:

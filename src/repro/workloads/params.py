@@ -61,6 +61,7 @@ class PhotoParams:
     halo: int = 4  # neighbour rows read on each side
     passes: int = 1
     compute_per_row: int = 2_000
+    image_seed: int = 99  # pixmap content generator seed
 
     @staticmethod
     def paper_scale() -> "PhotoParams":

@@ -68,7 +68,7 @@ class PhotoWorkload(Workload):
 
     def build(self, runtime) -> None:
         p = self.params
-        rng = np.random.default_rng(99)
+        rng = np.random.default_rng(p.image_seed)
         self.image = rng.integers(
             0, 256, size=(p.height, p.width, PIXEL_BYTES), dtype=np.uint8
         )

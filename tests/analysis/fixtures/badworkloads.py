@@ -1,0 +1,173 @@
+"""Deliberately buggy fixture workloads for the analysis passes.
+
+Each class plants exactly the defect its name says, so the tests can
+assert the linter reports the right code for the right pair -- the
+analysis analogue of the fault campaign's seeded chaos.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.machine.address import Region
+from repro.threads.events import (
+    Acquire,
+    BarrierWait,
+    Compute,
+    Join,
+    Release,
+    Touch,
+)
+from repro.threads.sync import Barrier, Mutex
+from repro.workloads.base import Workload
+
+
+class MisannotatedWorkload(Workload):
+    """Every annotation bug at once, on separate thread pairs.
+
+    - ``sharer-a``/``sharer-b`` overlap on most of a shared region but
+      carry NO annotation -> AN001 missing-edge;
+    - ``loner-a``/``loner-b`` touch disjoint regions but annotate
+      ``q=0.9`` -> AN002 spurious-edge;
+    - ``half-a``/``half-b`` overlap on ~half of ``half-a``'s footprint
+      but annotate ``q=1.0`` -> AN003 mis-weighted-edge.
+    """
+
+    name = "misannotated"
+
+    def __init__(self) -> None:
+        self.shared: Optional[Region] = None
+
+    def build(self, runtime) -> None:
+        shared = runtime.alloc_lines("fixture-shared", 32)
+        private_a = runtime.alloc_lines("fixture-private-a", 32)
+        private_b = runtime.alloc_lines("fixture-private-b", 32)
+        half = runtime.alloc_lines("fixture-half", 32)
+        self.shared = shared
+        gate = Barrier(2, name="fixture-gate")
+
+        def toucher(region: Region, lo: int, hi: int,
+                    sync: Optional[Barrier] = None) -> Generator:
+            # two passes so both threads revisit the shared lines after
+            # the other's first touch (the linter's temporal evidence)
+            for _ in range(2):
+                yield Touch(region.line_slice(lo, hi - lo))
+                yield Compute(100)
+                if sync is not None:
+                    yield BarrierWait(sync)
+
+        tid_a = runtime.at_create(
+            toucher(shared, 0, 32, gate), name="sharer-a"
+        )
+        tid_b = runtime.at_create(
+            toucher(shared, 0, 32, gate), name="sharer-b"
+        )
+        # AN001: tid_a/tid_b share everything; deliberately unannotated.
+
+        lon_a = runtime.at_create(toucher(private_a, 0, 32), name="loner-a")
+        lon_b = runtime.at_create(toucher(private_b, 0, 32), name="loner-b")
+        runtime.at_share(lon_a, lon_b, 0.9)  # AN002: nothing shared
+
+        half_a = runtime.at_create(toucher(half, 0, 32), name="half-a")
+        half_b = runtime.at_create(toucher(half, 16, 32), name="half-b")
+        runtime.at_share(half_a, half_b, 1.0)  # AN003: overlap is ~0.5
+
+
+class ABBAWorkload(Workload):
+    """The classic AB/BA lock-order bug, serialised so it cannot deadlock.
+
+    ``first`` takes A then B; ``second`` (which joins ``first`` before
+    touching any lock) takes B then A.  The run always completes -- the
+    orders never overlap in time -- so PR 1's runtime sees nothing wrong;
+    only an *unlucky* schedule of an un-serialised variant would ever
+    deadlock.  Both the static scan and the dynamic lock-order graph must
+    still flag the cycle (LK001): the hazard is in the order, not in the
+    schedule that happened.
+    """
+
+    name = "abba"
+
+    def __init__(self) -> None:
+        self.mutex_a = Mutex(name="lock-a")
+        self.mutex_b = Mutex(name="lock-b")
+
+    def build(self, runtime) -> None:
+        region = runtime.alloc_lines("abba-data", 8)
+
+        def first() -> Generator:
+            yield Acquire(self.mutex_a)
+            yield Acquire(self.mutex_b)
+            yield Touch(region.lines(), write=True)
+            yield Release(self.mutex_b)
+            yield Release(self.mutex_a)
+
+        def second(first_tid: int) -> Generator:
+            yield Join(first_tid)
+            yield Acquire(self.mutex_b)
+            yield Acquire(self.mutex_a)
+            yield Touch(region.lines(), write=True)
+            yield Release(self.mutex_a)
+            yield Release(self.mutex_b)
+
+        tid = runtime.at_create(first, name="abba-first")
+        runtime.at_create(lambda: second(tid), name="abba-second")
+
+
+class LeakyLockWorkload(Workload):
+    """Blocks while holding one mutex (LK002) and finishes still owning
+    another (LK003); completes normally, so only analysis notices."""
+
+    name = "leakylock"
+
+    def __init__(self) -> None:
+        self.held = Mutex(name="held-across-join")
+        self.leaked = Mutex(name="never-released")
+
+    def build(self, runtime) -> None:
+        region = runtime.alloc_lines("leaky-data", 4)
+
+        def child() -> Generator:
+            yield Touch(region.lines())
+            yield Compute(50)
+
+        def parent() -> Generator:
+            tid = runtime.at_create(child, name="leaky-child")
+            yield Acquire(self.held)
+            yield Join(tid)  # LK002: blocking while holding
+            yield Release(self.held)
+            yield Acquire(self.leaked)
+            yield Compute(10)
+            # LK003: body ends without releasing
+
+        runtime.at_create(parent, name="leaky-parent")
+
+
+class RacyWorkload(Workload):
+    """Two unsynchronized writers over one region (RS001), plus a
+    properly-locked pair over another region that must stay clean."""
+
+    name = "racy"
+
+    def __init__(self) -> None:
+        self.lock = Mutex(name="clean-lock")
+
+    def build(self, runtime) -> None:
+        racy = runtime.alloc_lines("racy-region", 16)
+        clean = runtime.alloc_lines("clean-region", 16)
+
+        def unsynced(name: str) -> Generator:
+            for _ in range(2):
+                yield Touch(racy.lines(), write=True)
+                yield Compute(50)
+
+        def locked() -> Generator:
+            for _ in range(2):
+                yield Acquire(self.lock)
+                yield Touch(clean.lines(), write=True)
+                yield Compute(50)
+                yield Release(self.lock)
+
+        runtime.at_create(unsynced("w1"), name="racer-1")
+        runtime.at_create(unsynced("w2"), name="racer-2")
+        runtime.at_create(locked, name="locked-1")
+        runtime.at_create(locked, name="locked-2")

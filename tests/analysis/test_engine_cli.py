@@ -1,0 +1,89 @@
+"""The analyze driver and its CLI surface: determinism, baseline gate."""
+
+from repro.analysis.engine import (
+    analyze_workload,
+    lint_workload_names,
+    run_analysis,
+)
+from repro.cli import main
+
+
+def test_registry_names_are_the_paper_workloads():
+    assert lint_workload_names() == ["merge", "photo", "tasks", "tsp"]
+
+
+def test_reports_are_byte_identical_across_runs():
+    first = run_analysis(workloads=["tsp"]).render()
+    second = run_analysis(workloads=["tsp"]).render()
+    assert first == second
+    assert first  # tsp has known (baselined) findings
+
+
+def test_unknown_pass_rejected():
+    import pytest
+
+    with pytest.raises(ValueError):
+        analyze_workload("tasks", passes=("nonsense",))
+
+
+def test_checked_in_baseline_covers_current_findings():
+    """The CI gate's exact invariant: a full run against the committed
+    baseline produces zero *new* diagnostics."""
+    report = run_analysis(baseline_path="analysis-baseline.txt")
+    assert report.new_diagnostics() == []
+    assert report.diagnostics  # merge/tsp findings exist and are baselined
+
+
+def test_cli_analyze_clean_workload_exits_zero(capsys):
+    code = main(["analyze", "--workload", "tasks"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "0 new" in out
+
+
+def test_cli_analyze_findings_without_baseline_exit_one(capsys):
+    code = main(["analyze", "--workload", "tsp"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "AN001" in out
+
+
+def test_cli_analyze_baseline_roundtrip(tmp_path, capsys):
+    baseline = str(tmp_path / "base.txt")
+    code = main(
+        ["analyze", "--workload", "tsp", "--baseline", baseline,
+         "--write-baseline"]
+    )
+    assert code == 0
+    capsys.readouterr()
+    code = main(["analyze", "--workload", "tsp", "--baseline", baseline])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "(baseline)" in out
+
+
+def test_cli_analyze_unknown_workload_exits_two(capsys):
+    assert main(["analyze", "--workload", "nope"]) == 2
+
+
+def test_cli_analyze_pass_selection(capsys):
+    code = main(["analyze", "--workload", "tsp", "--pass", "locks"])
+    out = capsys.readouterr().out
+    assert code == 0  # tsp's findings are annotation findings
+    assert "AN00" not in out
+
+
+def test_cli_lint_shipped_source_exits_zero(capsys):
+    code = main(["lint"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "0 finding(s)" in out
+
+
+def test_cli_lint_flags_bad_file(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nT = time.time()\n")
+    code = main(["lint", str(bad)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "DT003" in out

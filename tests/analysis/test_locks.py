@@ -1,0 +1,79 @@
+"""Lock-order analysis: static + dynamic cycles, held-lock hygiene."""
+
+from repro.analysis.engine import analyze_workload
+from repro.analysis.locks import LockGraph, scan_workload_class
+from repro.workloads.mergesort import MergeWorkload
+from repro.workloads.tasks import TasksWorkload
+from repro.workloads.tsp import TspWorkload
+
+from tests.analysis.fixtures.badworkloads import (
+    ABBAWorkload,
+    LeakyLockWorkload,
+)
+
+
+def test_lock_graph_finds_canonical_cycle():
+    graph = LockGraph()
+    graph.add("a", "b", None)
+    graph.add("b", "c", None)
+    graph.add("c", "a", None)
+    graph.add("a", "x", None)  # dead-end edge must not disturb the cycle
+    assert graph.cycles() == [["a", "b", "c"]]
+
+
+def test_lock_graph_acyclic_is_quiet():
+    graph = LockGraph()
+    graph.add("a", "b", None)
+    graph.add("b", "c", None)
+    assert graph.cycles() == []
+    assert graph.cycle_diagnostics("locks(t)") == []
+
+
+def test_static_scan_flags_abba_with_anchor():
+    """The AB/BA hazard is visible from the workload source alone --
+    before any run, let alone PR 1's runtime deadlock detector."""
+    graph, rel = scan_workload_class(ABBAWorkload)
+    assert graph.cycles() == [["self.mutex_a", "self.mutex_b"]]
+    diags = graph.cycle_diagnostics("locks(abba):static")
+    assert len(diags) == 1
+    assert diags[0].code == "LK001"
+    assert diags[0].anchor and "badworkloads.py:" in diags[0].anchor
+    assert "self.mutex_a -> self.mutex_b -> self.mutex_a" in diags[0].message
+
+
+def test_dynamic_pass_flags_abba_even_though_run_completes():
+    """The fixture serialises the two orders, so the run finishes and
+    the runtime never raises DeadlockError -- the analysis still must."""
+    found = analyze_workload(
+        "abba", workload_factory=ABBAWorkload, passes=("locks",)
+    )
+    dynamic = [
+        d for d in found if d.code == "LK001" and d.source == "locks(abba)"
+    ]
+    assert len(dynamic) == 1
+    assert "lock-a -> lock-b -> lock-a" in dynamic[0].message
+
+
+def test_blocking_and_finishing_while_holding():
+    found = analyze_workload(
+        "leakylock", workload_factory=LeakyLockWorkload, passes=("locks",)
+    )
+    lk002 = [d for d in found if d.code == "LK002"]
+    lk003 = [d for d in found if d.code == "LK003"]
+    assert len(lk002) == 1
+    assert "held-across-join" in lk002[0].message
+    assert "join(leaky-child)" in lk002[0].message
+    assert len(lk003) == 1
+    assert "never-released" in lk003[0].message
+
+
+def test_shipped_workloads_are_lock_clean():
+    for name in ("tasks", "merge", "tsp"):
+        found = analyze_workload(name, passes=("locks",))
+        assert found == [], f"{name}: {[d.render() for d in found]}"
+
+
+def test_static_scan_of_shipped_workloads_is_cycle_free():
+    for cls in (MergeWorkload, TasksWorkload, TspWorkload):
+        graph, _rel = scan_workload_class(cls)
+        assert graph.cycles() == []

@@ -1,10 +1,33 @@
 """Tests for the synchronisation objects (runtime-agnostic semantics)."""
 
-import pytest
+from dataclasses import replace
 
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.configs import SMALL
+from repro.machine.smp import Machine
+from repro.sched.fcfs import FCFSScheduler
+from repro.sched.locality import make_crt, make_lff
 from repro.threads.errors import SyncError
+from repro.threads.events import (
+    Acquire,
+    Compute,
+    CondBroadcast,
+    CondSignal,
+    Release,
+)
+from repro.threads.runtime import Runtime
 from repro.threads.sync import Barrier, Condition, Mutex, Semaphore
-from repro.threads.thread import ActiveThread
+from repro.threads.thread import ActiveThread, ThreadState
+
+
+def _runtime(scheduler=None, num_cpus=2):
+    config = replace(SMALL, name="sync-test", num_cpus=num_cpus)
+    machine = Machine(config, seed=3)
+    return Runtime(machine, scheduler or FCFSScheduler(
+        model_scheduler_memory=False))
 
 
 def thread(tid):
@@ -126,6 +149,30 @@ class TestBarrier:
             Barrier(0)
 
 
+class TestBarrierReuse:
+    def test_same_threads_can_reuse_after_release(self):
+        b = Barrier(2)
+        a, bb = thread(1), thread(2)
+        assert b.arrive(a) is None
+        assert b.arrive(bb) == [a]
+        # round two with the same threads: state fully reset
+        assert b.waiting == 0
+        assert b.arrive(bb) is None
+        assert b.arrive(a) == [bb]
+        assert b.generation == 2
+        assert b.waiting == 0
+
+    def test_generations_do_not_mix_waiters(self):
+        b = Barrier(3)
+        a, bb, c = thread(1), thread(2), thread(3)
+        b.arrive(a)
+        b.arrive(bb)
+        b.arrive(c)
+        late = thread(4)
+        assert b.arrive(late) is None
+        assert b.waiting == 1  # only the new generation's arrival
+
+
 class TestCondition:
     def test_signal_pops_fifo(self):
         c = Condition()
@@ -146,3 +193,115 @@ class TestCondition:
 
     def test_signal_empty_is_none(self):
         assert Condition().signal() is None
+
+    def test_broadcast_empty_is_empty(self):
+        c = Condition()
+        assert c.broadcast() == []
+        assert c.queue_length == 0
+
+
+class TestRuntimeNaming:
+    """Unnamed sync objects are named per-runtime, not per-process."""
+
+    def _first_mutex_name(self):
+        runtime = _runtime()
+        mutex = Mutex()
+
+        def body():
+            yield Acquire(mutex)
+            yield Compute(10)
+            yield Release(mutex)
+
+        runtime.at_create(body, name="t")
+        runtime.run()
+        return mutex.name
+
+    def test_fresh_runtimes_restart_the_counter(self):
+        # before the per-runtime registry, a class-level counter leaked
+        # across runtimes and the second run saw mutex-2
+        assert self._first_mutex_name() == "mutex-1"
+        assert self._first_mutex_name() == "mutex-1"
+
+    def test_explicit_names_are_kept(self):
+        runtime = _runtime()
+        mutex = Mutex(name="my-lock")
+        runtime.register_sync(mutex)
+        assert mutex.name == "my-lock"
+
+    def test_kinds_count_independently(self):
+        runtime = _runtime()
+        m1, m2, b = Mutex(), Mutex(), Barrier(2)
+        for obj in (m1, m2, b):
+            runtime.register_sync(obj)
+        assert (m1.name, m2.name, b.name) == ("mutex-1", "mutex-2",
+                                              "barrier-1")
+
+
+class TestRuntimeCondition:
+    def test_signal_and_broadcast_with_empty_queue_are_noops(self):
+        runtime = _runtime()
+        mutex = Mutex(name="m")
+        cond = Condition(name="c")
+
+        def notifier():
+            yield Acquire(mutex)
+            yield CondSignal(cond)     # nobody waiting: must not wake,
+            yield CondBroadcast(cond)  # must not corrupt, must not block
+            yield Release(mutex)
+            yield Compute(10)
+
+        runtime.at_create(notifier, name="notifier")
+        runtime.run()
+        assert all(
+            t.state is ThreadState.DONE for t in runtime.threads.values()
+        )
+        assert cond.queue_length == 0
+        assert mutex.owner is None
+
+
+_STAGGER = st.lists(st.integers(1, 500), min_size=3, max_size=8)
+
+
+class TestHandoffFuzz:
+    """Mutex direct handoff is FIFO in request order under every policy."""
+
+    @staticmethod
+    def _contend(staggers, scheduler):
+        runtime = _runtime(scheduler)
+        mutex = Mutex(name="hot")
+        requested, acquired = [], []
+
+        def body(idx, stagger):
+            def gen():
+                yield Compute(stagger)
+                requested.append(idx)
+                yield Acquire(mutex)
+                acquired.append(idx)
+                yield Compute(50)
+                yield Release(mutex)
+
+            return gen
+
+        for i, stagger in enumerate(staggers):
+            runtime.at_create(body(i, stagger), name=f"c{i}")
+        runtime.run(max_events=100_000)
+        assert all(
+            t.state is ThreadState.DONE for t in runtime.threads.values()
+        )
+        assert mutex.owner is None and mutex.queue_length == 0
+        return requested, acquired
+
+    @given(staggers=_STAGGER)
+    @settings(max_examples=20, deadline=None)
+    def test_acquisition_follows_request_order(self, staggers):
+        for factory in (
+            lambda: FCFSScheduler(model_scheduler_memory=False),
+            lambda: make_lff(model_scheduler_memory=False),
+            lambda: make_crt(model_scheduler_memory=False),
+        ):
+            requested, acquired = self._contend(staggers, factory())
+            assert sorted(acquired) == list(range(len(staggers)))
+            # whoever asks first gets the lock first: release hands the
+            # mutex directly to the head of the wait queue, so no policy
+            # and no stagger pattern can reorder or starve a waiter
+            assert acquired == requested
