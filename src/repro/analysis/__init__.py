@@ -13,11 +13,15 @@ deterministic ordering, baseline suppression):
 - :mod:`repro.analysis.races` -- a vector-clock happens-before sanitizer
   over the event stream (RS001);
 - :mod:`repro.analysis.determinism` -- ``repro-lint``, guarding the
-  simulator's own source against nondeterminism (DT001-DT004).
+  simulator's own source against nondeterminism (DT001-DT005);
+- :mod:`repro.analysis.mc` -- the exhaustive schedule model checker
+  (stateless search + DPOR) and the symbolic cache-model verification
+  (MC001-MC005).
 
-Entry points: ``repro analyze`` and ``repro lint`` in :mod:`repro.cli`,
-or :func:`repro.analysis.engine.run_analysis` programmatically.  See
-docs/ANALYSIS.md for the code registry and suppression workflow.
+Entry points: ``repro analyze``, ``repro lint``, and ``repro mc`` in
+:mod:`repro.cli`, or :func:`repro.analysis.engine.run_analysis`
+programmatically.  See docs/ANALYSIS.md for the code registry and
+suppression workflow.
 """
 
 from repro.analysis.annotations import AnnotationAuditor

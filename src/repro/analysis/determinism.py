@@ -16,6 +16,10 @@ quietly breaks it:
 - ``DT004`` iteration over a value of set type in places where order can
   leak into scheduling or results (``for x in some_set``, or feeding a
   set to ``np.fromiter``); ``sorted(...)`` launders.
+- ``DT005`` iteration over a dict keyed by ``id(...)``: insertion order
+  follows memory layout, so ``for k in d`` / ``d.items()`` over such a
+  dict can leak address-space nondeterminism into scheduling or results.
+  Keyed *lookups* (``seen[id(t)]``) are fine; only iteration fires.
 
 Suppress a finding by appending ``# repro-lint: ignore`` to its line.
 
@@ -35,7 +39,7 @@ from typing import List, Optional, Set
 from repro.analysis.diagnostics import Diagnostic
 
 #: default lint targets, relative to the package root's parent (``src``)
-DEFAULT_TARGETS = ("repro/sched", "repro/sim", "repro/machine")
+DEFAULT_TARGETS = ("repro/sched", "repro/sim", "repro/machine", "repro/threads")
 
 SUPPRESS_MARK = "repro-lint: ignore"
 
@@ -74,11 +78,21 @@ def _is_default_rng(call: ast.Call) -> bool:
     return False
 
 
+def _is_id_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "id"
+    )
+
+
 class _SetTracker(ast.NodeVisitor):
-    """Track, per function scope, which local names hold set values."""
+    """Track, per function scope, which local names hold set values (and
+    which hold dicts keyed by ``id(...)``)."""
 
     def __init__(self) -> None:
         self.set_names: Set[str] = set()
+        self.id_dict_names: Set[str] = set()
 
     def is_setish(self, node: ast.AST) -> bool:
         if isinstance(node, (ast.Set, ast.SetComp)):
@@ -100,6 +114,13 @@ class _SetTracker(ast.NodeVisitor):
             return self.is_setish(node.left) or self.is_setish(node.right)
         if isinstance(node, ast.Name):
             return node.id in self.set_names
+        return False
+
+    def is_id_dict(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Dict):
+            return any(k is not None and _is_id_call(k) for k in node.keys)
+        if isinstance(node, ast.Name):
+            return node.id in self.id_dict_names
         return False
 
 
@@ -152,7 +173,36 @@ class _FileLinter(ast.NodeVisitor):
             for target in node.targets:
                 if isinstance(target, ast.Name):
                     self._tracker.set_names.discard(target.id)
+        if self._tracker.is_id_dict(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._tracker.id_dict_names.add(target.id)
+        for target in node.targets:
+            # d[id(x)] = ... marks d as an id-keyed dict from here on
+            if (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Name)
+                and _is_id_call(target.slice)
+            ):
+                self._tracker.id_dict_names.add(target.value.id)
         self.generic_visit(node)
+
+    def _check_id_dict_iteration(self, iter_node: ast.AST) -> None:
+        """DT005 for ``for k in d`` / ``d.items()`` over an id-keyed dict."""
+        target = iter_node
+        if (
+            isinstance(iter_node, ast.Call)
+            and isinstance(iter_node.func, ast.Attribute)
+            and iter_node.func.attr in ("items", "keys", "values")
+        ):
+            target = iter_node.func.value
+        if self._tracker.is_id_dict(target):
+            self._emit(
+                "DT005",
+                iter_node.lineno,
+                "iterating a dict keyed by id(...) follows memory layout, "
+                "not a stable order; key by tid or sort explicitly",
+            )
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
         self.generic_visit(node)
@@ -203,6 +253,7 @@ class _FileLinter(ast.NodeVisitor):
                 "iteration over a set has arbitrary order; wrap in "
                 "sorted(...) if order can reach results or scheduling",
             )
+        self._check_id_dict_iteration(node.iter)
         self.generic_visit(node)
 
     def visit_comprehension(self, node: ast.comprehension) -> None:
@@ -213,6 +264,7 @@ class _FileLinter(ast.NodeVisitor):
                 "comprehension over a set has arbitrary order; wrap in "
                 "sorted(...) if order can reach results or scheduling",
             )
+        self._check_id_dict_iteration(node.iter)
         self.generic_visit(node)
 
 

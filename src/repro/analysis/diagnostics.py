@@ -32,6 +32,24 @@ DT002   warning   hidden-seed: ``default_rng(<literal>)`` buried in an
 DT003   error     wall-clock: reading host time inside the simulation
 DT004   warning   unordered-iteration: iterating a set (or set-valued
                   name) where order can leak into results
+DT005   warning   id-keyed-dict-iteration: iterating a dict keyed by
+                  ``id(...)`` -- insertion order follows memory layout,
+                  which is not stable across runs
+MC001   error     unpredicted-deadlock: the model checker reached a
+                  deadlock that the lock-order pass does not predict
+MC002   error     sync-order-violation: non-FIFO mutex/semaphore handoff
+                  or a barrier generation-safety breach in some explored
+                  interleaving
+MC003   error     result-divergence: two explored interleavings produced
+                  different final workload results (the "hints never
+                  affect correctness" theorem is violated)
+MC004   error     priority-update-violation: an LFF context switch
+                  touched a thread that is neither the blocker nor one
+                  of its d graph-successors, or touched more than 1+d
+                  entries
+MC005   error     cache-model-violation: the closed-form footprint
+                  formulas disagree with the brute-forced birth-death
+                  chain, or a case-3 reduction / monotonicity law fails
 ======  ========  ======================================================
 """
 
@@ -55,6 +73,12 @@ CODES: Dict[str, Tuple[str, str]] = {
     "DT002": ("warning", "hidden-seed"),
     "DT003": ("error", "wall-clock"),
     "DT004": ("warning", "unordered-iteration"),
+    "DT005": ("warning", "id-keyed-dict-iteration"),
+    "MC001": ("error", "unpredicted-deadlock"),
+    "MC002": ("error", "sync-order-violation"),
+    "MC003": ("error", "result-divergence"),
+    "MC004": ("error", "priority-update-violation"),
+    "MC005": ("error", "cache-model-violation"),
 }
 
 
@@ -151,6 +175,25 @@ def write_baseline(path: str, report: Report) -> None:
         lines.append(f"{diag.fingerprint()}  {diag.code} {diag.message}")
     with open(path, "w", encoding="utf-8") as fh:
         fh.write("\n".join(lines) + "\n")
+
+
+def refresh_baseline(path: str, report: Report) -> List[Diagnostic]:
+    """Regenerate the baseline at ``path`` from ``report`` -- unless the
+    report contains *new* error-severity findings.
+
+    Baselining a warning is a judgement call; baselining an error is how
+    real bugs get buried, so the refresh refuses and returns the blocking
+    errors instead of writing anything.  An empty return value means the
+    baseline file was rewritten.
+    """
+    report.baseline = load_baseline(path)
+    blocking = [
+        d for d in report.new_diagnostics() if d.severity == "error"
+    ]
+    if blocking:
+        return blocking
+    write_baseline(path, report)
+    return []
 
 
 def load_baseline(path: str) -> Set[str]:

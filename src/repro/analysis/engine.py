@@ -167,8 +167,16 @@ def run_analysis(
     passes: Tuple[str, ...] = PASSES,
     baseline_path: Optional[str] = None,
     with_lint: bool = False,
+    with_mc: bool = False,
+    mc_budget: str = "small",
 ) -> Report:
-    """Analyze the named workloads (default: all) into one report."""
+    """Analyze the named workloads (default: all) into one report.
+
+    ``with_mc`` additionally explores the model-checker fixtures and
+    verifies the cache model symbolically (``repro analyze --mc``) --
+    slower, so off by default; ``repro mc`` runs the same machinery with
+    its own richer output.
+    """
     from repro.analysis.diagnostics import load_baseline
 
     names = workloads if workloads else lint_workload_names()
@@ -177,6 +185,18 @@ def run_analysis(
         report.extend(analyze_workload(name, passes=passes))
     if with_lint:
         report.extend(lint_paths())
+    if with_mc:
+        from repro.analysis.mc import (
+            BUDGETS,
+            explore_all,
+            verify_cache_model,
+        )
+
+        budget = BUDGETS[mc_budget]
+        _results, mc_diags = explore_all(budget)
+        report.extend(mc_diags)
+        model_diags, _stats = verify_cache_model()
+        report.extend(model_diags)
     if baseline_path is not None:
         report.baseline = load_baseline(baseline_path)
     report.finalize()

@@ -1,0 +1,344 @@
+"""Small closed workloads the model checker explores exhaustively.
+
+Every fixture is a :class:`~repro.workloads.base.Workload` with one
+addition: :meth:`MCFixture.signature` reduces the final program state to
+a hashable value after the run.  The explorer re-executes the fixture
+under every non-equivalent schedule and asserts all signatures are
+bit-identical -- the dynamic form of the paper's core claim that
+annotations (and scheduling generally) are *hints* that can never change
+results.
+
+Fixtures are deliberately tiny (2--4 threads, a handful of scheduling
+intervals each) so the DPOR search terminates: the state space is the
+product of interleavings at every block/yield boundary.  Each fixture
+exercises one slice of the sync vocabulary:
+
+- ``counter``   mutex-protected shared counter with a yield *inside* the
+  critical section, forcing real contention on one CPU;
+- ``pipeline``  producer/consumer over a semaphore and a mutex;
+- ``phases``    barrier-phased accumulation (generation safety);
+- ``jointree``  in-body ``at_create`` + ``at_share`` annotations + joins,
+  giving the priority checker a thread with graph-successors;
+- ``condrelay`` condition-variable broadcast with the canonical
+  while-loop re-check.
+
+The underscore-prefixed "buggy" variants at the bottom seed known
+violations (LIFO mutex handoff, stuck barrier generation,
+order-dependent results, an unannotated semaphore deadlock); tests
+drive them through the explorer to prove each MC00x code actually
+fires.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple, Type
+
+from repro.threads import events as ev
+from repro.threads.sync import Barrier, Condition, Mutex, Semaphore
+from repro.threads.thread import ActiveThread
+from repro.workloads.base import Workload
+
+#: lines per private region -- small, so per-interval miss counts stay
+#: cheap and the priority tables fit comfortably
+_REGION_LINES = 4
+
+
+class MCFixture(Workload):
+    """A workload the explorer can fingerprint after the run."""
+
+    name = "mc-abstract"
+
+    def signature(self) -> Tuple[Any, ...]:
+        """Reduce the final state to a hashable, comparable value."""
+        raise NotImplementedError
+
+
+class CounterFixture(MCFixture):
+    """Mutex-protected counter; yields mid-critical-section."""
+
+    name = "counter"
+
+    def __init__(self, threads: int = 3, iters: int = 1,
+                 mutex_cls: Type[Mutex] = Mutex):
+        self.threads = threads
+        self.iters = iters
+        self.mutex_cls = mutex_cls
+        self.count = 0
+
+    def build(self, runtime) -> None:
+        self.count = 0
+        self.lock = self.mutex_cls("counter-lock")
+        self.shared = runtime.alloc_lines("counter-shared", _REGION_LINES)
+        for i in range(self.threads):
+            private = runtime.alloc_lines(f"counter-priv-{i}", _REGION_LINES)
+            runtime.at_create(self._body(private), name=f"inc-{i}")
+
+    def _body(self, private):
+        for _ in range(self.iters):
+            yield ev.touch_region(private, write=True)
+            yield ev.Acquire(self.lock)
+            value = self.count
+            yield ev.touch_region(self.shared, write=True)
+            # the yield sits inside the critical section: on one CPU this
+            # is the only way later threads pile up on the wait queue
+            yield ev.Yield()
+            self.count = value + 1
+            yield ev.Release(self.lock)
+
+    def signature(self) -> Tuple[Any, ...]:
+        return ("counter", self.count)
+
+
+class PipelineFixture(MCFixture):
+    """One producer, two consumers over a semaphore-guarded queue."""
+
+    name = "pipeline"
+
+    def __init__(self, items: int = 3):
+        self.items = items
+
+    def build(self, runtime) -> None:
+        self.queue: List[int] = []
+        self.consumed: Dict[str, List[int]] = {}
+        self.lock = Mutex("pipe-lock")
+        self.avail = Semaphore(0, "pipe-avail")
+        region = runtime.alloc_lines("pipe-buf", _REGION_LINES)
+        runtime.at_create(self._producer(region), name="producer")
+        # each consumer takes a fixed share so the run always terminates
+        quota, extra = divmod(self.items, 2)
+        for i, take in enumerate((quota + extra, quota)):
+            runtime.at_create(self._consumer(f"cons-{i}", take),
+                              name=f"cons-{i}")
+
+    def _producer(self, region):
+        for item in range(self.items):
+            yield ev.touch_region(region, write=True)
+            yield ev.Acquire(self.lock)
+            self.queue.append(item)
+            yield ev.Release(self.lock)
+            yield ev.SemPost(self.avail)
+
+    def _consumer(self, name: str, take: int):
+        got = self.consumed.setdefault(name, [])
+        for _ in range(take):
+            yield ev.SemWait(self.avail)
+            yield ev.Acquire(self.lock)
+            got.append(self.queue.pop(0))
+            yield ev.Release(self.lock)
+
+    def signature(self) -> Tuple[Any, ...]:
+        drained = tuple(sorted(
+            item for got in self.consumed.values() for item in got
+        ))
+        return ("pipeline", drained, tuple(self.queue))
+
+
+class PhasesFixture(MCFixture):
+    """Barrier-phased accumulation across three threads."""
+
+    name = "phases"
+
+    def __init__(self, threads: int = 3, phases: int = 2,
+                 barrier_cls: Type[Barrier] = Barrier):
+        self.threads = threads
+        self.phases = phases
+        self.barrier_cls = barrier_cls
+
+    def build(self, runtime) -> None:
+        self.totals: Dict[str, int] = {}
+        self.barrier = self.barrier_cls(self.threads, "phase-barrier")
+        for i in range(self.threads):
+            private = runtime.alloc_lines(f"phase-priv-{i}", _REGION_LINES)
+            runtime.at_create(self._body(f"ph-{i}", i, private),
+                              name=f"ph-{i}")
+
+    def _body(self, name: str, rank: int, private):
+        for phase in range(self.phases):
+            yield ev.touch_region(private, write=True)
+            self.totals[name] = self.totals.get(name, 0) + rank + phase
+            yield ev.BarrierWait(self.barrier)
+
+    def signature(self) -> Tuple[Any, ...]:
+        return (
+            "phases",
+            tuple(sorted(self.totals.items())),
+            self.barrier.generation,
+        )
+
+
+class JoinTreeFixture(MCFixture):
+    """A parent spawns two annotated children in-body and joins them.
+
+    The ``at_share`` edges give the parent graph-successors, so the
+    priority checker exercises the d > 0 branch of the O(d) update.
+    """
+
+    name = "jointree"
+
+    def build(self, runtime) -> None:
+        self.partials: Dict[int, int] = {}
+        self.total: Optional[int] = None
+        self.region = runtime.alloc_lines("join-shared", _REGION_LINES)
+        runtime.at_create(self._parent(runtime), name="parent")
+
+    def _parent(self, runtime):
+        yield ev.touch_region(self.region, write=True)
+        parent_tid = runtime.at_self()
+        kids = []
+        for i in range(2):
+            tid = runtime.at_create(self._child(i), name=f"child-{i}")
+            # children inherit a slice of the parent's working set
+            runtime.at_share(tid, parent_tid, 0.5)
+            kids.append(tid)
+        yield ev.Yield()
+        for tid in kids:
+            yield ev.Join(tid)
+        self.total = sum(self.partials.values())
+
+    def _child(self, rank: int):
+        yield ev.touch_region(self.region)
+        self.partials[rank] = (rank + 1) * 10
+        yield ev.Yield()
+
+    def signature(self) -> Tuple[Any, ...]:
+        return ("jointree", self.total, tuple(sorted(self.partials.items())))
+
+
+class CondRelayFixture(MCFixture):
+    """Broadcast wakeup with the canonical while-loop predicate check."""
+
+    name = "condrelay"
+
+    def build(self, runtime) -> None:
+        self.value: Optional[int] = None
+        self.records: List[Tuple[str, int]] = []
+        self.lock = Mutex("relay-lock")
+        self.cond = Condition("relay-cond")
+        runtime.at_create(self._setter(), name="setter")
+        for i in range(2):
+            runtime.at_create(self._waiter(f"wait-{i}"), name=f"wait-{i}")
+
+    def _setter(self):
+        yield ev.Acquire(self.lock)
+        self.value = 42
+        yield ev.CondBroadcast(self.cond)
+        yield ev.Release(self.lock)
+
+    def _waiter(self, name: str):
+        yield ev.Acquire(self.lock)
+        while self.value is None:
+            yield ev.CondWait(self.cond, self.lock)
+        self.records.append((name, self.value))
+        yield ev.Release(self.lock)
+
+    def signature(self) -> Tuple[Any, ...]:
+        return ("condrelay", self.value, tuple(sorted(self.records)))
+
+
+#: the clean fixture suite ``repro mc`` explores by default
+FIXTURES: Dict[str, Type[MCFixture]] = {
+    CounterFixture.name: CounterFixture,
+    PipelineFixture.name: PipelineFixture,
+    PhasesFixture.name: PhasesFixture,
+    JoinTreeFixture.name: JoinTreeFixture,
+    CondRelayFixture.name: CondRelayFixture,
+}
+
+
+# -- seeded-bug variants (test-only) ---------------------------------------
+
+
+class _LifoMutex(Mutex):
+    """Hands the lock to the *newest* waiter -- violates FIFO handoff."""
+
+    def release(self, thread: ActiveThread) -> Optional[ActiveThread]:
+        if self._waiters:
+            self.owner = self._waiters.pop()
+            return self.owner
+        return super().release(thread)
+
+
+class _StuckBarrier(Barrier):
+    """Wakes everyone but never advances the generation."""
+
+    def arrive(self, thread: ActiveThread) -> Optional[List[ActiveThread]]:
+        if len(self._waiters) + 1 < self.parties:
+            self._waiters.append(thread)
+            return None
+        woken = self._waiters
+        self._waiters = []
+        return woken
+
+
+class LifoCounterFixture(CounterFixture):
+    """Counter over a LIFO-handoff mutex: the explorer must flag MC002."""
+
+    name = "lifo-counter"
+
+    def __init__(self) -> None:
+        super().__init__(threads=3, iters=1, mutex_cls=_LifoMutex)
+
+
+class StuckBarrierFixture(PhasesFixture):
+    """Phases over a generation-stuck barrier: MC002."""
+
+    name = "stuck-barrier"
+
+    def __init__(self) -> None:
+        super().__init__(threads=3, phases=1, barrier_cls=_StuckBarrier)
+
+
+class OrderSignatureFixture(CounterFixture):
+    """A counter whose *signature* leaks acquisition order: MC003.
+
+    The final count is schedule-independent but the order log is not,
+    so distinct interleavings produce distinct signatures.
+    """
+
+    name = "order-signature"
+
+    def __init__(self) -> None:
+        super().__init__(threads=2, iters=1)
+
+    def build(self, runtime) -> None:
+        self.order: List[str] = []
+        super().build(runtime)
+
+    def _body(self, private):
+        base = super()._body(private)
+        first = next(base)
+        yield first
+        self.order.append(f"slot-{len(self.order)}-{self.count}")
+        for event in base:
+            yield event
+
+    def signature(self) -> Tuple[Any, ...]:
+        return ("order", self.count, tuple(self.order))
+
+
+class CrossSemDeadlockFixture(MCFixture):
+    """Two threads P() semaphores nobody ever posts: an *unpredicted*
+    deadlock (no mutex cycle for the static pass to anticipate): MC001."""
+
+    name = "cross-sem-deadlock"
+
+    def build(self, runtime) -> None:
+        self.sems = (Semaphore(0, "dead-a"), Semaphore(0, "dead-b"))
+        runtime.at_create(self._body(self.sems[0]), name="wait-a")
+        runtime.at_create(self._body(self.sems[1]), name="wait-b")
+
+    def _body(self, sem: Semaphore):
+        yield ev.Yield()
+        yield ev.SemWait(sem)
+
+    def signature(self) -> Tuple[Any, ...]:
+        return ("cross-sem-deadlock",)
+
+
+#: fixtures that must each trip their MC00x code (exercised by tests)
+BUGGY_FIXTURES: Dict[str, Type[MCFixture]] = {
+    LifoCounterFixture.name: LifoCounterFixture,
+    StuckBarrierFixture.name: StuckBarrierFixture,
+    OrderSignatureFixture.name: OrderSignatureFixture,
+    CrossSemDeadlockFixture.name: CrossSemDeadlockFixture,
+}

@@ -1,0 +1,170 @@
+"""Symbolic verification of the footprint formulas on small caches.
+
+The closed forms of :class:`~repro.core.model.SharedStateModel` (paper
+section 2.4) claim, for a direct-mapped cache of ``N`` lines with
+``k = (N-1)/N``::
+
+    case 1 (running)      E[F_A] = N - (N - S) * k**n
+    case 2 (independent)  E[F_B] = S * k**n
+    case 3 (dependent)    E[F_C] = qN - (qN - S) * k**n
+
+This pass brute-forces the underlying birth--death Markov chain
+(:func:`repro.core.markov.expectation_curve`) for every small cache size
+``N <= max_lines``, every initial footprint ``S`` and a grid of sharing
+coefficients ``q``, across ``n = 0 .. max_misses`` misses, and asserts:
+
+- **exactness**: the closed form agrees with the chain everywhere (the
+  recurrence ``E_{n+1} = k E_n + q`` solves to exactly case 3, so the
+  tolerance only absorbs float rounding);
+- **reductions**: case 3 collapses to case 1 at ``q = 1`` and to case 2
+  at ``q = 0`` for every ``(N, S, n)``;
+- **monotonicity in n**: the footprint moves monotonically towards the
+  asymptote ``qN`` -- upward from below, downward from above;
+- **monotonicity in q**: for fixed ``(N, S, n)`` the expectation never
+  decreases as the sharing coefficient grows.
+
+Any failure is an ``MC005`` diagnostic.  Tests inject a deliberately
+wrong model class to prove the pass actually discriminates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Type
+
+import numpy as np
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.core.markov import expectation_curve
+from repro.core.model import SharedStateModel
+
+SOURCE = "mc(model)"
+
+#: keep a pathological model from flooding the report
+MAX_REPORTED = 12
+
+
+class ModelCheckStats:
+    """Counters describing one verification sweep."""
+
+    def __init__(self) -> None:
+        self.checks = 0
+        self.configs = 0
+        self.failures = 0
+
+
+def _report(
+    found: List[str], stats: ModelCheckStats, message: str
+) -> None:
+    stats.failures += 1
+    if len(found) < MAX_REPORTED:
+        found.append(message)
+
+
+def verify_cache_model(
+    max_lines: int = 8,
+    max_misses: int = 16,
+    qs: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    tol: float = 1e-9,
+    model_cls: Type[SharedStateModel] = SharedStateModel,
+) -> Tuple[List[Diagnostic], ModelCheckStats]:
+    """Sweep all small configurations; return (diagnostics, stats)."""
+    stats = ModelCheckStats()
+    found: List[str] = []
+    misses = np.arange(max_misses + 1)
+    # the q-monotonicity check walks adjacent grid points in order
+    qs = tuple(sorted(qs))
+
+    for num_lines in range(2, max_lines + 1):
+        model = model_cls(num_lines)
+        for initial in range(num_lines + 1):
+            prev_curve: Optional[np.ndarray] = None
+            prev_q: Optional[float] = None
+            for q in qs:
+                stats.configs += 1
+                exact = expectation_curve(num_lines, q, initial, max_misses)
+                closed = np.asarray(
+                    model.expected_dependent(initial, q, misses), dtype=float
+                )
+
+                stats.checks += 1
+                gap = float(np.max(np.abs(closed - exact)))
+                if gap > tol:
+                    _report(
+                        found,
+                        stats,
+                        f"N={num_lines} S={initial} q={q:g}: closed form "
+                        f"deviates from the exact chain by {gap:.6g} "
+                        f"(tol {tol:g})",
+                    )
+
+                stats.checks += 1
+                if q == 1.0:
+                    reduced = np.asarray(
+                        model.expected_running(initial, misses), dtype=float
+                    )
+                    gap = float(np.max(np.abs(closed - reduced)))
+                    if gap > tol:
+                        _report(
+                            found,
+                            stats,
+                            f"N={num_lines} S={initial}: case 3 at q=1 "
+                            f"fails to reduce to case 1 (gap {gap:.6g})",
+                        )
+                elif q == 0.0:
+                    reduced = np.asarray(
+                        model.expected_independent(initial, misses),
+                        dtype=float,
+                    )
+                    gap = float(np.max(np.abs(closed - reduced)))
+                    if gap > tol:
+                        _report(
+                            found,
+                            stats,
+                            f"N={num_lines} S={initial}: case 3 at q=0 "
+                            f"fails to reduce to case 2 (gap {gap:.6g})",
+                        )
+
+                stats.checks += 1
+                steps = np.diff(closed)
+                asymptote = q * num_lines
+                if initial <= asymptote and np.any(steps < -tol):
+                    _report(
+                        found,
+                        stats,
+                        f"N={num_lines} S={initial} q={q:g}: footprint not "
+                        "monotonically nondecreasing towards the asymptote "
+                        f"{asymptote:.6g}",
+                    )
+                elif initial > asymptote and np.any(steps > tol):
+                    _report(
+                        found,
+                        stats,
+                        f"N={num_lines} S={initial} q={q:g}: footprint not "
+                        "monotonically nonincreasing towards the asymptote "
+                        f"{asymptote:.6g}",
+                    )
+
+                if prev_curve is not None and prev_q is not None:
+                    stats.checks += 1
+                    if np.any(closed - prev_curve < -tol):
+                        _report(
+                            found,
+                            stats,
+                            f"N={num_lines} S={initial}: expectation "
+                            f"decreased when q grew from {prev_q:g} to "
+                            f"{q:g}",
+                        )
+                prev_curve = closed
+                prev_q = q
+
+    if stats.failures > len(found):
+        found.append(
+            f"... and {stats.failures - len(found)} further model "
+            "violations suppressed"
+        )
+    diagnostics = [
+        Diagnostic(code="MC005", message=message, source=SOURCE)
+        for message in found
+    ]
+    diagnostics.sort(key=lambda d: d.sort_key)
+    return diagnostics, stats

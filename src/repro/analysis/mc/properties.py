@@ -1,0 +1,261 @@
+"""Per-state property checkers the explorer attaches to every run.
+
+Each checker observes the event stream of one exploration run and
+records violations as ``(code, message)`` pairs; the explorer
+deduplicates them across runs and surfaces them as ``MC002``/``MC004``
+diagnostics.  Checks that need to see the *effect* of an event are
+deferred: scheduled when the event is observed (before it mutates any
+state) and asserted at the next observation point, by which time the
+runtime has completed the operation atomically.
+
+- :class:`SyncOrderChecker` -- FIFO mutex handoff (release must hand the
+  lock to the head of the wait queue), FIFO semaphore wakeup, and
+  barrier generation safety (a full arrival advances the generation by
+  exactly one, wakes every earlier arrival, and no thread arrives twice
+  in one generation).
+- :class:`PriorityUpdateChecker` -- hosts a shadow LFF priority scheme
+  and asserts the paper's section 4 contract at every context switch:
+  the update touches exactly ``1 + d`` entries (the blocker plus its
+  ``d`` graph-successors) and the priority of every *independent* thread
+  is left bit-identical (the order-equivalence that makes O(d) updates
+  sound).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.model import SharedStateModel
+from repro.core.priorities import LFFScheme, PrecomputedTables, PriorityScheme
+from repro.threads import events as ev
+from repro.threads.thread import ActiveThread, ThreadState
+
+_AWAKE = (ThreadState.READY, ThreadState.RUNNING)
+
+#: shared k^n / log F tables keyed by cache size -- rebuilding them for
+#: each of the thousands of exploration runs would dominate the cost
+_TABLES: Dict[int, PrecomputedTables] = {}
+
+
+def _tables(num_lines: int) -> PrecomputedTables:
+    tables = _TABLES.get(num_lines)
+    if tables is None:
+        tables = PrecomputedTables(num_lines)
+        _TABLES[num_lines] = tables
+    return tables
+
+
+class PropertyChecker:
+    """Base: violation collection plus no-op hooks."""
+
+    def __init__(self) -> None:
+        self.violations: List[Tuple[str, str]] = []
+        self.runtime = None
+
+    def bind(self, runtime) -> None:
+        self.runtime = runtime
+
+    def report(self, code: str, message: str) -> None:
+        self.violations.append((code, message))
+
+    def on_event(self, cpu: int, thread: ActiveThread, event) -> None:
+        pass
+
+    def on_dispatched(self, cpu: int, thread: ActiveThread) -> None:
+        pass
+
+    def on_interval_end(
+        self, cpu: int, thread: ActiveThread, misses: int, finished: bool
+    ) -> None:
+        pass
+
+    def finish(self) -> None:
+        pass
+
+
+class SyncOrderChecker(PropertyChecker):
+    """FIFO handoff and barrier generation safety (``MC002``)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._pending: List[Callable[[], None]] = []
+        #: (barrier name, generation, tid) triples seen arriving
+        self._arrived: set = set()
+
+    def _flush(self) -> None:
+        pending, self._pending = self._pending, []
+        for check in pending:
+            check()
+
+    def on_event(self, cpu: int, thread: ActiveThread, event) -> None:
+        self._flush()
+        if isinstance(event, ev.Release):
+            self._on_release(event.mutex, thread)
+        elif isinstance(event, ev.SemPost):
+            self._on_post(event.semaphore)
+        elif isinstance(event, ev.BarrierWait):
+            self._on_arrive(event.barrier, thread)
+
+    def _on_release(self, mutex, thread: ActiveThread) -> None:
+        if not mutex.waiters:
+            return
+        expected = mutex.waiters[0]
+
+        def check() -> None:
+            owner = mutex.owner
+            if owner is not expected:
+                self.report(
+                    "MC002",
+                    f"{mutex.label}: release by {thread.name} handed the "
+                    f"lock to {owner.name if owner else 'nobody'}, but the "
+                    f"FIFO queue head was {expected.name}",
+                )
+
+        self._pending.append(check)
+
+    def _on_post(self, sem) -> None:
+        if sem.count > 0 or not sem.waiters:
+            return
+        expected = sem.waiters[0]
+
+        def check() -> None:
+            if expected.state not in _AWAKE or expected.waiting_on is sem:
+                self.report(
+                    "MC002",
+                    f"{sem.label}: post woke a waiter other than the FIFO "
+                    f"queue head {expected.name} "
+                    f"(still {expected.state.value})",
+                )
+
+        self._pending.append(check)
+
+    def _on_arrive(self, barrier, thread: ActiveThread) -> None:
+        generation = barrier.generation
+        key = (barrier.label, generation, thread.tid)
+        if key in self._arrived:
+            self.report(
+                "MC002",
+                f"{barrier.label}: {thread.name} arrived twice in "
+                f"generation {generation}",
+            )
+        self._arrived.add(key)
+        full = barrier.waiting + 1 == barrier.parties
+        earlier = barrier.waiters
+
+        def check_full() -> None:
+            if barrier.generation != generation + 1:
+                self.report(
+                    "MC002",
+                    f"{barrier.label}: full arrival left the generation at "
+                    f"{barrier.generation}, expected {generation + 1}",
+                )
+            if barrier.waiting != 0:
+                self.report(
+                    "MC002",
+                    f"{barrier.label}: full arrival left "
+                    f"{barrier.waiting} part(ies) still waiting",
+                )
+            for waiter in earlier:
+                if waiter.state not in _AWAKE:
+                    self.report(
+                        "MC002",
+                        f"{barrier.label}: full arrival left {waiter.name} "
+                        f"{waiter.state.value} in generation {generation}",
+                    )
+
+        def check_partial() -> None:
+            if barrier.generation != generation:
+                self.report(
+                    "MC002",
+                    f"{barrier.label}: partial arrival moved the generation "
+                    f"to {barrier.generation}",
+                )
+            if thread not in barrier.waiters:
+                self.report(
+                    "MC002",
+                    f"{barrier.label}: {thread.name} arrived but was not "
+                    "queued",
+                )
+
+        self._pending.append(check_full if full else check_partial)
+
+    def on_interval_end(
+        self, cpu: int, thread: ActiveThread, misses: int, finished: bool
+    ) -> None:
+        self._flush()
+
+    def finish(self) -> None:
+        self._flush()
+
+
+#: builds the shadow scheme; tests substitute a buggy scheme here
+SchemeFactory = Callable[..., PriorityScheme]
+
+
+class PriorityUpdateChecker(PropertyChecker):
+    """The section-4 O(d) priority-update contract (``MC004``)."""
+
+    def __init__(self, scheme_factory: Optional[SchemeFactory] = None) -> None:
+        super().__init__()
+        self.scheme_factory: SchemeFactory = scheme_factory or LFFScheme
+        self.scheme: Optional[PriorityScheme] = None
+
+    def bind(self, runtime) -> None:
+        super().bind(runtime)
+        num_lines = runtime.machine.config.l2_lines
+        self.scheme = self.scheme_factory(
+            SharedStateModel(num_lines),
+            runtime.graph,
+            runtime.machine.config.num_cpus,
+            tables=_tables(num_lines),
+        )
+
+    def on_dispatched(self, cpu: int, thread: ActiveThread) -> None:
+        assert self.scheme is not None
+        self.scheme.on_dispatch(cpu, thread.tid)
+
+    def on_interval_end(
+        self, cpu: int, thread: ActiveThread, misses: int, finished: bool
+    ) -> None:
+        assert self.scheme is not None
+        scheme = self.scheme
+        entries = scheme.entries(cpu)
+        before = {
+            tid: (entry.priority, entry.version)
+            for tid, entry in entries.items()
+        }
+        dependents = {dst for dst, _q in scheme.graph.dependents(thread.tid)}
+        degree = len(dependents)
+        touched = scheme.on_block(cpu, thread.tid, misses)
+        if touched != 1 + degree:
+            self.report(
+                "MC004",
+                f"priority update for {thread.name} touched {touched} "
+                f"entr(ies), expected 1 + d = {1 + degree}",
+            )
+        allowed = {thread.tid} | dependents
+        changed = sorted(
+            tid
+            for tid, entry in entries.items()
+            if before.get(tid) != (entry.priority, entry.version)
+        )
+        illegal = [tid for tid in changed if tid not in allowed]
+        if illegal:
+            self.report(
+                "MC004",
+                f"priority update for {thread.name} changed entries of "
+                f"independent thread(s) {illegal} (allowed: "
+                f"{sorted(allowed)})",
+            )
+        if finished:
+            scheme.forget(thread.tid)
+
+    def finish(self) -> None:
+        pass
+
+
+def default_checkers(
+    scheme_factory: Optional[SchemeFactory] = None,
+) -> List[PropertyChecker]:
+    """The checker set attached to every exploration run."""
+    return [SyncOrderChecker(), PriorityUpdateChecker(scheme_factory)]

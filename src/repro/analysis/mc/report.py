@@ -1,0 +1,72 @@
+"""Human-readable rendering of exploration and model-check results."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.mc.explorer import ExplorationResult
+from repro.analysis.mc.model_check import ModelCheckStats
+from repro.sim.report import format_table
+
+
+def format_explorations(results: Sequence[ExplorationResult]) -> str:
+    """The per-fixture exploration summary table."""
+    rows = []
+    for r in results:
+        rows.append(
+            (
+                r.fixture,
+                r.mode,
+                "dpor" if r.dpor else "exhaustive",
+                r.runs,
+                r.pruned,
+                r.nodes,
+                r.max_depth,
+                len(r.signatures),
+                "yes" if r.complete else "NO",
+            )
+        )
+    return format_table(
+        (
+            "fixture",
+            "mode",
+            "search",
+            "runs",
+            "pruned",
+            "nodes",
+            "depth",
+            "results",
+            "complete",
+        ),
+        rows,
+        title="schedule exploration",
+    )
+
+
+def format_model_check(stats: Optional[ModelCheckStats]) -> str:
+    """One line summarising the symbolic sweep."""
+    if stats is None:
+        return "cache-model verification: skipped"
+    verdict = "all hold" if stats.failures == 0 else f"{stats.failures} FAIL"
+    return (
+        f"cache-model verification: {stats.checks} checks over "
+        f"{stats.configs} (N, S, q) configurations -- {verdict}"
+    )
+
+
+def format_mc_report(
+    results: Sequence[ExplorationResult],
+    stats: Optional[ModelCheckStats],
+    diagnostics: Sequence[Diagnostic],
+) -> str:
+    """Full ``repro mc`` output: tables, then findings (if any)."""
+    parts: List[str] = [format_explorations(results), ""]
+    parts.append(format_model_check(stats))
+    parts.append("")
+    if diagnostics:
+        parts.append(f"-- {len(diagnostics)} finding(s):")
+        parts.extend(d.render() for d in diagnostics)
+    else:
+        parts.append("-- no findings: every explored interleaving agrees")
+    return "\n".join(parts)

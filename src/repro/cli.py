@@ -9,7 +9,9 @@ Commands:
 - ``experiment`` regenerate a paper table/figure by name;
 - ``faults run`` the fault-injection campaign (robustness contract);
 - ``analyze``    annotation lint / lock-order / race passes (byte-stable);
-- ``lint``       the repro-lint determinism pass over the simulator source.
+- ``lint``       the repro-lint determinism pass over the simulator source;
+- ``mc``         the schedule model checker (DPOR) + symbolic cache-model
+  verification (MC001-MC005).
 
 Everything is deterministic given ``--seed``.
 """
@@ -298,7 +300,34 @@ def _cmd_analyze(args) -> int:
         passes=passes if passes else ("annotations", "locks", "races"),
         baseline_path=args.baseline,
         with_lint=args.with_lint,
+        with_mc=args.mc,
+        mc_budget=args.mc_budget,
     )
+    if args.update_baseline:
+        from repro.analysis.diagnostics import refresh_baseline
+
+        if args.baseline is None:
+            print(
+                "repro analyze: --update-baseline needs --baseline FILE",
+                file=sys.stderr,
+            )
+            return 2
+        blocking = refresh_baseline(args.baseline, report)
+        if blocking:
+            print(
+                "repro analyze: refusing to update the baseline -- "
+                f"{len(blocking)} new error-severity finding(s) would be "
+                "buried:",
+                file=sys.stderr,
+            )
+            for diag in blocking:
+                print(f"  {diag.render()}", file=sys.stderr)
+            return 1
+        print(
+            f"updated {args.baseline} with {len(report.diagnostics)} "
+            "fingerprint(s)"
+        )
+        return 0
     if args.write_baseline:
         if args.baseline is None:
             print(
@@ -311,6 +340,48 @@ def _cmd_analyze(args) -> int:
         return 0
     print(report.render())
     return 1 if report.new_diagnostics() else 0
+
+
+def _cmd_mc(args) -> int:
+    from repro.analysis.mc import (
+        BUDGETS,
+        FIXTURES,
+        explore_all,
+        format_mc_report,
+        verify_cache_model,
+    )
+
+    fixtures = args.fixture or None
+    if fixtures:
+        unknown = [f for f in fixtures if f not in FIXTURES]
+        if unknown:
+            print(
+                "repro mc: unknown fixture(s) %s (choose from %s)"
+                % (", ".join(unknown), ", ".join(sorted(FIXTURES))),
+                file=sys.stderr,
+            )
+            return 2
+    results, diagnostics = explore_all(
+        BUDGETS[args.budget],
+        fixtures=fixtures,
+        dpor=not args.no_dpor,
+        chaos=not args.no_chaos,
+    )
+    stats = None
+    if not args.skip_model:
+        model_diags, stats = verify_cache_model()
+        diagnostics = sorted(
+            list(diagnostics) + model_diags, key=lambda d: d.sort_key
+        )
+    print(format_mc_report(results, stats, diagnostics))
+    incomplete = [r.label for r in results if not r.complete]
+    if incomplete:
+        print(
+            "warning: exploration incomplete (budget exhausted) for: "
+            + ", ".join(incomplete),
+            file=sys.stderr,
+        )
+    return 1 if diagnostics else 0
 
 
 def _cmd_lint(args) -> int:
@@ -441,6 +512,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--with-lint", action="store_true",
         help="also run the repro-lint determinism pass",
     )
+    analyze_p.add_argument(
+        "--mc", action="store_true",
+        help="also run the schedule model checker and the symbolic "
+        "cache-model verification (slower)",
+    )
+    analyze_p.add_argument(
+        "--mc-budget", choices=("small", "full"), default="small",
+        help="exploration budget for --mc (default: small)",
+    )
+    analyze_p.add_argument(
+        "--update-baseline", action="store_true",
+        help="regenerate --baseline from current findings, refusing if "
+        "new error-severity findings would be buried",
+    )
     analyze_p.set_defaults(func=_cmd_analyze)
 
     lint_p = sub.add_parser(
@@ -453,6 +538,33 @@ def build_parser() -> argparse.ArgumentParser:
         "repro/sim, repro/machine)",
     )
     lint_p.set_defaults(func=_cmd_lint)
+
+    mc_p = sub.add_parser(
+        "mc",
+        help="exhaustive schedule model checker (DPOR) + symbolic "
+        "cache-model verification",
+    )
+    mc_p.add_argument(
+        "--fixture", action="append",
+        help="fixture to explore (repeatable; default: all registered)",
+    )
+    mc_p.add_argument(
+        "--budget", choices=("small", "full"), default="small",
+        help="exploration budget (full raises the preemption bound to 1)",
+    )
+    mc_p.add_argument(
+        "--no-dpor", action="store_true",
+        help="disable partial-order reduction: enumerate every schedule",
+    )
+    mc_p.add_argument(
+        "--no-chaos", action="store_true",
+        help="skip the re-exploration under corrupted annotations",
+    )
+    mc_p.add_argument(
+        "--skip-model", action="store_true",
+        help="skip the symbolic cache-model sweep",
+    )
+    mc_p.set_defaults(func=_cmd_mc)
     return parser
 
 

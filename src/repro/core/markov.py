@@ -82,6 +82,40 @@ def expected_footprint_markov(
     return float(t[initial])
 
 
+def expectation_curve(
+    num_lines: int, q: float, initial: int, max_misses: int
+) -> np.ndarray:
+    """``E[F_C]`` for every miss count ``n = 0 .. max_misses`` at once.
+
+    One chain iteration yields the whole curve, so exhaustive sweeps (the
+    model checker's brute-force validation of the closed form) cost
+    O(N * max_misses) instead of O(N * max_misses**2) repeated calls to
+    :func:`expected_footprint_markov`.
+    """
+    if not 0 <= initial <= num_lines:
+        raise ValueError(f"initial footprint must be in [0, {num_lines}]")
+    if max_misses < 0:
+        raise ValueError("miss count must be non-negative")
+    n = num_lines
+    i = np.arange(n + 1, dtype=float)
+    up = q * (n - i) / n
+    down = (1.0 - q) * i / n
+    stay = 1.0 - up - down
+    t = i.copy()
+    curve = np.empty(max_misses + 1, dtype=float)
+    curve[0] = t[initial]
+    for step in range(1, max_misses + 1):
+        shifted_down = np.empty_like(t)
+        shifted_down[0] = 0.0
+        shifted_down[1:] = t[:-1]
+        shifted_up = np.empty_like(t)
+        shifted_up[-1] = 0.0
+        shifted_up[:-1] = t[1:]
+        t = down * shifted_down + stay * t + up * shifted_up
+        curve[step] = t[initial]
+    return curve
+
+
 def distribution_after(
     num_lines: int, q: float, initial: int, misses: int
 ) -> np.ndarray:

@@ -14,10 +14,13 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
-from repro.threads.errors import InvariantViolation
+from repro.threads.errors import HeapCorruption
 from repro.threads.thread import ActiveThread, ThreadState
+
+#: maps a thread to the live version of its priority entry (None if absent)
+VersionFn = Callable[[ActiveThread], Optional[int]]
 
 
 @dataclass(frozen=True, order=True)
@@ -40,6 +43,10 @@ class PriorityHeap:
         self._counter = 0
         self.pushes = 0
         self.pops = 0
+        #: back-map: tid -> number of entries (live or dead) currently in
+        #: the heap array.  Maintained on every push/pop/compact so
+        #: :meth:`validate` can cross-check the array against it.
+        self._by_tid: Dict[int, int] = {}
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -58,9 +65,20 @@ class PriorityHeap:
         )
         heapq.heappush(self._heap, entry)
         self.pushes += 1
+        self._by_tid[thread.tid] = self._by_tid.get(thread.tid, 0) + 1
         return max(1, len(self._heap)).bit_length()
 
-    def pop_valid(self, current_version) -> Tuple[Optional[HeapEntry], int]:
+    def _drop_from_map(self, entry: HeapEntry) -> None:
+        tid = entry.thread.tid
+        remaining = self._by_tid.get(tid, 0) - 1
+        if remaining > 0:
+            self._by_tid[tid] = remaining
+        else:
+            self._by_tid.pop(tid, None)
+
+    def pop_valid(
+        self, current_version: "VersionFn"
+    ) -> Tuple[Optional[HeapEntry], int]:
         """Pop the highest-priority *valid* entry.
 
         ``current_version(thread)`` maps a thread to the live version of
@@ -73,11 +91,12 @@ class PriorityHeap:
             entry = heapq.heappop(self._heap)
             pops += 1
             self.pops += 1
+            self._drop_from_map(entry)
             if self._is_valid(entry, current_version):
                 return entry, pops
         return None, pops
 
-    def _is_valid(self, entry: HeapEntry, current_version) -> bool:
+    def _is_valid(self, entry: HeapEntry, current_version: "VersionFn") -> bool:
         thread = entry.thread
         if thread.state is not ThreadState.READY:
             return False
@@ -85,7 +104,7 @@ class PriorityHeap:
             return False
         return current_version(thread) == entry.version
 
-    def min_valid(self, current_version) -> Optional[HeapEntry]:
+    def min_valid(self, current_version: "VersionFn") -> Optional[HeapEntry]:
         """The lowest-priority valid entry (an O(n) scan, used only by the
         rare work-stealing path: the paper steals "a thread with the
         lowest priority from a neighbor")."""
@@ -97,39 +116,65 @@ class PriorityHeap:
                 best = entry
         return best
 
-    def compact(self, current_version) -> int:
+    def compact(self, current_version: "VersionFn") -> int:
         """Drop dead entries in place; returns the surviving count.
         Called when dead entries accumulate, to bound heap size
         (section 5's heap-size concern)."""
         live = [e for e in self._heap if self._is_valid(e, current_version)]
         heapq.heapify(live)
         self._heap = live
+        self._by_tid = {}
+        for entry in live:
+            tid = entry.thread.tid
+            self._by_tid[tid] = self._by_tid.get(tid, 0) + 1
         return len(live)
+
+    def entries_for(self, tid: int) -> int:
+        """Entries (live or dead) a thread currently has in the heap,
+        from the back-map -- O(1), no array scan."""
+        return self._by_tid.get(tid, 0)
 
     def validate(self) -> None:
         """Check the heap's structural invariants; raises
-        :class:`InvariantViolation` on the first breach.
+        :class:`HeapCorruption` (a typed :class:`InvariantViolation`
+        subclass, never a bare ``AssertionError``) on the first breach.
 
-        Two properties must always hold, no matter how corrupted the
+        Three properties must always hold, no matter how corrupted the
         priorities fed to :meth:`push` were (they are hints):
 
         - the array satisfies the binary-heap order: every parent's sort
           key is <= both children's (min-heap on the negated priority);
-        - every entry's sort key is consistent with its recorded priority.
+        - every entry's sort key is consistent with its recorded priority;
+        - the per-thread back-map (:meth:`entries_for`) agrees exactly
+          with a recount of the heap array: same tids, same counts.
         """
         heap = self._heap
         for i, entry in enumerate(heap):
             if entry.sort_key[0] != -entry.priority:
-                raise InvariantViolation(
+                raise HeapCorruption(
                     f"heap entry {i} sort key {entry.sort_key} inconsistent "
                     f"with priority {entry.priority}"
                 )
             for child in (2 * i + 1, 2 * i + 2):
                 if child < len(heap) and heap[i].sort_key > heap[child].sort_key:
-                    raise InvariantViolation(
+                    raise HeapCorruption(
                         f"heap order violated at index {i}: parent "
                         f"{heap[i].sort_key} > child {heap[child].sort_key}"
                     )
+        recount: Dict[int, int] = {}
+        for entry in heap:
+            tid = entry.thread.tid
+            recount[tid] = recount.get(tid, 0) + 1
+        if recount != self._by_tid:
+            drift = sorted(
+                set(recount) ^ set(self._by_tid)
+            ) or sorted(
+                tid for tid in recount if recount[tid] != self._by_tid[tid]
+            )
+            raise HeapCorruption(
+                f"heap back-map drifted from array contents for tid(s) "
+                f"{drift}: array has {recount}, back-map says {self._by_tid}"
+            )
 
     def __iter__(self) -> Iterator[HeapEntry]:
         return iter(self._heap)

@@ -46,6 +46,18 @@ class InvariantViolation(ThreadError):
     """
 
 
+class HeapCorruption(InvariantViolation):
+    """A scheduler priority heap's structural invariants do not hold.
+
+    Raised by :meth:`repro.sched.heap.PriorityHeap.validate` when the
+    array violates the heap order, an entry's sort key disagrees with its
+    recorded priority, or the per-thread entry-count back-map drifts from
+    the heap contents.  A subclass of :class:`InvariantViolation` (and
+    never a bare ``AssertionError``) so callers can catch heap corruption
+    specifically while generic invariant handling keeps working.
+    """
+
+
 class WatchdogTimeout(ThreadError):
     """The watchdog gave up on a run: livelock, starvation, or an
     exhausted step budget.

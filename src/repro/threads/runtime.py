@@ -114,13 +114,22 @@ class Observer:
 class Runtime:
     """Interprets thread bodies against a machine under a scheduler."""
 
-    def __init__(self, machine: Machine, scheduler, injector=None) -> None:
+    def __init__(
+        self, machine: Machine, scheduler, injector=None, controller=None
+    ) -> None:
         self.machine = machine
         self.scheduler = scheduler
         #: optional fault injector (see repro.faults): corrupts the hint
         #: paths (annotations, counter readings) and perturbs threads.
         #: The runtime only relies on its duck-typed hook methods.
         self.injector = injector
+        #: optional schedule controller (see repro.analysis.mc): gets a
+        #: veto before every body step and may force a preemption there,
+        #: turning each step boundary into an explorable choice point.
+        #: Duck-typed: only ``should_preempt(cpu, thread) -> bool`` is
+        #: required.  Like the injector, it can only *rearrange* legal
+        #: schedules -- it cannot make the runtime take an illegal step.
+        self.controller = controller
         self.graph = SharingGraph()
         self.threads: Dict[int, ActiveThread] = {}
         self.observers: List[Observer] = []
@@ -388,6 +397,15 @@ class Runtime:
                 elif kind == "livelock":
                     thread.fault_livelocked = True
         if thread.fault_livelocked:
+            self.events_executed += 1
+            self._execute(cpu, thread, ev.Yield())
+            return
+        if self.controller is not None and self.controller.should_preempt(
+            cpu, thread
+        ):
+            # Forced preemption: a synthetic Yield, exactly as if the body
+            # had yielded one -- the thread goes READY and the scheduler
+            # picks again.  The body generator is NOT advanced.
             self.events_executed += 1
             self._execute(cpu, thread, ev.Yield())
             return

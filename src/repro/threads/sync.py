@@ -18,7 +18,7 @@ tests or runs created in the same process.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional
+from typing import Deque, List, Optional, Tuple
 
 from repro.threads.errors import SyncError
 from repro.threads.thread import ActiveThread
@@ -74,6 +74,16 @@ class Mutex(SyncObject):
         """Number of threads blocked on the lock."""
         return len(self._waiters)
 
+    @property
+    def waiters(self) -> Tuple[ActiveThread, ...]:
+        """The blocked threads in handoff order (read-only snapshot).
+
+        Exposed for analysis observers -- the model checker's FIFO
+        handoff property shadows this queue to verify that release hands
+        the lock to ``waiters[0]``.
+        """
+        return tuple(self._waiters)
+
 
 class Semaphore(SyncObject):
     """A counting semaphore with FIFO wakeup and direct handoff."""
@@ -107,6 +117,11 @@ class Semaphore(SyncObject):
     def queue_length(self) -> int:
         """Number of threads blocked in P."""
         return len(self._waiters)
+
+    @property
+    def waiters(self) -> Tuple[ActiveThread, ...]:
+        """The blocked threads in wakeup order (read-only snapshot)."""
+        return tuple(self._waiters)
 
 
 class Barrier(SyncObject):
@@ -142,6 +157,11 @@ class Barrier(SyncObject):
         """Parties currently blocked at the barrier."""
         return len(self._waiters)
 
+    @property
+    def waiters(self) -> Tuple[ActiveThread, ...]:
+        """The blocked parties in arrival order (read-only snapshot)."""
+        return tuple(self._waiters)
+
 
 class Condition(SyncObject):
     """A condition variable used with an external mutex."""
@@ -172,3 +192,8 @@ class Condition(SyncObject):
     def queue_length(self) -> int:
         """Number of threads waiting on the condition."""
         return len(self._waiters)
+
+    @property
+    def waiters(self) -> Tuple[ActiveThread, ...]:
+        """The waiting threads in signal order (read-only snapshot)."""
+        return tuple(self._waiters)

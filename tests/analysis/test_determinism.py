@@ -115,6 +115,82 @@ def test_set_tracking_is_scoped_per_function(tmp_path):
 
 
 def test_shipped_simulator_source_is_lint_clean():
-    """The tentpole guarantee: repro/sched, repro/sim and repro/machine
-    carry zero determinism findings (CI runs the same gate)."""
+    """The tentpole guarantee: repro/sched, repro/sim, repro/machine and
+    repro/threads carry zero determinism findings (CI runs the same
+    gate)."""
     assert lint_paths() == []
+
+
+class TestDT005IdKeyedDictIteration:
+    def test_literal_id_dict_iteration_fires(self, tmp_path):
+        found = _lint_source(
+            tmp_path,
+            "def f(a, b):\n"
+            "    owners = {id(a): 1, id(b): 2}\n"
+            "    for key in owners:\n"
+            "        print(key)\n",
+        )
+        assert [d.code for d in found] == ["DT005"]
+        assert found[0].anchor == "mod.py:3"
+
+    def test_items_keys_values_all_fire(self, tmp_path):
+        source = (
+            "def f(a):\n"
+            "    d = {id(a): 1}\n"
+            "    for k, v in d.items():\n"
+            "        print(k, v)\n"
+            "    for k in d.keys():\n"
+            "        print(k)\n"
+            "    xs = [v for v in d.values()]\n"
+            "    return xs\n"
+        )
+        found = _lint_source(tmp_path, source)
+        assert [(d.code, int(d.anchor.split(':')[1])) for d in found] == [
+            ("DT005", 3),
+            ("DT005", 5),
+            ("DT005", 7),
+        ]
+
+    def test_subscript_assignment_marks_the_dict(self, tmp_path):
+        found = _lint_source(
+            tmp_path,
+            "def f(threads):\n"
+            "    seen = {}\n"
+            "    for t in threads:\n"
+            "        seen[id(t)] = t\n"
+            "    for key in seen:\n"
+            "        print(key)\n",
+        )
+        assert [d.code for d in found] == ["DT005"]
+
+    def test_keyed_lookup_is_clean(self, tmp_path):
+        """Only iteration leaks ordering; lookups are deterministic."""
+        found = _lint_source(
+            tmp_path,
+            "def f(threads):\n"
+            "    seen = {}\n"
+            "    for t in threads:\n"
+            "        seen[id(t)] = t\n"
+            "    return seen[id(threads[0])]\n",
+        )
+        assert found == []
+
+    def test_tid_keyed_dict_is_clean(self, tmp_path):
+        found = _lint_source(
+            tmp_path,
+            "def f(threads):\n"
+            "    by_tid = {t.tid: t for t in threads}\n"
+            "    for tid in by_tid:\n"
+            "        print(tid)\n",
+        )
+        assert found == []
+
+    def test_suppression_comment_works(self, tmp_path):
+        found = _lint_source(
+            tmp_path,
+            "def f(a):\n"
+            "    d = {id(a): 1}\n"
+            "    for k in d:  # repro-lint: ignore\n"
+            "        print(k)\n",
+        )
+        assert found == []

@@ -87,3 +87,60 @@ def test_cli_lint_flags_bad_file(tmp_path, capsys):
     out = capsys.readouterr().out
     assert code == 1
     assert "DT003" in out
+
+
+def test_cli_analyze_update_baseline_roundtrip(tmp_path, capsys):
+    """--update-baseline regenerates the file when nothing new and of
+    error severity appeared; warnings are accepted silently."""
+    baseline = str(tmp_path / "base.txt")
+    code = main(
+        ["analyze", "--workload", "tsp", "--baseline", baseline,
+         "--update-baseline"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0  # tsp's findings are warnings: accepted
+    assert "updated" in out
+    first = open(baseline).read()
+    code = main(
+        ["analyze", "--workload", "tsp", "--baseline", baseline,
+         "--update-baseline"]
+    )
+    capsys.readouterr()
+    assert code == 0
+    assert open(baseline).read() == first
+
+
+def test_cli_analyze_update_baseline_refuses_new_errors(tmp_path, capsys):
+    """A new error-severity finding must never be silently baselined."""
+    from repro.analysis.diagnostics import Diagnostic, Report, refresh_baseline
+
+    baseline = tmp_path / "base.txt"
+    baseline.write_text("# empty baseline\n")
+    report = Report()
+    report.extend(
+        [
+            Diagnostic(code="MC003", message="results diverged", source="mc(x)"),
+            Diagnostic(code="DT004", message="a warning", source="repro-lint"),
+        ]
+    )
+    report.finalize()
+    blocking = refresh_baseline(str(baseline), report)
+    assert [d.code for d in blocking] == ["MC003"]
+    assert baseline.read_text() == "# empty baseline\n"  # untouched
+
+
+def test_cli_analyze_update_baseline_needs_baseline_flag(capsys):
+    assert main(["analyze", "--workload", "tasks", "--update-baseline"]) == 2
+
+
+def test_cli_mc_explores_fixture_cleanly(capsys):
+    code = main(["mc", "--fixture", "pipeline", "--skip-model",
+                 "--no-chaos"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "pipeline" in out
+    assert "no findings" in out
+
+
+def test_cli_mc_unknown_fixture_exits_two(capsys):
+    assert main(["mc", "--fixture", "nope"]) == 2

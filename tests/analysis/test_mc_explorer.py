@@ -1,0 +1,120 @@
+"""The DPOR explorer: coverage, determinism, and the MC003 theorem."""
+
+import pytest
+
+from repro.analysis.mc import (
+    FIXTURES,
+    FULL_BUDGET,
+    SMALL_BUDGET,
+    AnnotationChaos,
+    MCBudget,
+    explore,
+    explore_all,
+    explore_fixture,
+)
+from repro.analysis.mc.fixtures import CounterFixture, OrderSignatureFixture
+
+TINY = MCBudget("tiny", max_runs=3, max_events_per_run=5000,
+                max_decisions=400, preemption_bound=0)
+
+
+class TestCoverage:
+    def test_every_clean_fixture_explores_to_completion(self):
+        for name, factory in FIXTURES.items():
+            result = explore(factory, SMALL_BUDGET, fixture_name=name)
+            assert result.complete, f"{name} did not exhaust its tree"
+            assert result.runs >= 1
+            assert result.truncated == 0
+
+    def test_dpor_matches_exhaustive_signatures(self):
+        """Ground truth: on every fixture, DPOR reaches exactly the same
+        final results as plain exhaustive enumeration."""
+        for name, factory in FIXTURES.items():
+            dpor = explore(factory, SMALL_BUDGET, dpor=True,
+                           fixture_name=name)
+            full = explore(factory, SMALL_BUDGET, dpor=False,
+                           fixture_name=name)
+            assert dpor.complete and full.complete
+            assert dpor.signatures == full.signatures, name
+            assert dpor.runs <= full.runs, name
+
+    def test_dpor_actually_prunes_somewhere(self):
+        dpor = explore(CounterFixture, SMALL_BUDGET, dpor=True)
+        full = explore(CounterFixture, SMALL_BUDGET, dpor=False)
+        assert dpor.runs < full.runs
+
+    def test_multiple_interleavings_are_explored(self):
+        result = explore(CounterFixture, SMALL_BUDGET, dpor=False)
+        assert result.runs > 1
+        assert result.nodes > 1
+        assert result.max_depth > 1
+
+    def test_exploration_is_deterministic(self):
+        a = explore(CounterFixture, SMALL_BUDGET)
+        b = explore(CounterFixture, SMALL_BUDGET)
+        assert (a.runs, a.pruned, a.nodes, a.signatures) == (
+            b.runs, b.pruned, b.nodes, b.signatures
+        )
+
+    def test_budget_exhaustion_reported_as_incomplete(self):
+        result = explore(CounterFixture, TINY, dpor=False)
+        assert not result.complete
+        assert result.runs + result.pruned == TINY.max_runs
+
+
+class TestResultInvariance:
+    def test_single_signature_across_all_interleavings(self):
+        for name, factory in FIXTURES.items():
+            result = explore(factory, SMALL_BUDGET, fixture_name=name)
+            assert len(result.signatures) == 1, name
+
+    def test_chaos_annotations_cannot_change_results(self):
+        """The paper's theorem, checked exhaustively: corrupted at_share
+        edges leave every reachable final result bit-identical."""
+        for name in FIXTURES:
+            results, diags = explore_fixture(name, SMALL_BUDGET)
+            clean, chaos = results
+            assert clean.signatures == chaos.signatures, name
+            assert diags == [], name
+
+    def test_preemption_bound_widens_coverage_not_results(self):
+        factory = lambda: CounterFixture(threads=2, iters=1)
+        bounded = explore(factory, SMALL_BUDGET, fixture_name="c2")
+        preempting = explore(factory, FULL_BUDGET, fixture_name="c2")
+        assert preempting.preemption_bound == 1
+        assert preempting.runs > bounded.runs
+        assert preempting.signatures == bounded.signatures
+
+
+class TestDivergenceDetection:
+    def test_order_dependent_results_yield_mc003(self):
+        result = explore(OrderSignatureFixture, SMALL_BUDGET)
+        assert len(result.signatures) > 1
+        codes = [d.code for d in result.diagnostics()]
+        assert "MC003" in codes
+
+    def test_explore_fixture_flags_chaos_divergence(self):
+        """If chaos reached results clean exploration never reaches,
+        explore_fixture reports the cross-mode MC003."""
+        registry = {"order": OrderSignatureFixture}
+        results, diags = explore_fixture(
+            "order", SMALL_BUDGET, registry=registry
+        )
+        assert any(d.code == "MC003" for d in diags)
+
+
+class TestPlumbing:
+    def test_unknown_fixture_raises(self):
+        with pytest.raises(KeyError):
+            explore_fixture("no-such-fixture", SMALL_BUDGET)
+
+    def test_explore_all_covers_registry(self):
+        results, diags = explore_all(SMALL_BUDGET, chaos=False)
+        assert sorted({r.fixture for r in results}) == sorted(FIXTURES)
+        assert diags == []
+
+    def test_chaos_injector_is_schedule_independent(self):
+        chaos = AnnotationChaos()
+        assert chaos.transform_share(1, 2, 0.25) == chaos.transform_share(
+            1, 2, 0.25
+        )

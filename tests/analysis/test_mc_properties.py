@@ -1,0 +1,88 @@
+"""Seeded bugs must be caught: MC001/MC002/MC004 actually fire."""
+
+from repro.analysis.mc import SMALL_BUDGET, default_checkers, explore
+from repro.analysis.mc.fixtures import (
+    CounterFixture,
+    CrossSemDeadlockFixture,
+    JoinTreeFixture,
+    LifoCounterFixture,
+    PhasesFixture,
+    StuckBarrierFixture,
+)
+from repro.core.priorities import LFFScheme
+
+
+def codes(result):
+    return sorted({code for code, _msg in result.violations})
+
+
+class TestSyncOrder:
+    def test_lifo_mutex_handoff_is_flagged(self):
+        result = explore(LifoCounterFixture, SMALL_BUDGET)
+        assert codes(result) == ["MC002"]
+        assert any("FIFO" in msg for _c, msg in result.violations)
+        assert any(d.code == "MC002" for d in result.diagnostics())
+
+    def test_stuck_barrier_generation_is_flagged(self):
+        result = explore(StuckBarrierFixture, SMALL_BUDGET)
+        assert codes(result) == ["MC002"]
+        assert any("generation" in msg for _c, msg in result.violations)
+
+    def test_correct_sync_objects_are_silent(self):
+        for factory in (CounterFixture, PhasesFixture):
+            result = explore(factory, SMALL_BUDGET)
+            assert result.violations == []
+
+
+class TestDeadlockPrediction:
+    def test_unpredicted_deadlock_yields_mc001(self):
+        result = explore(CrossSemDeadlockFixture, SMALL_BUDGET)
+        assert result.deadlocks
+        assert all(not predicted for predicted, _msg in result.deadlocks)
+        assert any(d.code == "MC001" for d in result.diagnostics())
+
+    def test_static_prediction_alone_is_insufficient(self):
+        """A deadlock counts as predicted only when the static pass saw a
+        cycle AND the runtime found an ownership cycle; semaphore waits
+        have no ownership cycle, so MC001 fires regardless."""
+        result = explore(
+            CrossSemDeadlockFixture, SMALL_BUDGET, predicted_cycles=True
+        )
+        assert any(d.code == "MC001" for d in result.diagnostics())
+
+
+class _PerturbingLFF(LFFScheme):
+    """on_block also silently touches an unrelated thread's entry."""
+
+    def on_block(self, cpu, tid, interval_misses):
+        touched = super().on_block(cpu, tid, interval_misses)
+        entries = self.entries(cpu)
+        for other_tid, entry in sorted(entries.items()):
+            if other_tid != tid:
+                entry.priority += 1.0
+                entry.version += 1
+                break
+        return touched
+
+
+class TestPriorityUpdates:
+    def test_clean_lff_update_touches_exactly_one_plus_d(self):
+        for factory in (CounterFixture, JoinTreeFixture):
+            result = explore(factory, SMALL_BUDGET)
+            assert result.violations == [], factory.name
+
+    def test_perturbed_scheme_yields_mc004(self):
+        result = explore(
+            CounterFixture,
+            SMALL_BUDGET,
+            checkers_factory=lambda: default_checkers(_PerturbingLFF),
+        )
+        assert "MC004" in codes(result)
+        assert any("independent" in msg for _c, msg in result.violations)
+
+    def test_jointree_exercises_nonzero_degree(self):
+        """The at_share edges give the parent d > 0; the checker must
+        accept 1 + d touched entries without complaint."""
+        result = explore(JoinTreeFixture, SMALL_BUDGET)
+        assert result.violations == []
+        assert result.complete

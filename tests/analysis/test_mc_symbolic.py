@@ -1,0 +1,73 @@
+"""Symbolic cache-model verification: exactness and discrimination."""
+
+import numpy as np
+
+from repro.analysis.mc import verify_cache_model
+from repro.core.model import SharedStateModel
+
+
+class TestCleanModel:
+    def test_all_small_configurations_hold(self):
+        """Closed form == chain, reductions and monotonicity, for every
+        N <= 8, S <= N, the q grid, n <= 16."""
+        diags, stats = verify_cache_model(max_lines=8, max_misses=16)
+        assert diags == []
+        assert stats.failures == 0
+        # 7 cache sizes, S in 0..N, 5 q values
+        assert stats.configs == sum(n + 1 for n in range(2, 9)) * 5
+        assert stats.checks > stats.configs
+
+    def test_sweep_is_deterministic(self):
+        a = verify_cache_model(max_lines=4, max_misses=8)
+        b = verify_cache_model(max_lines=4, max_misses=8)
+        assert [d.render() for d in a[0]] == [d.render() for d in b[0]]
+        assert (a[1].checks, a[1].configs) == (b[1].checks, b[1].configs)
+
+    def test_unsorted_q_grid_is_handled(self):
+        diags, _stats = verify_cache_model(
+            max_lines=3, max_misses=4, qs=(1.0, 0.0, 0.5)
+        )
+        assert diags == []
+
+
+class _WrongDecay(SharedStateModel):
+    """Uses k = (N-2)/N: everything drifts off the exact chain."""
+
+    def decay(self, misses):
+        n = np.asarray(misses, dtype=float)
+        k = (self.num_lines - 2) / self.num_lines
+        out = np.power(k, n)
+        return float(out) if out.ndim == 0 else out
+
+
+class _BrokenReduction(SharedStateModel):
+    """Case 1 disagrees with case 3 at q=1."""
+
+    def expected_running(self, initial, misses):
+        return super().expected_running(initial, misses) + 0.5
+
+
+class TestDiscrimination:
+    def test_wrong_decay_constant_yields_mc005(self):
+        diags, stats = verify_cache_model(
+            max_lines=4, max_misses=8, model_cls=_WrongDecay
+        )
+        assert stats.failures > 0
+        assert all(d.code == "MC005" for d in diags)
+        assert any("deviates" in d.message for d in diags)
+
+    def test_broken_reduction_yields_mc005(self):
+        diags, _stats = verify_cache_model(
+            max_lines=4, max_misses=8, model_cls=_BrokenReduction
+        )
+        assert any(
+            "reduce to case 1" in d.message for d in diags
+        )
+
+    def test_flood_is_capped(self):
+        diags, stats = verify_cache_model(
+            max_lines=8, max_misses=16, model_cls=_WrongDecay
+        )
+        assert stats.failures > len(diags)
+        assert len(diags) <= 13  # MAX_REPORTED + the suppression note
+        assert any("suppressed" in d.message for d in diags)

@@ -1,0 +1,132 @@
+"""PrecomputedTables at the boundaries, cross-checked against math.log.
+
+The priority schemes lean on two lookup tables (section 4.1): powers of
+``k = (N-1)/N`` and logs of integer footprints.  These tests pin the
+edge behaviour the schemes silently rely on -- n = 0, indices at and
+past the table end, and footprints clamped into [1, N] -- against direct
+``math.log`` / ``math.pow`` computation.
+"""
+
+import math
+
+import pytest
+
+from repro.core.model import SharedStateModel
+from repro.core.priorities import LFFScheme, PrecomputedTables
+from repro.core.sharing import SharingGraph
+
+
+class TestPowK:
+    def test_n_zero_is_exactly_one(self):
+        for num_lines in (2, 3, 16, 256):
+            assert PrecomputedTables(num_lines).pow_k(0) == 1.0
+
+    def test_matches_direct_math_across_the_table(self):
+        tables = PrecomputedTables(16)
+        k = 15.0 / 16.0
+        for n in (1, 2, 7, 100, tables.max_power):
+            assert tables.pow_k(n) == pytest.approx(
+                math.pow(k, n), rel=1e-12
+            )
+
+    def test_last_table_entry_then_zero(self):
+        tables = PrecomputedTables(8)
+        assert tables.max_power == 16 * 8
+        assert tables.pow_k(tables.max_power) > 0.0
+        assert tables.pow_k(tables.max_power + 1) == 0.0
+        assert tables.pow_k(10**9) == 0.0
+
+    def test_beyond_table_cutoff_is_a_sound_approximation(self):
+        """k**(max_power) is already ~1e-7, so treating everything past
+        the table as 0 underestimates by a negligible amount."""
+        tables = PrecomputedTables(64)
+        k = 63.0 / 64.0
+        assert math.pow(k, tables.max_power) < 1e-6
+
+    def test_negative_exponent_raises(self):
+        with pytest.raises(ValueError):
+            PrecomputedTables(8).pow_k(-1)
+
+
+class TestLogFootprint:
+    def test_matches_math_log_on_every_integer(self):
+        tables = PrecomputedTables(32)
+        for footprint in range(1, 33):
+            assert tables.log_footprint(footprint) == pytest.approx(
+                math.log(footprint), rel=1e-12
+            )
+
+    def test_zero_footprint_clamps_to_one(self):
+        tables = PrecomputedTables(8)
+        assert tables.log_footprint(0.0) == pytest.approx(math.log(1))
+        assert tables.log_footprint(-3.0) == pytest.approx(math.log(1))
+
+    def test_above_table_clamps_to_n(self):
+        tables = PrecomputedTables(8)
+        assert tables.log_footprint(8.0) == pytest.approx(math.log(8))
+        assert tables.log_footprint(9.7) == pytest.approx(math.log(8))
+        assert tables.log_footprint(10**6) == pytest.approx(math.log(8))
+
+    def test_fractional_footprints_round_to_nearest_line(self):
+        tables = PrecomputedTables(16)
+        assert tables.log_footprint(3.4) == pytest.approx(math.log(3))
+        assert tables.log_footprint(3.6) == pytest.approx(math.log(4))
+
+
+class TestConstruction:
+    def test_q_like_extremes_of_k(self):
+        """The smallest legal cache (N=2, k=1/2) and a large one agree
+        with direct math at both ends of the table."""
+        small = PrecomputedTables(2)
+        assert small.k == 0.5
+        assert small.pow_k(1) == 0.5
+        assert small.pow_k(small.max_power) == pytest.approx(
+            0.5 ** small.max_power
+        )
+        big = PrecomputedTables(256)
+        assert big.log_k == pytest.approx(math.log(255 / 256))
+
+    def test_single_line_cache_rejected(self):
+        with pytest.raises(ValueError):
+            PrecomputedTables(1)
+
+    def test_custom_max_power_honoured(self):
+        tables = PrecomputedTables(8, max_power=4)
+        assert tables.pow_k(4) > 0.0
+        assert tables.pow_k(5) == 0.0
+
+
+class TestSchemeAtQExtremes:
+    """LFF priorities at q = 0 and q = 1, cross-checked against direct
+    math through the same tables the paper precomputes."""
+
+    def test_q_one_dependent_matches_case_1_math(self):
+        num_lines, n, k = 16, 8, 15.0 / 16.0
+        graph = SharingGraph()
+        graph.share(1, 2, 1.0)
+        scheme = LFFScheme(SharedStateModel(num_lines), graph, num_cpus=1)
+        scheme.on_dispatch(0, 1)
+        assert scheme.on_block(0, 1, interval_misses=n) == 2
+        expected_fp = num_lines - num_lines * math.pow(k, n)  # s0 = 0
+        entry = scheme.entry(0, 2)
+        assert entry.footprint == pytest.approx(expected_fp, rel=1e-12)
+        expected_priority = math.log(round(expected_fp)) - n * math.log(k)
+        assert entry.priority == pytest.approx(expected_priority, rel=1e-12)
+
+    def test_q_zero_means_no_edge_and_no_touch(self):
+        """``share(q=0)`` removes the edge entirely, so the 'dependent'
+        is independent: the O(d) update must leave it bit-identical."""
+        graph = SharingGraph()
+        graph.share(1, 2, 0.5)
+        graph.share(1, 2, 0.0)  # re-annotation to q=0 deletes the edge
+        assert graph.dependents(1) == []
+        scheme = LFFScheme(SharedStateModel(16), graph, num_cpus=1)
+        scheme.on_dispatch(0, 2)
+        scheme.on_block(0, 2, interval_misses=4)
+        before = (scheme.entry(0, 2).priority, scheme.entry(0, 2).version)
+        scheme.on_dispatch(0, 1)
+        assert scheme.on_block(0, 1, interval_misses=8) == 1
+        assert (
+            scheme.entry(0, 2).priority,
+            scheme.entry(0, 2).version,
+        ) == before

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sched.heap import HeapEntry, PriorityHeap
-from repro.threads.errors import InvariantViolation
+from repro.threads.errors import HeapCorruption, InvariantViolation
 from repro.threads.thread import ActiveThread, ThreadState
 
 
@@ -154,6 +154,81 @@ class TestValidate:
 
     def test_empty_heap_valid(self):
         PriorityHeap().validate()
+
+    def test_corruption_is_typed_not_assertion(self):
+        heap = PriorityHeap()
+        for i in range(8):
+            heap.push(ready_thread(i), float(i), 0)
+        heap._heap.sort(key=lambda e: -e.sort_key[0])
+        with pytest.raises(HeapCorruption):
+            heap.validate()
+        assert issubclass(HeapCorruption, InvariantViolation)
+        assert not issubclass(HeapCorruption, AssertionError)
+
+    def test_detects_backmap_missing_entry(self):
+        heap = PriorityHeap()
+        for i in range(4):
+            heap.push(ready_thread(i), float(i), 0)
+        del heap._by_tid[2]
+        with pytest.raises(HeapCorruption, match="back-map"):
+            heap.validate()
+
+    def test_detects_backmap_count_drift(self):
+        heap = PriorityHeap()
+        t = ready_thread(1)
+        heap.push(t, 1.0, 0)
+        heap.push(t, 2.0, 0)
+        heap._by_tid[1] = 1
+        with pytest.raises(HeapCorruption, match="back-map"):
+            heap.validate()
+
+    def test_detects_backmap_phantom_entry(self):
+        heap = PriorityHeap()
+        heap.push(ready_thread(1), 1.0, 0)
+        heap._by_tid[99] = 1
+        with pytest.raises(HeapCorruption, match="back-map"):
+            heap.validate()
+
+
+class TestBackMap:
+    def test_tracks_pushes_and_pops(self):
+        heap = PriorityHeap()
+        t = ready_thread(1)
+        heap.push(t, 1.0, 0)
+        heap.push(t, 2.0, 0)
+        heap.push(ready_thread(2), 3.0, 0)
+        assert heap.entries_for(1) == 2
+        assert heap.entries_for(2) == 1
+        assert heap.entries_for(42) == 0
+        heap.pop_valid(version_fn({1: 0, 2: 0}))  # pops tid 2 (prio 3.0)
+        assert heap.entries_for(2) == 0
+        heap.validate()
+
+    def test_survives_compact(self):
+        heap = PriorityHeap()
+        threads = [ready_thread(i) for i in range(6)]
+        for t in threads:
+            heap.push(t, float(t.tid), 0)
+        for t in threads[:3]:
+            t.state = ThreadState.DONE
+        heap.compact(version_fn({t.tid: 0 for t in threads}))
+        for t in threads[:3]:
+            assert heap.entries_for(t.tid) == 0
+        for t in threads[3:]:
+            assert heap.entries_for(t.tid) == 1
+        heap.validate()
+
+    def test_dead_entries_still_counted_until_popped(self):
+        heap = PriorityHeap()
+        t = ready_thread(1)
+        heap.push(t, 1.0, 0)
+        t.mark_ready()  # invalidates lazily; the entry stays in the array
+        assert heap.entries_for(1) == 1
+        heap.validate()
+        entry, _pops = heap.pop_valid(version_fn({1: 0}))
+        assert entry is None
+        assert heap.entries_for(1) == 0
+        heap.validate()
 
 
 class TestCompact:
