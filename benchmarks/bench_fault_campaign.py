@@ -14,8 +14,9 @@ under every fault class and asserts the three halves of the contract:
   diagnostic WatchdogTimeout instead of a hang.
 """
 
-from conftest import once, report
+from conftest import report_suite
 
+from repro.bench import ONCE, measure
 from repro.faults import EXPECTS_TIMEOUT, run_campaign, format_campaign
 from repro.faults.campaign import campaign_workloads
 from repro.machine.configs import SMALL
@@ -23,14 +24,17 @@ from repro.sched import SCHEDULERS
 from repro.sim.driver import run_hardened
 
 
-def test_fault_campaign(benchmark):
-    rows = once(
-        benchmark,
-        run_campaign,
-        workloads=campaign_workloads("smoke"),
-        policies=("fcfs", "lff"),
+def test_fault_campaign():
+    rows, result = measure(
+        "fault_campaign",
+        lambda: run_campaign(
+            workloads=campaign_workloads("smoke"),
+            policies=("fcfs", "lff"),
+        ),
+        counters=lambda rows: {"cells": float(len(rows))},
+        policy=ONCE,
     )
-    report("fault_campaign", format_campaign(rows))
+    report_suite("fault_campaign", result, text=format_campaign(rows))
 
     assert rows, "campaign produced no cells"
     for row in rows:

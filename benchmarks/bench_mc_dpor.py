@@ -7,9 +7,10 @@ exactly the same set of end-state signatures, so the pruned runs were
 genuinely redundant.
 """
 
-from conftest import once, report
+from conftest import report_suite
 
 from repro.analysis.mc import FIXTURES, SMALL_BUDGET, explore
+from repro.bench import ONCE, measure
 from repro.sim.report import format_table
 
 
@@ -43,9 +44,22 @@ def format_dpor_comparison(results) -> str:
     )
 
 
-def test_dpor_prunes_without_losing_results(benchmark):
-    results = once(benchmark, run_dpor_comparison)
-    report("mc_dpor", format_dpor_comparison(results))
+def _dpor_counters(results):
+    return {
+        "exhaustive_runs": float(sum(f.runs for _, f in results.values())),
+        "dpor_runs": float(sum(d.runs for d, _ in results.values())),
+        "pruned": float(sum(d.pruned for d, _ in results.values())),
+    }
+
+
+def test_dpor_prunes_without_losing_results():
+    results, result = measure(
+        "mc_dpor",
+        run_dpor_comparison,
+        counters=_dpor_counters,
+        policy=ONCE,
+    )
+    report_suite("mc_dpor", result, text=format_dpor_comparison(results))
 
     for name, (dpor, full) in results.items():
         # soundness: identical end-state coverage...

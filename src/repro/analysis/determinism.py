@@ -20,6 +20,12 @@ quietly breaks it:
   follows memory layout, so ``for k in d`` / ``d.items()`` over such a
   dict can leak address-space nondeterminism into scheduling or results.
   Keyed *lookups* (``seen[id(t)]``) are fine; only iteration fires.
+- ``DT006`` a raw timer read (``time.perf_counter()`` and friends)
+  inside the bench harness (``repro/bench``) anywhere other than the
+  audited ``repro/bench/clock.py``: benchmark timing must flow through
+  :func:`repro.bench.clock.perf_clock` so there is exactly one place
+  that reads the host clock (and so tests can substitute a fake clock).
+  Outside the harness the same reads stay ``DT003``.
 
 Suppress a finding by appending ``# repro-lint: ignore`` to its line.
 
@@ -39,9 +45,19 @@ from typing import List, Optional, Set
 from repro.analysis.diagnostics import Diagnostic
 
 #: default lint targets, relative to the package root's parent (``src``)
-DEFAULT_TARGETS = ("repro/sched", "repro/sim", "repro/machine", "repro/threads")
+DEFAULT_TARGETS = (
+    "repro/sched",
+    "repro/sim",
+    "repro/machine",
+    "repro/threads",
+    "repro/bench",
+)
 
 SUPPRESS_MARK = "repro-lint: ignore"
+
+#: the one file allowed to read the host clock: the harness's audited
+#: timer (everything else in ``repro/bench`` must call through it)
+AUDITED_TIMER_FILES = ("repro/bench/clock.py",)
 
 _WALL_CLOCK = {
     ("time", "time"),
@@ -54,6 +70,10 @@ _WALL_CLOCK = {
     ("datetime", "utcnow"),
     ("date", "today"),
 }
+
+#: bare-name timer calls (``from time import perf_counter``); only the
+#: distinctive names -- a bare ``time()`` is too generic to flag safely
+_WALL_CLOCK_BARE = {"perf_counter", "process_time", "monotonic"}
 
 _SET_LAUNDERERS = {"sorted", "list", "tuple", "min", "max", "sum", "len"}
 
@@ -130,6 +150,9 @@ class _FileLinter(ast.NodeVisitor):
         self.source_lines = source_lines
         self.found: List[Diagnostic] = []
         self._trackers: List[_SetTracker] = [_SetTracker()]
+        norm = rel_path.replace(os.sep, "/")
+        self._in_bench = norm.startswith("repro/bench/")
+        self._audited_timer = norm in AUDITED_TIMER_FILES
 
     # -- helpers -----------------------------------------------------------
 
@@ -137,6 +160,30 @@ class _FileLinter(ast.NodeVisitor):
         if 1 <= lineno <= len(self.source_lines):
             return SUPPRESS_MARK in self.source_lines[lineno - 1]
         return False
+
+    def _wall_clock_hit(self, lineno: int, desc: str) -> None:
+        """Route a raw timer read to DT003 or DT006 by location.
+
+        Inside the bench harness the read is legitimate *only* in the
+        audited clock module; elsewhere in the harness it is DT006.
+        Outside the harness it remains the DT003 host-timing leak.
+        """
+        if self._in_bench:
+            if self._audited_timer:
+                return
+            self._emit(
+                "DT006",
+                lineno,
+                f"raw timer read {desc} inside the bench harness; "
+                "route timing through repro.bench.clock.perf_clock",
+            )
+            return
+        self._emit(
+            "DT003",
+            lineno,
+            f"wall-clock read {desc} leaks host timing "
+            "into a deterministic simulation",
+        )
 
     def _emit(self, code: str, lineno: int, message: str) -> None:
         if self._suppressed(lineno):
@@ -225,12 +272,12 @@ class _FileLinter(ast.NodeVisitor):
                 )
         pair = _attr_pair(node.func)
         if pair in _WALL_CLOCK:
-            self._emit(
-                "DT003",
-                node.lineno,
-                f"wall-clock read {pair[0]}.{pair[1]}() leaks host timing "
-                "into a deterministic simulation",
-            )
+            self._wall_clock_hit(node.lineno, f"{pair[0]}.{pair[1]}()")
+        elif (
+            isinstance(node.func, ast.Name)
+            and node.func.id in _WALL_CLOCK_BARE
+        ):
+            self._wall_clock_hit(node.lineno, f"{node.func.id}()")
         if (
             isinstance(node.func, ast.Attribute)
             and node.func.attr == "fromiter"

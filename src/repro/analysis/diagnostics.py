@@ -35,6 +35,10 @@ DT004   warning   unordered-iteration: iterating a set (or set-valued
 DT005   warning   id-keyed-dict-iteration: iterating a dict keyed by
                   ``id(...)`` -- insertion order follows memory layout,
                   which is not stable across runs
+DT006   error     unaudited-timer: a raw wall-clock read inside the
+                  bench harness (``repro/bench``) outside the audited
+                  ``repro/bench/clock.py`` -- benchmark timing must
+                  flow through ``repro.bench.clock.perf_clock``
 MC001   error     unpredicted-deadlock: the model checker reached a
                   deadlock that the lock-order pass does not predict
 MC002   error     sync-order-violation: non-FIFO mutex/semaphore handoff
@@ -74,6 +78,7 @@ CODES: Dict[str, Tuple[str, str]] = {
     "DT003": ("error", "wall-clock"),
     "DT004": ("warning", "unordered-iteration"),
     "DT005": ("warning", "id-keyed-dict-iteration"),
+    "DT006": ("error", "unaudited-timer"),
     "MC001": ("error", "unpredicted-deadlock"),
     "MC002": ("error", "sync-order-violation"),
     "MC003": ("error", "result-divergence"),

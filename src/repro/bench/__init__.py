@@ -1,0 +1,88 @@
+"""``repro.bench``: the performance-regression harness.
+
+The repository's correctness story (fault campaign, analysis gate, DPOR
+model checker) is matched here by a performance story: a registry of
+named benchmarks with warmup/repeat/steady-state plumbing, machine-
+readable ``BENCH_<suite>.json`` results, and a noise-aware ``compare``
+that CI runs as a gating perf-smoke job.  See ``docs/BENCHMARKS.md``.
+
+All timing flows through :mod:`repro.bench.clock` -- the single audited
+wall-clock read, enforced by the ``DT006`` determinism lint.
+"""
+
+from repro.bench.clock import Clock, perf_clock
+from repro.bench.compare import (
+    Comparison,
+    Delta,
+    compare,
+    format_comparison,
+)
+from repro.bench.registry import (
+    Benchmark,
+    benchmark_names,
+    get_benchmark,
+    register,
+    suite_benchmarks,
+    suite_names,
+)
+from repro.bench.runner import (
+    BenchResult,
+    SuiteResult,
+    format_suite,
+    measure,
+    run_benchmark,
+    run_suite,
+)
+from repro.bench.schema import (
+    SCHEMA_VERSION,
+    SchemaError,
+    default_baseline_path,
+    load_suite,
+    suite_from_dict,
+    suite_to_dict,
+    write_suite,
+)
+from repro.bench.stats import (
+    ONCE,
+    RepeatPolicy,
+    Stats,
+    collect,
+    percentile,
+    relative_spread,
+    summarize,
+)
+
+__all__ = [
+    "Benchmark",
+    "BenchResult",
+    "Clock",
+    "Comparison",
+    "Delta",
+    "ONCE",
+    "RepeatPolicy",
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "Stats",
+    "SuiteResult",
+    "benchmark_names",
+    "collect",
+    "compare",
+    "default_baseline_path",
+    "format_comparison",
+    "format_suite",
+    "get_benchmark",
+    "load_suite",
+    "measure",
+    "percentile",
+    "perf_clock",
+    "register",
+    "relative_spread",
+    "run_benchmark",
+    "run_suite",
+    "suite_benchmarks",
+    "suite_from_dict",
+    "suite_names",
+    "suite_to_dict",
+    "summarize",
+    "write_suite",
+]

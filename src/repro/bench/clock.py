@@ -1,0 +1,31 @@
+"""The harness's single audited wall-clock access point.
+
+Every timing measurement in this repository flows through
+:func:`perf_clock` (or a substitute passed where a :data:`Clock` is
+accepted -- the unit tests inject deterministic fake clocks).  The
+``repro lint`` determinism pass enforces this with ``DT006``: a raw
+``time.time()`` / ``time.perf_counter()`` call anywhere else in the
+benchmark harness is a finding, and wall-clock reads inside the
+simulator proper remain ``DT003`` findings.  Concentrating the raw read
+here keeps the timing policy auditable in one place (monotonic,
+high-resolution, immune to system clock steps) and keeps host time out
+of simulated results everywhere else.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+#: A clock is any zero-argument callable returning seconds as a float.
+#: It must be monotonic non-decreasing; nothing else is assumed.
+Clock = Callable[[], float]
+
+
+def perf_clock() -> float:
+    """Read the host's monotonic high-resolution timer.
+
+    This is the only raw timer read the determinism lint permits
+    (``DT006`` audits the rest of the harness; ``DT003`` the simulator).
+    """
+    return time.perf_counter()

@@ -1,0 +1,177 @@
+"""Diff two suite runs and decide pass/fail (the CI perf gate).
+
+The decision rule, per benchmark present in both runs:
+
+- ``change`` = (new median - base median) / base median;
+- ``allowed`` = ``max_regress`` plus, when noise awareness is on, half
+  of each run's relative p10-p90 spread -- a benchmark that was noisy
+  when the baseline was recorded (or is noisy now) gets proportionally
+  more headroom, so shared-runner jitter does not flap the gate;
+- the benchmark **regresses** when ``change`` is strictly greater than
+  ``allowed`` (equality at the threshold passes -- pinned by the unit
+  tests).
+
+A benchmark present in the baseline but missing from the new run is a
+failure (coverage silently shrinking must not read as "no regression");
+a new benchmark absent from the baseline is reported but never fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.bench.runner import SuiteResult
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One benchmark's baseline-vs-new verdict."""
+
+    name: str
+    base_median_s: Optional[float]
+    new_median_s: Optional[float]
+    #: fractional median change (+0.25 = 25% slower); None if missing
+    change: Optional[float]
+    #: the effective threshold after noise widening; None if missing
+    allowed: Optional[float]
+    regressed: bool
+    #: "", "baseline" or "new" -- which side is missing the benchmark
+    missing: str = ""
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """The full diff of two suite runs."""
+
+    baseline_suite: str
+    new_suite: str
+    max_regress: float
+    deltas: Tuple[Delta, ...]
+
+    @property
+    def regressions(self) -> Tuple[Delta, ...]:
+        return tuple(d for d in self.deltas if d.regressed)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def compare(
+    baseline: SuiteResult,
+    new: SuiteResult,
+    max_regress: float = 0.25,
+    noise_aware: bool = True,
+) -> Comparison:
+    """Compare ``new`` against ``baseline`` at a median-regression
+    threshold of ``max_regress`` (a fraction: 0.4 = 40%)."""
+    if max_regress < 0.0:
+        raise ValueError("max_regress must be non-negative")
+    base_by = baseline.by_name()
+    new_by = new.by_name()
+    deltas: List[Delta] = []
+    for name in sorted(set(base_by) | set(new_by)):
+        base = base_by.get(name)
+        fresh = new_by.get(name)
+        if base is None:
+            deltas.append(
+                Delta(
+                    name=name,
+                    base_median_s=None,
+                    new_median_s=fresh.stats.median_s if fresh else None,
+                    change=None,
+                    allowed=None,
+                    regressed=False,
+                    missing="baseline",
+                )
+            )
+            continue
+        if fresh is None:
+            # coverage shrank: that is itself a gate failure
+            deltas.append(
+                Delta(
+                    name=name,
+                    base_median_s=base.stats.median_s,
+                    new_median_s=None,
+                    change=None,
+                    allowed=None,
+                    regressed=True,
+                    missing="new",
+                )
+            )
+            continue
+        base_median = base.stats.median_s
+        new_median = fresh.stats.median_s
+        change = (
+            (new_median - base_median) / base_median
+            if base_median > 0.0
+            else 0.0
+        )
+        allowed = max_regress
+        if noise_aware:
+            allowed += 0.5 * base.stats.rel_spread
+            allowed += 0.5 * fresh.stats.rel_spread
+        deltas.append(
+            Delta(
+                name=name,
+                base_median_s=base_median,
+                new_median_s=new_median,
+                change=change,
+                allowed=allowed,
+                regressed=change > allowed,
+            )
+        )
+    return Comparison(
+        baseline_suite=baseline.suite,
+        new_suite=new.suite,
+        max_regress=max_regress,
+        deltas=tuple(deltas),
+    )
+
+
+def format_comparison(result: Comparison) -> str:
+    """Human-readable diff table (the CLI's stdout for ``compare``)."""
+    header = (
+        f"{'benchmark':<28} {'baseline':>12} {'new':>12} "
+        f"{'change':>9} {'allowed':>9}  verdict"
+    )
+    lines = [
+        f"baseline suite: {result.baseline_suite}  "
+        f"(threshold {100.0 * result.max_regress:.0f}%)",
+        header,
+        "-" * len(header),
+    ]
+    for d in result.deltas:
+        if d.missing == "baseline":
+            verdict = "new (no baseline)"
+            lines.append(
+                f"{d.name:<28} {'-':>12} {_ms(d.new_median_s):>12} "
+                f"{'-':>9} {'-':>9}  {verdict}"
+            )
+            continue
+        if d.missing == "new":
+            lines.append(
+                f"{d.name:<28} {_ms(d.base_median_s):>12} {'-':>12} "
+                f"{'-':>9} {'-':>9}  MISSING (fail)"
+            )
+            continue
+        assert d.change is not None and d.allowed is not None
+        verdict = "REGRESSED" if d.regressed else "ok"
+        lines.append(
+            f"{d.name:<28} {_ms(d.base_median_s):>12} "
+            f"{_ms(d.new_median_s):>12} {100.0 * d.change:>+8.1f}% "
+            f"{100.0 * d.allowed:>8.1f}%  {verdict}"
+        )
+    regressions = result.regressions
+    lines.append(
+        f"-- {len(result.deltas)} benchmark(s), "
+        f"{len(regressions)} regression(s)"
+    )
+    return "\n".join(lines)
+
+
+def _ms(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    return f"{seconds * 1e3:.3f}ms"

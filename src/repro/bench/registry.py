@@ -1,0 +1,94 @@
+"""The registry of named benchmarks and suites.
+
+A benchmark is a *factory* returning a timed callable: the factory runs
+once per benchmark (setup -- building machines, pre-generating address
+streams -- is never timed), the returned callable is what the sampler
+times.  Benchmarks declare which suites they belong to; a suite is just
+a named selection (``smoke`` is the CI gate, ``hotpaths`` the
+optimisation-tracking set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.bench.stats import BenchFn, RepeatPolicy
+
+#: Builds the timed callable; runs once, untimed, before sampling.
+BenchFactory = Callable[[], BenchFn]
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One registered benchmark."""
+
+    name: str
+    factory: BenchFactory
+    suites: Tuple[str, ...]
+    #: units of work per timed call (refs, events, ...) -> ops/sec
+    ops: int = 1
+    #: per-benchmark override of the suite-level repeat policy
+    policy: Optional[RepeatPolicy] = None
+
+
+_REGISTRY: Dict[str, Benchmark] = {}
+
+
+def register(
+    name: str,
+    suites: Tuple[str, ...],
+    ops: int = 1,
+    policy: Optional[RepeatPolicy] = None,
+) -> Callable[[BenchFactory], BenchFactory]:
+    """Decorator registering ``factory`` as benchmark ``name``."""
+
+    def deco(factory: BenchFactory) -> BenchFactory:
+        if name in _REGISTRY:
+            raise ValueError(f"benchmark {name!r} registered twice")
+        if not suites:
+            raise ValueError(f"benchmark {name!r} belongs to no suite")
+        if ops < 1:
+            raise ValueError(f"benchmark {name!r}: ops must be positive")
+        _REGISTRY[name] = Benchmark(
+            name=name, factory=factory, suites=tuple(suites),
+            ops=ops, policy=policy,
+        )
+        return factory
+
+    return deco
+
+
+def _ensure_loaded() -> None:
+    # suites registers on import; deferred so the registry module itself
+    # stays importable from suite definitions without a cycle
+    from repro.bench import suites as _suites  # noqa: F401
+
+
+def benchmark_names() -> List[str]:
+    """All registered benchmark names, sorted."""
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def get_benchmark(name: str) -> Benchmark:
+    """Look up one benchmark by name (KeyError if unknown)."""
+    _ensure_loaded()
+    return _REGISTRY[name]
+
+
+def suite_names() -> List[str]:
+    """All suite names any benchmark belongs to, sorted."""
+    _ensure_loaded()
+    names = {s for b in _REGISTRY.values() for s in b.suites}
+    return sorted(names)
+
+
+def suite_benchmarks(suite: str) -> List[Benchmark]:
+    """The benchmarks of one suite, in registration-name order."""
+    _ensure_loaded()
+    return [
+        _REGISTRY[name]
+        for name in sorted(_REGISTRY)
+        if suite in _REGISTRY[name].suites
+    ]

@@ -1,0 +1,171 @@
+"""Sample collection and summary statistics for the benchmark harness.
+
+The harness's timing model is deliberately simple and fully
+deterministic given a clock: a benchmark callable is invoked for
+``warmup`` untimed iterations, then timed repeatedly under a
+:class:`RepeatPolicy` until the run is *steady* (the relative spread of
+the trailing window falls under a tolerance), the time budget is spent,
+or the repeat cap is reached.  Medians and percentile spreads -- not
+means -- summarise the samples, because benchmark noise is one-sided:
+preemptions and cache warm-up only ever make a sample slower.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.bench.clock import Clock
+
+#: A benchmark callable: runs one unit of work, optionally returning
+#: counter readings (e.g. simulated misses) to attach to the result.
+BenchFn = Callable[[], Optional[Mapping[str, float]]]
+
+
+@dataclass(frozen=True)
+class RepeatPolicy:
+    """Warmup/repeat/steady-state plumbing for one benchmark."""
+
+    #: untimed shake-out iterations before sampling starts
+    warmup: int = 1
+    #: never report fewer than this many timed samples
+    min_repeats: int = 5
+    #: hard cap on timed samples
+    max_repeats: int = 50
+    #: stop sampling once this much wall time has been spent (only after
+    #: ``min_repeats``; a slow benchmark still gets its minimum samples)
+    time_budget_s: float = 2.0
+    #: trailing window inspected by the steady-state detector
+    steady_window: int = 5
+    #: the run is steady when the window's (p90-p10)/median falls below
+    #: this; 0 disables early exit
+    steady_rel_spread: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.min_repeats < 1 or self.max_repeats < self.min_repeats:
+            raise ValueError("need 1 <= min_repeats <= max_repeats")
+        if self.warmup < 0:
+            raise ValueError("warmup must be non-negative")
+        if self.steady_window < 2:
+            raise ValueError("steady_window must be at least 2")
+
+
+#: single-shot policy for benchmarks that are themselves long campaigns
+ONCE = RepeatPolicy(
+    warmup=0, min_repeats=1, max_repeats=1, time_budget_s=0.0
+)
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 100]) of a non-empty
+    sample list; deterministic, no numpy dependency in the harness."""
+    if not samples:
+        raise ValueError("percentile of an empty sample list")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be within [0, 100]")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return ordered[lo]
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def relative_spread(samples: Sequence[float]) -> float:
+    """(p90 - p10) / median -- the harness's noise measure (0 for a
+    perfectly quiet run; ~0.1 means +-5% around the median)."""
+    median = percentile(samples, 50.0)
+    if median <= 0.0:
+        return 0.0
+    return (percentile(samples, 90.0) - percentile(samples, 10.0)) / median
+
+
+@dataclass(frozen=True)
+class Stats:
+    """Summary of one benchmark's timed samples (seconds)."""
+
+    repeats: int
+    median_s: float
+    p10_s: float
+    p90_s: float
+    mean_s: float
+    stddev_s: float
+    min_s: float
+    max_s: float
+    total_s: float
+    #: True when sampling stopped because the steady-state detector
+    #: fired (as opposed to exhausting the budget or the repeat cap)
+    steady: bool
+
+    @property
+    def rel_spread(self) -> float:
+        """(p90 - p10) / median; the noise term compare() widens by."""
+        if self.median_s <= 0.0:
+            return 0.0
+        return (self.p90_s - self.p10_s) / self.median_s
+
+
+def summarize(samples: Sequence[float], steady: bool = False) -> Stats:
+    """Reduce timed samples to a :class:`Stats`."""
+    if not samples:
+        raise ValueError("cannot summarise zero samples")
+    n = len(samples)
+    mean = sum(samples) / n
+    var = sum((s - mean) ** 2 for s in samples) / n
+    return Stats(
+        repeats=n,
+        median_s=percentile(samples, 50.0),
+        p10_s=percentile(samples, 10.0),
+        p90_s=percentile(samples, 90.0),
+        mean_s=mean,
+        stddev_s=math.sqrt(var),
+        min_s=min(samples),
+        max_s=max(samples),
+        total_s=sum(samples),
+        steady=steady,
+    )
+
+
+def collect(
+    fn: BenchFn, clock: Clock, policy: RepeatPolicy
+) -> Tuple[Stats, Mapping[str, float]]:
+    """Run ``fn`` under ``policy``, timing with ``clock``.
+
+    Returns the sample summary plus the counters the *last* timed call
+    reported (counters are per-call quantities; the harness derives
+    rates from them against the median sample).
+    """
+    for _ in range(policy.warmup):
+        fn()
+    samples: List[float] = []
+    counters: Mapping[str, float] = {}
+    spent = 0.0
+    steady = False
+    while len(samples) < policy.max_repeats:
+        start = clock()
+        reported = fn()
+        elapsed = clock() - start
+        if elapsed < 0.0:
+            raise ValueError("clock went backwards during a sample")
+        samples.append(elapsed)
+        spent += elapsed
+        if reported is not None:
+            counters = reported
+        if len(samples) < policy.min_repeats:
+            continue
+        window = samples[-policy.steady_window:]
+        if (
+            policy.steady_rel_spread > 0.0
+            and len(window) >= policy.steady_window
+            and relative_spread(window) <= policy.steady_rel_spread
+        ):
+            steady = True
+            break
+        if spent >= policy.time_budget_s:
+            break
+    return summarize(samples, steady=steady), dict(counters)

@@ -11,9 +11,13 @@ Commands:
 - ``analyze``    annotation lint / lock-order / race passes (byte-stable);
 - ``lint``       the repro-lint determinism pass over the simulator source;
 - ``mc``         the schedule model checker (DPOR) + symbolic cache-model
-  verification (MC001-MC005).
+  verification (MC001-MC005);
+- ``bench``      the performance-regression harness: ``run`` a suite to
+  ``BENCH_<suite>.json``, ``compare`` two result files with noise-aware
+  thresholds, ``update-baseline`` to re-record a checked-in baseline.
 
-Everything is deterministic given ``--seed``.
+Everything except ``bench`` (which measures host wall time) is
+deterministic given ``--seed``.
 """
 
 from __future__ import annotations
@@ -384,6 +388,133 @@ def _cmd_mc(args) -> int:
     return 1 if diagnostics else 0
 
 
+def _parse_regress(text: str) -> float:
+    """Parse a regression threshold: '40%', '40', or '0.4' all mean 40%."""
+    raw = text.strip()
+    percent = raw.endswith("%")
+    value = float(raw.rstrip("%"))
+    if percent or value > 1.0:
+        value /= 100.0
+    if value < 0.0:
+        raise ValueError("threshold must be non-negative")
+    return value
+
+
+def _cmd_bench_run(args) -> int:
+    from repro.bench import (
+        default_baseline_path,
+        format_suite,
+        run_suite,
+        suite_names,
+        write_suite,
+    )
+
+    if args.suite not in suite_names():
+        print(
+            "repro bench run: unknown suite %r (choose from %s)"
+            % (args.suite, ", ".join(suite_names())),
+            file=sys.stderr,
+        )
+        return 2
+    result = run_suite(
+        args.suite,
+        progress=lambda name: print(f"  running {name} ...", file=sys.stderr),
+    )
+    out = args.out or default_baseline_path(args.suite)
+    write_suite(out, result)
+    print(format_suite(result))
+    print(f"wrote {out}")
+    return 0
+
+
+def _cmd_bench_compare(args) -> int:
+    from repro.bench import (
+        SchemaError,
+        compare,
+        format_comparison,
+        load_suite,
+        run_suite,
+        suite_names,
+    )
+
+    try:
+        threshold = _parse_regress(args.max_regress)
+    except ValueError:
+        print(
+            f"repro bench compare: bad --max-regress {args.max_regress!r}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        baseline = load_suite(args.baseline)
+    except (OSError, SchemaError) as exc:
+        print(f"repro bench compare: {exc}", file=sys.stderr)
+        return 2
+    if args.new is not None:
+        try:
+            fresh = load_suite(args.new)
+        except (OSError, SchemaError) as exc:
+            print(f"repro bench compare: {exc}", file=sys.stderr)
+            return 2
+    else:
+        # no fresh file given: re-run the baseline's suite now
+        if baseline.suite not in suite_names():
+            print(
+                "repro bench compare: baseline names unknown suite "
+                f"{baseline.suite!r}; pass --new FILE",
+                file=sys.stderr,
+            )
+            return 2
+        fresh = run_suite(
+            baseline.suite,
+            progress=lambda name: print(
+                f"  running {name} ...", file=sys.stderr
+            ),
+        )
+    result = compare(
+        baseline, fresh, max_regress=threshold,
+        noise_aware=not args.no_noise,
+    )
+    print(format_comparison(result))
+    return 0 if result.ok else 1
+
+
+def _cmd_bench_update(args) -> int:
+    import os
+
+    from repro.bench import (
+        compare,
+        default_baseline_path,
+        format_comparison,
+        load_suite,
+        run_suite,
+        suite_names,
+        write_suite,
+    )
+
+    if args.suite not in suite_names():
+        print(
+            "repro bench update-baseline: unknown suite %r (choose from %s)"
+            % (args.suite, ", ".join(suite_names())),
+            file=sys.stderr,
+        )
+        return 2
+    path = args.baseline or default_baseline_path(args.suite)
+    result = run_suite(
+        args.suite,
+        progress=lambda name: print(f"  running {name} ...", file=sys.stderr),
+    )
+    if os.path.exists(path):
+        # informational diff against the baseline being replaced
+        try:
+            print(format_comparison(compare(load_suite(path), result)))
+        except Exception as exc:  # old file unreadable: still replace it
+            print(f"(old baseline unreadable: {exc})", file=sys.stderr)
+    write_suite(path, result)
+    print(f"updated {path}")
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.analysis import lint_paths
 
@@ -565,6 +696,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the symbolic cache-model sweep",
     )
     mc_p.set_defaults(func=_cmd_mc)
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="performance-regression harness (docs/BENCHMARKS.md)",
+    )
+    bench_sub = bench_p.add_subparsers(dest="bench_command", required=True)
+
+    bench_run_p = bench_sub.add_parser(
+        "run", help="run a suite and write BENCH_<suite>.json"
+    )
+    bench_run_p.add_argument(
+        "--suite", default="smoke",
+        help="suite name (smoke, hotpaths, ...; default: smoke)",
+    )
+    bench_run_p.add_argument(
+        "--out",
+        help="output JSON path (default: BENCH_<suite>.json in the cwd)",
+    )
+    bench_run_p.set_defaults(func=_cmd_bench_run)
+
+    bench_cmp_p = bench_sub.add_parser(
+        "compare",
+        help="diff two BENCH_*.json files; exit 1 on median regression",
+    )
+    bench_cmp_p.add_argument(
+        "--baseline", required=True,
+        help="checked-in baseline BENCH_*.json",
+    )
+    bench_cmp_p.add_argument(
+        "--new",
+        help="fresh results JSON (default: re-run the baseline's suite now)",
+    )
+    bench_cmp_p.add_argument(
+        "--max-regress", default="25%",
+        help="median-regression threshold, e.g. '40%%' (default: 25%%)",
+    )
+    bench_cmp_p.add_argument(
+        "--no-noise", action="store_true",
+        help="disable noise-aware threshold widening",
+    )
+    bench_cmp_p.set_defaults(func=_cmd_bench_compare)
+
+    bench_up_p = bench_sub.add_parser(
+        "update-baseline",
+        help="re-run a suite and overwrite its checked-in baseline",
+    )
+    bench_up_p.add_argument(
+        "--suite", default="smoke",
+        help="suite name (default: smoke)",
+    )
+    bench_up_p.add_argument(
+        "--baseline",
+        help="baseline path to write (default: BENCH_<suite>.json)",
+    )
+    bench_up_p.set_defaults(func=_cmd_bench_update)
     return parser
 
 

@@ -173,24 +173,36 @@ class DirectMappedCache(_BaseCache):
         super().__init__(size_bytes, line_bytes)
         self._resident = np.full(self.num_lines, -1, dtype=np.int64)
         self._dirty = np.zeros(self.num_lines, dtype=bool)
+        #: power-of-two caches index with a mask instead of a modulo (the
+        #: hardware's trick, and measurably cheaper per batch)
+        n = self.num_lines
+        self._index_mask = n - 1 if n & (n - 1) == 0 else None
 
     def index_of(self, pline: int) -> int:
         """Cache index a physical line maps to."""
+        if self._index_mask is not None:
+            return pline & self._index_mask
         return pline % self.num_lines
+
+    def _indices(self, plines: np.ndarray) -> np.ndarray:
+        if self._index_mask is not None:
+            return plines & self._index_mask
+        return plines % self.num_lines
 
     def access(self, plines: np.ndarray, write: bool = False) -> AccessResult:
         plines = np.asarray(plines, dtype=np.int64)
         if plines.size == 0:
             return AccessResult(0, 0, 0, _EMPTY, _EMPTY)
-        idx = plines % self.num_lines
-        if np.unique(idx).size == idx.size:
+        idx = self._indices(plines)
+        if idx.size == 1 or np.unique(idx).size == idx.size:
             result = self._access_vectorised(plines, idx, write)
         else:
             result = self._access_serial(plines, idx, write)
-        self.stats.refs += result.refs
-        self.stats.hits += result.hits
-        self.stats.misses += result.misses
-        self.stats.writebacks += result.writebacks
+        stats = self.stats
+        stats.refs += result.refs
+        stats.hits += result.hits
+        stats.misses += result.misses
+        stats.writebacks += result.writebacks
         self._notify(result.installed, result.evicted)
         return result
 
@@ -257,7 +269,7 @@ class DirectMappedCache(_BaseCache):
         plines = np.asarray(plines, dtype=np.int64)
         if plines.size == 0:
             return 0
-        idx = plines % self.num_lines
+        idx = self._indices(plines)
         match = self._resident[idx] == plines
         victims = plines[match]
         self._resident[idx[match]] = -1
@@ -270,7 +282,7 @@ class DirectMappedCache(_BaseCache):
         return self._resident[self._resident >= 0]
 
     def contains(self, pline: int) -> bool:
-        return bool(self._resident[pline % self.num_lines] == pline)
+        return bool(self._resident[self.index_of(pline)] == pline)
 
     def flush(self) -> int:
         victims = self.resident_lines().copy()
@@ -285,6 +297,13 @@ class SetAssociativeCache(_BaseCache):
 
     ``ways=1`` degenerates to direct-mapped behaviour and is checked against
     :class:`DirectMappedCache` by the property tests.
+
+    The simulator state is kept in plain per-set Python lists rather than
+    numpy arrays: the access loop is inherently per-reference (LRU state
+    changes between references), and element-wise numpy operations on
+    ``ways``-sized rows cost an order of magnitude more than list
+    scans at the associativities that occur in practice (2-16).  The
+    ``cache_assoc_access`` benchmark in ``repro.bench`` guards this.
     """
 
     def __init__(self, size_bytes: int, line_bytes: int = 64, ways: int = 4) -> None:
@@ -293,9 +312,16 @@ class SetAssociativeCache(_BaseCache):
             raise ValueError("ways must divide the number of lines")
         self.ways = ways
         self.num_sets = self.num_lines // ways
-        self._resident = np.full((self.num_sets, ways), -1, dtype=np.int64)
-        self._dirty = np.zeros((self.num_sets, ways), dtype=bool)
-        self._stamp = np.zeros((self.num_sets, ways), dtype=np.int64)
+        # per set: tags (-1 = empty), dirty flags, LRU stamps
+        self._tags: List[List[int]] = [
+            [-1] * ways for _ in range(self.num_sets)
+        ]
+        self._dirty: List[List[bool]] = [
+            [False] * ways for _ in range(self.num_sets)
+        ]
+        self._stamp: List[List[int]] = [
+            [0] * ways for _ in range(self.num_sets)
+        ]
         self._clock = 0
 
     def access(self, plines: np.ndarray, write: bool = False) -> AccessResult:
@@ -304,29 +330,34 @@ class SetAssociativeCache(_BaseCache):
         installed: List[int] = []
         evicted: List[int] = []
         writebacks = 0
+        num_sets = self.num_sets
+        tags = self._tags
+        dirty = self._dirty
+        stamp = self._stamp
+        clock = self._clock
         for pline in plines.tolist():
-            s = pline % self.num_sets
-            self._clock += 1
-            ways = self._resident[s]
-            hit_ways = np.nonzero(ways == pline)[0]
-            if hit_ways.size:
-                w = int(hit_ways[0])
+            s = pline % num_sets
+            clock += 1
+            row = tags[s]
+            try:
+                w = row.index(pline)
                 hits += 1
-            else:
-                empty = np.nonzero(ways < 0)[0]
-                if empty.size:
-                    w = int(empty[0])
-                else:
-                    w = int(np.argmin(self._stamp[s]))
-                    evicted.append(int(ways[w]))
-                    if self._dirty[s, w]:
+            except ValueError:
+                try:
+                    w = row.index(-1)
+                except ValueError:
+                    srow = stamp[s]
+                    w = srow.index(min(srow))
+                    evicted.append(row[w])
+                    if dirty[s][w]:
                         writebacks += 1
-                self._resident[s, w] = pline
-                self._dirty[s, w] = False
+                row[w] = pline
+                dirty[s][w] = False
                 installed.append(pline)
-            self._stamp[s, w] = self._clock
+            stamp[s][w] = clock
             if write:
-                self._dirty[s, w] = True
+                dirty[s][w] = True
+        self._clock = clock
         net_in, net_out = _net_effect(installed, evicted)
         result = AccessResult(
             refs=plines.size,
@@ -337,40 +368,43 @@ class SetAssociativeCache(_BaseCache):
             writebacks=writebacks,
             miss_lines=np.asarray(installed, dtype=np.int64),
         )
-        self.stats.refs += result.refs
-        self.stats.hits += result.hits
-        self.stats.misses += result.misses
-        self.stats.writebacks += result.writebacks
+        stats = self.stats
+        stats.refs += result.refs
+        stats.hits += result.hits
+        stats.misses += result.misses
+        stats.writebacks += result.writebacks
         self._notify(result.installed, result.evicted)
         return result
 
     def invalidate(self, plines: np.ndarray) -> int:
-        plines = np.asarray(plines, dtype=np.int64)
         victims: List[int] = []
-        for pline in plines.tolist():
+        for pline in np.asarray(plines, dtype=np.int64).tolist():
             s = pline % self.num_sets
-            hit_ways = np.nonzero(self._resident[s] == pline)[0]
-            if hit_ways.size:
-                w = int(hit_ways[0])
-                self._resident[s, w] = -1
-                self._dirty[s, w] = False
-                victims.append(pline)
+            row = self._tags[s]
+            try:
+                w = row.index(pline)
+            except ValueError:
+                continue
+            row[w] = -1
+            self._dirty[s][w] = False
+            victims.append(pline)
         self.stats.invalidations += len(victims)
         self._notify(_EMPTY, np.asarray(victims, dtype=np.int64))
         return len(victims)
 
     def resident_lines(self) -> np.ndarray:
-        flat = self._resident.ravel()
-        return flat[flat >= 0]
+        flat = [tag for row in self._tags for tag in row if tag >= 0]
+        return np.asarray(flat, dtype=np.int64)
 
     def contains(self, pline: int) -> bool:
-        s = pline % self.num_sets
-        return bool(np.any(self._resident[s] == pline))
+        return pline in self._tags[pline % self.num_sets]
 
     def flush(self) -> int:
-        victims = self.resident_lines().copy()
-        self._resident[:] = -1
-        self._dirty[:] = False
-        self._stamp[:] = 0
+        victims = self.resident_lines()
+        ways = self.ways
+        for s in range(self.num_sets):
+            self._tags[s] = [-1] * ways
+            self._dirty[s] = [False] * ways
+            self._stamp[s] = [0] * ways
         self._notify(_EMPTY, victims)
         return int(victims.size)

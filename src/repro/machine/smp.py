@@ -59,13 +59,24 @@ class LineDirectory:
         cpus = self._holders.get(pline)
         if not cpus:
             return False
-        return bool(cpus - {cpu_id})
+        if cpu_id in cpus:
+            return len(cpus) > 1
+        return True
 
     def count_remote(self, plines: np.ndarray, cpu_id: int) -> int:
         """How many of ``plines`` some other cpu caches."""
-        return sum(
-            1 for pline in plines.tolist() if self.held_by_other(pline, cpu_id)
-        )
+        holders = self._holders
+        count = 0
+        for pline in plines.tolist():
+            cpus = holders.get(pline)
+            if not cpus:
+                continue
+            if cpu_id in cpus:
+                if len(cpus) > 1:
+                    count += 1
+            else:
+                count += 1
+        return count
 
     def shared_with_others(self, plines: np.ndarray, cpu_id: int) -> np.ndarray:
         """The subset of ``plines`` cached by at least one other cpu."""
@@ -156,9 +167,14 @@ class Machine:
 
     def _invalidate_remote_copies(self, writer: int, plines: np.ndarray) -> None:
         victims_by_cpu: Dict[int, List[int]] = {}
+        holders = self.directory._holders
         for pline in plines.tolist():
-            for cpu_id in sorted(self.directory.holders(pline) - {writer}):
-                victims_by_cpu.setdefault(cpu_id, []).append(pline)
+            cpus = holders.get(pline)
+            if not cpus or (writer in cpus and len(cpus) == 1):
+                continue
+            for cpu_id in sorted(cpus):
+                if cpu_id != writer:
+                    victims_by_cpu.setdefault(cpu_id, []).append(pline)
         for cpu_id, victims in victims_by_cpu.items():
             self.cpus[cpu_id].hierarchy.invalidate(
                 np.asarray(victims, dtype=np.int64)

@@ -162,17 +162,21 @@ class VirtualMemory:
         Vectorised per page: a touch batch typically spans few pages, so we
         loop over the unique pages and translate each page's lines at once.
         """
+        vlines = np.asarray(vlines, dtype=np.int64)
         if vlines.size == 0:
-            return vlines.astype(np.int64)
+            return vlines
         lpp = self.lines_per_page
         vpages = vlines // lpp
         offsets = vlines - vpages * lpp
-        out = np.empty_like(vlines, dtype=np.int64)
-        for vpage in np.unique(vpages):
-            ppage = self.translate_page(int(vpage))
-            mask = vpages == vpage
-            out[mask] = ppage * lpp + offsets[mask]
-        return out
+        first = int(vpages[0])
+        if vpages[-1] == first and (vpages == first).all():
+            # single-page batch: one translation covers every line
+            return self.translate_page(first) * lpp + offsets
+        uniq, inverse = np.unique(vpages, return_inverse=True)
+        bases = np.empty(uniq.shape, dtype=np.int64)
+        for i, vpage in enumerate(uniq.tolist()):
+            bases[i] = self.translate_page(vpage) * lpp
+        return bases[inverse] + offsets
 
     def reverse_line(self, pline: int) -> Optional[int]:
         """Virtual line for a physical line, or ``None`` if unmapped."""

@@ -13,7 +13,6 @@ thread whose priority changed (dependency updates) instead of decrease-key.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.threads.errors import HeapCorruption
@@ -23,16 +22,58 @@ from repro.threads.thread import ActiveThread, ThreadState
 VersionFn = Callable[[ActiveThread], Optional[int]]
 
 
-@dataclass(frozen=True, order=True)
 class HeapEntry:
     """One heap slot.  Ordered by descending priority (min-heap on the
-    negated key), with an insertion counter as a deterministic tiebreak."""
+    negated key), with an insertion counter as a deterministic tiebreak.
 
-    sort_key: Tuple[float, int] = field(repr=False)
-    thread: ActiveThread = field(compare=False)
-    priority: float = field(compare=False)
-    seq: int = field(compare=False)
-    version: int = field(compare=False)
+    A ``__slots__`` class rather than a dataclass: the scheduler allocates
+    one per push, and slot storage plus a plain tuple ``__lt__`` keep the
+    per-switch heap work allocation-light (the ``heap_churn`` benchmark
+    guards this path).  Comparison follows the old dataclass semantics:
+    only ``sort_key`` participates.
+    """
+
+    __slots__ = ("sort_key", "thread", "priority", "seq", "version")
+
+    def __init__(
+        self,
+        sort_key: Tuple[float, int],
+        thread: ActiveThread,
+        priority: float,
+        seq: int,
+        version: int,
+    ) -> None:
+        self.sort_key = sort_key
+        self.thread = thread
+        self.priority = priority
+        self.seq = seq
+        self.version = version
+
+    def __lt__(self, other: "HeapEntry") -> bool:
+        return self.sort_key < other.sort_key
+
+    def __le__(self, other: "HeapEntry") -> bool:
+        return self.sort_key <= other.sort_key
+
+    def __gt__(self, other: "HeapEntry") -> bool:
+        return self.sort_key > other.sort_key
+
+    def __ge__(self, other: "HeapEntry") -> bool:
+        return self.sort_key >= other.sort_key
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HeapEntry):
+            return NotImplemented
+        return self.sort_key == other.sort_key
+
+    def __hash__(self) -> int:
+        return hash(self.sort_key)
+
+    def __repr__(self) -> str:
+        return (
+            f"HeapEntry(thread={self.thread!r}, priority={self.priority!r}, "
+            f"seq={self.seq!r}, version={self.version!r})"
+        )
 
 
 class PriorityHeap:
@@ -68,14 +109,6 @@ class PriorityHeap:
         self._by_tid[thread.tid] = self._by_tid.get(thread.tid, 0) + 1
         return max(1, len(self._heap)).bit_length()
 
-    def _drop_from_map(self, entry: HeapEntry) -> None:
-        tid = entry.thread.tid
-        remaining = self._by_tid.get(tid, 0) - 1
-        if remaining > 0:
-            self._by_tid[tid] = remaining
-        else:
-            self._by_tid.pop(tid, None)
-
     def pop_valid(
         self, current_version: "VersionFn"
     ) -> Tuple[Optional[HeapEntry], int]:
@@ -87,13 +120,27 @@ class PriorityHeap:
         cost accounting.
         """
         pops = 0
-        while self._heap:
-            entry = heapq.heappop(self._heap)
+        heap = self._heap
+        by_tid = self._by_tid
+        heappop = heapq.heappop
+        while heap:
+            entry = heappop(heap)
             pops += 1
-            self.pops += 1
-            self._drop_from_map(entry)
-            if self._is_valid(entry, current_version):
+            thread = entry.thread
+            tid = thread.tid
+            remaining = by_tid.get(tid, 0) - 1
+            if remaining > 0:
+                by_tid[tid] = remaining
+            else:
+                by_tid.pop(tid, None)
+            if (
+                thread.state is ThreadState.READY
+                and entry.seq == thread.ready_seq
+                and current_version(thread) == entry.version
+            ):
+                self.pops += pops
                 return entry, pops
+        self.pops += pops
         return None, pops
 
     def _is_valid(self, entry: HeapEntry, current_version: "VersionFn") -> bool:

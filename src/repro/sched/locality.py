@@ -78,6 +78,7 @@ class LocalityScheduler(Scheduler):
         self.runtime = None
         self.scheme: Optional[PriorityScheme] = None
         self.heaps: List[PriorityHeap] = []
+        self._version_fns: List[Callable] = []
         self._global: Deque[Tuple[ActiveThread, int]] = deque()
         self._ready = 0
         self._picks = 0
@@ -108,6 +109,11 @@ class LocalityScheduler(Scheduler):
             self.threshold_lines = max(1.0, machine.config.l2_lines / 256)
         self._miss_cap = MISS_CAP_FACTOR * machine.config.l2_lines
         self.heaps = [PriorityHeap() for _ in range(num_cpus)]
+        # one validity closure per cpu, built once: _pop_heap runs per
+        # context switch and must not allocate a fresh closure each time
+        self._version_fns = [
+            self._version_fn(cpu) for cpu in range(num_cpus)
+        ]
         if self.model_scheduler_memory:
             space = machine.address_space
             # scheduler tables scale with the machine (they are sized for
@@ -318,7 +324,7 @@ class LocalityScheduler(Scheduler):
     def _pop_heap(self, cpu: int) -> Tuple[Optional[ActiveThread], int]:
         cost = 0
         heap = self.heaps[cpu]
-        version_fn = self._version_fn(cpu)
+        version_fn = self._version_fns[cpu]
         # bound heap sizes (section 5): when dead entries dominate, compact
         if len(heap) > 4 * max(16, self._ready):
             cost += len(heap)
@@ -365,7 +371,7 @@ class LocalityScheduler(Scheduler):
             victim = (cpu + offset) % num_cpus
             heap = self.heaps[victim]
             cost += max(1, len(heap))  # O(n) scan for the minimum
-            entry = heap.min_valid(self._version_fn(victim))
+            entry = heap.min_valid(self._version_fns[victim])
             if entry is None:
                 continue
             footprint = self.scheme.current_footprint(

@@ -221,14 +221,21 @@ class Watchdog:
         self.checkpoints: List[Checkpoint] = []
 
     def _checkpoint(self, runtime: Runtime) -> Checkpoint:
-        threads = runtime.threads.values()
+        done = live = instructions = refs = 0
+        for t in runtime.threads.values():
+            if t.alive:
+                live += 1
+            else:
+                done += 1
+            instructions += t.stats.instructions
+            refs += t.stats.refs
         cp = Checkpoint(
             events=runtime.events_executed,
             cycles=runtime.machine.time(),
-            done=sum(1 for t in threads if not t.alive),
-            live=sum(1 for t in threads if t.alive),
-            thread_instructions=sum(t.stats.instructions for t in threads),
-            thread_refs=sum(t.stats.refs for t in threads),
+            done=done,
+            live=live,
+            thread_instructions=instructions,
+            thread_refs=refs,
         )
         self.checkpoints.append(cp)
         return cp

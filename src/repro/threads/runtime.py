@@ -70,6 +70,26 @@ _SYNC_EVENT_ATTRS = {
     ev.CondBroadcast: ("condition",),
 }
 
+#: event class -> interpreter method name, in the same precedence order as
+#: the historical isinstance chain (matters only for event *subclasses*,
+#: which resolve to the first base they satisfy)
+_EVENT_HANDLERS = (
+    (ev.Touch, "_exec_touch"),
+    (ev.Compute, "_exec_compute"),
+    (ev.Fetch, "_exec_fetch"),
+    (ev.Acquire, "_exec_acquire"),
+    (ev.Release, "_exec_release"),
+    (ev.SemWait, "_exec_sem_wait"),
+    (ev.SemPost, "_exec_sem_post"),
+    (ev.BarrierWait, "_exec_barrier_wait"),
+    (ev.CondWait, "_exec_cond_wait"),
+    (ev.CondSignal, "_exec_cond_signal"),
+    (ev.CondBroadcast, "_exec_cond_broadcast"),
+    (ev.Join, "_exec_join"),
+    (ev.Yield, "_exec_yield"),
+    (ev.Sleep, "_exec_sleep"),
+)
+
 
 class Observer:
     """Measurement hook interface; all methods optional no-ops.
@@ -138,6 +158,13 @@ class Runtime:
         self._event_observers: List[Observer] = []
         #: observers implementing the thread-creation hook (same contract)
         self._create_observers: List[Observer] = []
+        #: per-hook observer lists, filtered at attach time so the stepping
+        #: loop never pays for hooks nobody overrides (tracing off means
+        #: these are empty and the hot path skips observer work entirely)
+        self._touch_observers: List[Observer] = []
+        self._dispatch_observers: List[Observer] = []
+        self._block_observers: List[Observer] = []
+        self._state_observers: List[Observer] = []
         #: per-kind counters for lazily naming anonymous sync objects; a
         #: per-runtime registry (not a class counter) so auto names -- and
         #: trace signatures built from them -- do not depend on how many
@@ -159,17 +186,45 @@ class Runtime:
         self.last_touch_lines: Optional[np.ndarray] = None
         self.context_switches = 0
         self.events_executed = 0
+        #: event class -> bound interpreter method; subclasses are added
+        #: lazily by :meth:`_resolve_handler`
+        self._handlers: Dict[type, Callable] = {
+            cls: getattr(self, name) for cls, name in _EVENT_HANDLERS
+        }
         scheduler.attach(self)
 
     # -- public API used by thread bodies and workloads ---------------------
 
     def add_observer(self, observer: Observer) -> None:
-        """Attach a measurement observer."""
+        """Attach a measurement observer.
+
+        Each hook the observer actually provides (an override of the
+        :class:`Observer` no-op, or any method on a duck-typed observer)
+        lands it on that hook's dispatch list; the base-class no-ops are
+        never called, so idle hooks cost nothing per event.
+        """
         self.observers.append(observer)
-        if hasattr(observer, "on_event"):
+        if self._provides(observer, "on_event"):
             self._event_observers.append(observer)
-        if hasattr(observer, "on_create"):
+        if self._provides(observer, "on_create"):
             self._create_observers.append(observer)
+        if self._provides(observer, "on_touch"):
+            self._touch_observers.append(observer)
+        if self._provides(observer, "on_dispatch"):
+            self._dispatch_observers.append(observer)
+        if self._provides(observer, "on_block"):
+            self._block_observers.append(observer)
+        if self._provides(observer, "on_state_declared"):
+            self._state_observers.append(observer)
+
+    @staticmethod
+    def _provides(observer: Observer, hook: str) -> bool:
+        impl = getattr(type(observer), hook, None)
+        if impl is None:
+            # duck-typed observer: the hook counts only if the instance
+            # carries it (e.g. assigned as an attribute)
+            return hasattr(observer, hook)
+        return impl is not getattr(Observer, hook, None)
 
     def register_sync(self, obj) -> None:
         """Assign an anonymous sync object its per-runtime auto name.
@@ -239,7 +294,7 @@ class Runtime:
         if not regions:
             return
         vlines = np.concatenate([r.lines() for r in regions])
-        for observer in self.observers:
+        for observer in self._state_observers:
             observer.on_state_declared(tid, vlines)
 
     def thread(self, tid: int) -> ActiveThread:
@@ -250,14 +305,19 @@ class Runtime:
 
     def run(self, max_events: Optional[int] = None) -> None:
         """Run until every thread finishes (or ``max_events`` is hit)."""
+        cpus = self.machine.cpus
+        single = len(cpus) == 1
+        current = self._current
+        step = self._step
         while self._live > 0:
             if max_events is not None and self.events_executed >= max_events:
                 raise StepBudgetExceeded(max_events)
-            cpu = self._min_clock_cpu()
-            self._release_timers(self.machine.cycles(cpu))
-            thread = self._current[cpu]
+            cpu = 0 if single else self._min_clock_cpu()
+            if self._timers:
+                self._release_timers(cpus[cpu].cycles)
+            thread = current[cpu]
             if thread is not None:
-                self._step(cpu, thread)
+                step(cpu, thread)
             else:
                 dispatched = self._dispatch(cpu)
                 if dispatched is None:
@@ -328,7 +388,7 @@ class Runtime:
         thread.last_cpu = cpu
         self._current[cpu] = thread
         self._charge(cpu, self.scheduler.thread_dispatched(cpu, thread))
-        for observer in self.observers:
+        for observer in self._dispatch_observers:
             observer.on_dispatch(cpu, thread)
         return thread
 
@@ -350,7 +410,7 @@ class Runtime:
         )
         self.context_switches += 1
         self._current[cpu] = None
-        for observer in self.observers:
+        for observer in self._block_observers:
             observer.on_block(cpu, thread, misses, finished)
 
     def _finish(self, cpu: int, thread: ActiveThread) -> None:
@@ -421,103 +481,140 @@ class Runtime:
         self._execute(cpu, thread, event)
 
     def _execute(self, cpu: int, thread: ActiveThread, event) -> None:
-        sync_attrs = _SYNC_EVENT_ATTRS.get(event.__class__)
+        cls = event.__class__
+        sync_attrs = _SYNC_EVENT_ATTRS.get(cls)
         if sync_attrs is not None:
             for attr in sync_attrs:
                 self.register_sync(getattr(event, attr))
         for observer in self._event_observers:
             observer.on_event(cpu, thread, event)
-        if isinstance(event, ev.Touch):
-            result = self.machine.touch(cpu, event.lines, write=event.write)
-            thread.stats.refs += result.refs
+        handler = self._handlers.get(cls)
+        if handler is None:
+            handler = self._resolve_handler(cls)
+            if handler is None:
+                raise ThreadError(
+                    f"{thread} yielded unknown event {event!r}"
+                )
+        handler(cpu, thread, event)
+
+    def _resolve_handler(self, cls) -> Optional[Callable]:
+        """Handler lookup for event *subclasses* (exact classes hit the
+        dispatch table directly); the result is memoised."""
+        for base, handler in _EVENT_HANDLERS:
+            if issubclass(cls, base):
+                self._handlers[cls] = getattr(self, handler)
+                return self._handlers[cls]
+        return None
+
+    def _exec_touch(self, cpu: int, thread: ActiveThread, event) -> None:
+        result = self.machine.touch(cpu, event.lines, write=event.write)
+        thread.stats.refs += result.refs
+        if self._touch_observers:
             #: the virtual lines of the touch being reported to observers
             #: (trace recorders read this; see repro.sim.trace)
             self.last_touch_lines = event.lines
-            for observer in self.observers:
+            for observer in self._touch_observers:
                 observer.on_touch(cpu, thread, result)
             self.last_touch_lines = None
-        elif isinstance(event, ev.Compute):
-            self.machine.compute(cpu, event.instructions)
-            thread.stats.instructions += event.instructions
-        elif isinstance(event, ev.Fetch):
-            self.machine.fetch(cpu, event.lines)
-        elif isinstance(event, ev.Acquire):
-            self.machine.compute(cpu, SYNC_COST)
-            if not event.mutex.acquire(thread):
-                thread.waiting_on = event.mutex
-                self._block(cpu, thread)
-        elif isinstance(event, ev.Release):
-            self.machine.compute(cpu, SYNC_COST)
-            woken = event.mutex.release(thread)
-            if woken is not None:
-                self._stepping = thread  # charge wake bookkeeping here
-                self._wake(woken)
-                self._stepping = None
-        elif isinstance(event, ev.SemWait):
-            self.machine.compute(cpu, SYNC_COST)
-            if not event.semaphore.wait(thread):
-                thread.waiting_on = event.semaphore
-                self._block(cpu, thread)
-        elif isinstance(event, ev.SemPost):
-            self.machine.compute(cpu, SYNC_COST)
-            woken = event.semaphore.post()
-            if woken is not None:
-                self._stepping = thread
-                self._wake(woken)
-                self._stepping = None
-        elif isinstance(event, ev.BarrierWait):
-            self.machine.compute(cpu, SYNC_COST)
-            woken = event.barrier.arrive(thread)
-            if woken is None:
-                thread.waiting_on = event.barrier
-                self._block(cpu, thread)
-            else:
-                self._stepping = thread
-                for other in woken:
-                    self._wake(other)
-                self._stepping = None
-        elif isinstance(event, ev.CondWait):
-            self.machine.compute(cpu, SYNC_COST)
-            self._cond_wait(cpu, thread, event)
-        elif isinstance(event, ev.CondSignal):
-            self.machine.compute(cpu, SYNC_COST)
-            self._stepping = thread
-            waiter = event.condition.signal()
-            if waiter is not None:
-                self._cond_resume(waiter)
+
+    def _exec_compute(self, cpu: int, thread: ActiveThread, event) -> None:
+        self.machine.compute(cpu, event.instructions)
+        thread.stats.instructions += event.instructions
+
+    def _exec_fetch(self, cpu: int, thread: ActiveThread, event) -> None:
+        self.machine.fetch(cpu, event.lines)
+
+    def _exec_acquire(self, cpu: int, thread: ActiveThread, event) -> None:
+        self.machine.compute(cpu, SYNC_COST)
+        if not event.mutex.acquire(thread):
+            thread.waiting_on = event.mutex
+            self._block(cpu, thread)
+
+    def _exec_release(self, cpu: int, thread: ActiveThread, event) -> None:
+        self.machine.compute(cpu, SYNC_COST)
+        woken = event.mutex.release(thread)
+        if woken is not None:
+            self._stepping = thread  # charge wake bookkeeping here
+            self._wake(woken)
             self._stepping = None
-        elif isinstance(event, ev.CondBroadcast):
-            self.machine.compute(cpu, SYNC_COST)
+
+    def _exec_sem_wait(self, cpu: int, thread: ActiveThread, event) -> None:
+        self.machine.compute(cpu, SYNC_COST)
+        if not event.semaphore.wait(thread):
+            thread.waiting_on = event.semaphore
+            self._block(cpu, thread)
+
+    def _exec_sem_post(self, cpu: int, thread: ActiveThread, event) -> None:
+        self.machine.compute(cpu, SYNC_COST)
+        woken = event.semaphore.post()
+        if woken is not None:
             self._stepping = thread
-            for waiter in event.condition.broadcast():
-                self._cond_resume(waiter)
+            self._wake(woken)
             self._stepping = None
-        elif isinstance(event, ev.Join):
-            self.machine.compute(cpu, SYNC_COST)
-            target = self.threads.get(event.tid)
-            if target is None:
-                raise ThreadError(f"join on unknown tid {event.tid}")
-            if target.alive:
-                target.joiners.append(thread)
-                thread.waiting_on = target
-                self._block(cpu, thread)
-        elif isinstance(event, ev.Yield):
-            thread.mark_ready()
-            thread.ready_at = self.machine.cycles(cpu)
-            self._end_interval(cpu, thread, finished=False)
-            self._stepping = thread
-            self._charge(cpu, self.scheduler.thread_ready(thread))
-            self._stepping = None
-        elif isinstance(event, ev.Sleep):
-            thread.state = ThreadState.SLEEPING
-            self._end_interval(cpu, thread, finished=False)
-            self._timer_seq += 1
-            heapq.heappush(
-                self._timers,
-                (self.machine.cycles(cpu) + event.cycles, self._timer_seq, thread),
-            )
+
+    def _exec_barrier_wait(
+        self, cpu: int, thread: ActiveThread, event
+    ) -> None:
+        self.machine.compute(cpu, SYNC_COST)
+        woken = event.barrier.arrive(thread)
+        if woken is None:
+            thread.waiting_on = event.barrier
+            self._block(cpu, thread)
         else:
-            raise ThreadError(f"{thread} yielded unknown event {event!r}")
+            self._stepping = thread
+            for other in woken:
+                self._wake(other)
+            self._stepping = None
+
+    def _exec_cond_wait(self, cpu: int, thread: ActiveThread, event) -> None:
+        self.machine.compute(cpu, SYNC_COST)
+        self._cond_wait(cpu, thread, event)
+
+    def _exec_cond_signal(
+        self, cpu: int, thread: ActiveThread, event
+    ) -> None:
+        self.machine.compute(cpu, SYNC_COST)
+        self._stepping = thread
+        waiter = event.condition.signal()
+        if waiter is not None:
+            self._cond_resume(waiter)
+        self._stepping = None
+
+    def _exec_cond_broadcast(
+        self, cpu: int, thread: ActiveThread, event
+    ) -> None:
+        self.machine.compute(cpu, SYNC_COST)
+        self._stepping = thread
+        for waiter in event.condition.broadcast():
+            self._cond_resume(waiter)
+        self._stepping = None
+
+    def _exec_join(self, cpu: int, thread: ActiveThread, event) -> None:
+        self.machine.compute(cpu, SYNC_COST)
+        target = self.threads.get(event.tid)
+        if target is None:
+            raise ThreadError(f"join on unknown tid {event.tid}")
+        if target.alive:
+            target.joiners.append(thread)
+            thread.waiting_on = target
+            self._block(cpu, thread)
+
+    def _exec_yield(self, cpu: int, thread: ActiveThread, event) -> None:
+        thread.mark_ready()
+        thread.ready_at = self.machine.cycles(cpu)
+        self._end_interval(cpu, thread, finished=False)
+        self._stepping = thread
+        self._charge(cpu, self.scheduler.thread_ready(thread))
+        self._stepping = None
+
+    def _exec_sleep(self, cpu: int, thread: ActiveThread, event) -> None:
+        thread.state = ThreadState.SLEEPING
+        self._end_interval(cpu, thread, finished=False)
+        self._timer_seq += 1
+        heapq.heappush(
+            self._timers,
+            (self.machine.cycles(cpu) + event.cycles, self._timer_seq, thread),
+        )
 
     def _cond_wait(self, cpu: int, thread: ActiveThread, event: ev.CondWait) -> None:
         if event.mutex.owner is not thread:

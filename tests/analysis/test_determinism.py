@@ -194,3 +194,61 @@ class TestDT005IdKeyedDictIteration:
             "        print(k)\n",
         )
         assert found == []
+
+
+class TestDT006BenchTimerAudit:
+    """Raw timer reads must flow through repro/bench/clock.py."""
+
+    def _lint_at(self, tmp_path, source, rel_path):
+        path = tmp_path / rel_path
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+        return lint_file(str(path), rel_path)
+
+    _TIMER_SOURCE = "import time\n\ndef now():\n    return time.perf_counter()\n"
+
+    def test_raw_timer_in_bench_is_dt006(self, tmp_path):
+        found = self._lint_at(
+            tmp_path, self._TIMER_SOURCE, "repro/bench/runner.py"
+        )
+        assert [d.code for d in found] == ["DT006"]
+        assert "repro.bench.clock" in found[0].message
+
+    def test_audited_clock_module_is_exempt(self, tmp_path):
+        found = self._lint_at(
+            tmp_path, self._TIMER_SOURCE, "repro/bench/clock.py"
+        )
+        assert found == []
+
+    def test_same_read_outside_bench_stays_dt003(self, tmp_path):
+        found = self._lint_at(
+            tmp_path, self._TIMER_SOURCE, "repro/sim/driver.py"
+        )
+        assert [d.code for d in found] == ["DT003"]
+
+    def test_bare_name_import_is_caught(self, tmp_path):
+        source = (
+            "from time import perf_counter\n"
+            "\n"
+            "def now():\n"
+            "    return perf_counter()\n"
+        )
+        found = self._lint_at(tmp_path, source, "repro/bench/stats.py")
+        assert [d.code for d in found] == ["DT006"]
+        found = self._lint_at(tmp_path, source, "repro/machine/cache.py")
+        assert [d.code for d in found] == ["DT003"]
+
+    def test_suppression_comment_works(self, tmp_path):
+        source = (
+            "import time\n"
+            "\n"
+            "def now():\n"
+            "    return time.perf_counter()  # repro-lint: ignore\n"
+        )
+        found = self._lint_at(tmp_path, source, "repro/bench/runner.py")
+        assert found == []
+
+    def test_default_targets_cover_the_bench_package(self):
+        from repro.analysis.determinism import DEFAULT_TARGETS
+
+        assert "repro/bench" in DEFAULT_TARGETS

@@ -1,0 +1,128 @@
+"""The noise-aware compare gate: pass/fail boundaries pinned exactly."""
+
+import pytest
+
+from repro.bench.compare import compare, format_comparison
+from repro.bench.runner import BenchResult, SuiteResult
+from repro.bench.stats import Stats
+
+
+def _stats(median, spread=0.0):
+    """Stats with a given median and relative p10-p90 spread."""
+    half = 0.5 * spread * median
+    return Stats(
+        repeats=5,
+        median_s=median,
+        p10_s=median - half,
+        p90_s=median + half,
+        mean_s=median,
+        stddev_s=0.0,
+        min_s=median - half,
+        max_s=median + half,
+        total_s=5 * median,
+        steady=True,
+    )
+
+
+def _suite(name="smoke", **medians):
+    results = []
+    for bench, value in medians.items():
+        if isinstance(value, tuple):
+            median, spread = value
+        else:
+            median, spread = value, 0.0
+        results.append(
+            BenchResult(
+                name=bench,
+                ops=100,
+                stats=_stats(median, spread),
+                counters={},
+            )
+        )
+    return SuiteResult(suite=name, results=tuple(results))
+
+
+def test_change_exactly_at_threshold_passes():
+    base = _suite(b=0.100)
+    new = _suite(b=0.125)  # +25.000000...%
+    result = compare(base, new, max_regress=0.25, noise_aware=False)
+    (delta,) = result.deltas
+    assert delta.change == pytest.approx(0.25)
+    assert not delta.regressed
+    assert result.ok
+
+
+def test_change_just_over_threshold_fails():
+    base = _suite(b=0.100)
+    new = _suite(b=0.1251)
+    result = compare(base, new, max_regress=0.25, noise_aware=False)
+    (delta,) = result.deltas
+    assert delta.regressed
+    assert not result.ok
+    assert result.regressions == (delta,)
+
+
+def test_improvement_never_fails():
+    result = compare(
+        _suite(b=0.100), _suite(b=0.050), max_regress=0.0, noise_aware=False
+    )
+    assert result.ok
+    assert result.deltas[0].change == pytest.approx(-0.5)
+
+
+def test_noise_widens_the_allowance():
+    # 35% slower, 25% threshold: fails when quiet ...
+    base = _suite(b=(0.100, 0.0))
+    new = _suite(b=(0.135, 0.0))
+    assert not compare(base, new, max_regress=0.25).ok
+    # ... passes when each side carries 12% spread (threshold becomes
+    # 0.25 + 0.5*0.12 + 0.5*0.12 = 0.37)
+    base = _suite(b=(0.100, 0.12))
+    new = _suite(b=(0.135, 0.12))
+    result = compare(base, new, max_regress=0.25)
+    (delta,) = result.deltas
+    assert delta.allowed == pytest.approx(0.37)
+    assert result.ok
+
+
+def test_noise_aware_off_ignores_spread():
+    base = _suite(b=(0.100, 0.12))
+    new = _suite(b=(0.135, 0.12))
+    result = compare(base, new, max_regress=0.25, noise_aware=False)
+    assert result.deltas[0].allowed == pytest.approx(0.25)
+    assert not result.ok
+
+
+def test_benchmark_missing_from_new_run_fails():
+    base = _suite(a=0.1, b=0.1)
+    new = _suite(a=0.1)
+    result = compare(base, new, max_regress=1.0)
+    assert not result.ok
+    (missing,) = result.regressions
+    assert missing.name == "b"
+    assert missing.missing == "new"
+
+
+def test_benchmark_missing_from_baseline_is_informational():
+    base = _suite(a=0.1)
+    new = _suite(a=0.1, b=0.1)
+    result = compare(base, new, max_regress=1.0)
+    assert result.ok
+    by_name = {d.name: d for d in result.deltas}
+    assert by_name["b"].missing == "baseline"
+    assert not by_name["b"].regressed
+
+
+def test_negative_threshold_rejected():
+    with pytest.raises(ValueError):
+        compare(_suite(a=0.1), _suite(a=0.1), max_regress=-0.1)
+
+
+def test_format_comparison_mentions_verdicts():
+    base = _suite(a=0.1, b=0.1, c=0.1)
+    new = _suite(a=0.1, b=0.5, d=0.1)
+    text = format_comparison(compare(base, new, max_regress=0.25))
+    assert "REGRESSED" in text
+    assert "MISSING (fail)" in text
+    assert "new (no baseline)" in text
+    assert "2 regression(s)" in text

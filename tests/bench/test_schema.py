@@ -1,0 +1,122 @@
+"""BENCH_<suite>.json round-trips and validation."""
+
+import json
+
+import pytest
+
+from repro.bench.runner import BenchResult, SuiteResult
+from repro.bench.schema import (
+    SCHEMA_VERSION,
+    SchemaError,
+    default_baseline_path,
+    load_suite,
+    suite_from_dict,
+    suite_to_dict,
+    write_suite,
+)
+from repro.bench.stats import Stats
+
+
+def _result():
+    stats = Stats(
+        repeats=7,
+        median_s=0.010,
+        p10_s=0.009,
+        p90_s=0.012,
+        mean_s=0.0105,
+        stddev_s=0.001,
+        min_s=0.009,
+        max_s=0.013,
+        total_s=0.0735,
+        steady=True,
+    )
+    return SuiteResult(
+        suite="smoke",
+        results=(
+            BenchResult(
+                name="cache_sweep",
+                ops=4096,
+                stats=stats,
+                counters={"refs": 4096.0, "sim_misses": 512.0},
+            ),
+        ),
+    )
+
+
+def test_round_trip_through_dict():
+    original = _result()
+    restored = suite_from_dict(suite_to_dict(original))
+    assert restored.suite == original.suite
+    (a,), (b,) = original.results, restored.results
+    assert a.name == b.name
+    assert a.ops == b.ops
+    assert a.stats == b.stats
+    assert dict(a.counters) == dict(b.counters)
+    assert a.ops_per_s == pytest.approx(b.ops_per_s)
+    assert a.counter_rates == b.counter_rates
+
+
+def test_round_trip_through_file(tmp_path):
+    path = str(tmp_path / "BENCH_smoke.json")
+    write_suite(path, _result())
+    restored = load_suite(path)
+    assert restored == _result()
+
+
+def test_written_file_is_stable_and_newline_terminated(tmp_path):
+    path = str(tmp_path / "BENCH_smoke.json")
+    write_suite(path, _result())
+    text = open(path).read()
+    assert text.endswith("\n")
+    # sorted keys: a rewrite of the same result is byte-identical
+    write_suite(path, _result())
+    assert open(path).read() == text
+    doc = json.loads(text)
+    assert doc["schema"] == SCHEMA_VERSION
+    assert "cache_sweep" in doc["benchmarks"]
+
+
+def test_unknown_schema_version_rejected():
+    doc = suite_to_dict(_result())
+    doc["schema"] = SCHEMA_VERSION + 1
+    with pytest.raises(SchemaError, match="schema version"):
+        suite_from_dict(doc)
+
+
+def test_missing_float_field_rejected():
+    doc = suite_to_dict(_result())
+    del doc["benchmarks"]["cache_sweep"]["median_s"]
+    with pytest.raises(SchemaError, match="median_s"):
+        suite_from_dict(doc)
+
+
+def test_boolean_is_not_a_number():
+    doc = suite_to_dict(_result())
+    doc["benchmarks"]["cache_sweep"]["median_s"] = True
+    with pytest.raises(SchemaError, match="median_s"):
+        suite_from_dict(doc)
+
+
+def test_bad_repeats_rejected():
+    doc = suite_to_dict(_result())
+    doc["benchmarks"]["cache_sweep"]["repeats"] = 0
+    with pytest.raises(SchemaError, match="repeats"):
+        suite_from_dict(doc)
+
+
+def test_bad_counter_value_rejected():
+    doc = suite_to_dict(_result())
+    doc["benchmarks"]["cache_sweep"]["counters"]["refs"] = "many"
+    with pytest.raises(SchemaError, match="refs"):
+        suite_from_dict(doc)
+
+
+def test_invalid_json_file_reports_path(tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text("{not json")
+    with pytest.raises(SchemaError, match="broken.json"):
+        load_suite(str(path))
+
+
+def test_default_baseline_path():
+    assert default_baseline_path("smoke") == "BENCH_smoke.json"

@@ -1,0 +1,203 @@
+"""Timer/repeat plumbing on a deterministic fake clock."""
+
+import pytest
+
+from repro.bench.stats import (
+    ONCE,
+    RepeatPolicy,
+    collect,
+    percentile,
+    relative_spread,
+    summarize,
+)
+
+
+class FakeClock:
+    """A clock that returns scripted instants, one per call."""
+
+    def __init__(self, instants):
+        self._instants = list(instants)
+        self.calls = 0
+
+    def __call__(self):
+        value = self._instants[self.calls]
+        self.calls += 1
+        return value
+
+
+def script(durations, start=100.0, gap=0.0):
+    """Clock instants producing exactly ``durations`` as samples."""
+    instants = []
+    now = start
+    for d in durations:
+        instants.append(now)
+        now += d
+        instants.append(now)
+        now += gap
+    return instants
+
+
+# -- percentile / spread ------------------------------------------------------
+
+
+def test_percentile_interpolates_linearly():
+    samples = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(samples, 0.0) == 1.0
+    assert percentile(samples, 100.0) == 4.0
+    assert percentile(samples, 50.0) == pytest.approx(2.5)
+    assert percentile(samples, 25.0) == pytest.approx(1.75)
+
+
+def test_percentile_is_order_independent():
+    assert percentile([4.0, 1.0, 3.0, 2.0], 50.0) == percentile(
+        [1.0, 2.0, 3.0, 4.0], 50.0
+    )
+
+
+def test_percentile_rejects_bad_input():
+    with pytest.raises(ValueError):
+        percentile([], 50.0)
+    with pytest.raises(ValueError):
+        percentile([1.0], 101.0)
+
+
+def test_relative_spread_of_constant_samples_is_zero():
+    assert relative_spread([2.0, 2.0, 2.0]) == 0.0
+
+
+# -- summarize ---------------------------------------------------------------
+
+
+def test_summarize_fields():
+    stats = summarize([1.0, 2.0, 3.0], steady=True)
+    assert stats.repeats == 3
+    assert stats.median_s == 2.0
+    assert stats.min_s == 1.0
+    assert stats.max_s == 3.0
+    assert stats.total_s == 6.0
+    assert stats.mean_s == pytest.approx(2.0)
+    assert stats.steady is True
+
+
+def test_summarize_rejects_empty():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+# -- policy validation -------------------------------------------------------
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RepeatPolicy(min_repeats=0)
+    with pytest.raises(ValueError):
+        RepeatPolicy(min_repeats=5, max_repeats=4)
+    with pytest.raises(ValueError):
+        RepeatPolicy(warmup=-1)
+    with pytest.raises(ValueError):
+        RepeatPolicy(steady_window=1)
+
+
+# -- collect -----------------------------------------------------------------
+
+
+def test_collect_times_exactly_the_scripted_samples():
+    durations = [0.010, 0.012, 0.011, 0.010, 0.011]
+    clock = FakeClock(script(durations))
+    policy = RepeatPolicy(
+        warmup=0, min_repeats=5, max_repeats=5, time_budget_s=100.0
+    )
+    calls = []
+    stats, counters = collect(lambda: calls.append(1), clock, policy)
+    assert stats.repeats == 5
+    assert stats.median_s == pytest.approx(0.011)
+    assert stats.total_s == pytest.approx(sum(durations))
+    assert len(calls) == 5
+    assert counters == {}
+
+
+def test_collect_warmup_calls_are_untimed():
+    durations = [0.010, 0.010, 0.010]
+    clock = FakeClock(script(durations))
+    policy = RepeatPolicy(
+        warmup=2, min_repeats=3, max_repeats=3, time_budget_s=100.0
+    )
+    calls = []
+    stats, _ = collect(lambda: calls.append(1), clock, policy)
+    # 2 warmup + 3 timed calls, but only 3 samples and 6 clock reads
+    assert len(calls) == 5
+    assert stats.repeats == 3
+    assert clock.calls == 6
+
+
+def test_collect_stops_when_steady():
+    # noisy head, then a perfectly flat tail: the steady-state detector
+    # must fire at the first all-flat trailing window
+    durations = [0.030, 0.010, 0.010, 0.010, 0.010, 0.010] + [0.010] * 20
+    clock = FakeClock(script(durations))
+    policy = RepeatPolicy(
+        warmup=0,
+        min_repeats=2,
+        max_repeats=26,
+        time_budget_s=100.0,
+        steady_window=5,
+        steady_rel_spread=0.05,
+    )
+    stats, _ = collect(lambda: None, clock, policy)
+    assert stats.steady is True
+    # the 0.030 outlier leaves the 5-sample window after sample 6
+    assert stats.repeats == 6
+
+
+def test_collect_steady_detector_disabled_runs_to_budget():
+    durations = [0.010] * 10
+    clock = FakeClock(script(durations))
+    policy = RepeatPolicy(
+        warmup=0,
+        min_repeats=2,
+        max_repeats=10,
+        time_budget_s=0.035,
+        steady_rel_spread=0.0,
+    )
+    stats, _ = collect(lambda: None, clock, policy)
+    assert stats.steady is False
+    # budget exhausts after the 4th sample (0.04 >= 0.035)
+    assert stats.repeats == 4
+
+
+def test_collect_min_repeats_overrides_budget():
+    # every sample blows the budget, but min_repeats still get taken
+    durations = [1.0] * 3
+    clock = FakeClock(script(durations))
+    policy = RepeatPolicy(
+        warmup=0, min_repeats=3, max_repeats=10, time_budget_s=0.5
+    )
+    stats, _ = collect(lambda: None, clock, policy)
+    assert stats.repeats == 3
+
+
+def test_collect_counters_come_from_last_call():
+    seq = iter([{"misses": 1.0}, {"misses": 2.0}, {"misses": 3.0}])
+    clock = FakeClock(script([0.01] * 3))
+    policy = RepeatPolicy(
+        warmup=0, min_repeats=3, max_repeats=3, time_budget_s=100.0
+    )
+    _, counters = collect(lambda: next(seq), clock, policy)
+    assert counters == {"misses": 3.0}
+
+
+def test_collect_rejects_backwards_clock():
+    clock = FakeClock([10.0, 9.0])
+    policy = RepeatPolicy(
+        warmup=0, min_repeats=1, max_repeats=1, time_budget_s=1.0
+    )
+    with pytest.raises(ValueError):
+        collect(lambda: None, clock, policy)
+
+
+def test_once_policy_single_sample():
+    clock = FakeClock(script([0.5]))
+    stats, _ = collect(lambda: None, clock, ONCE)
+    assert stats.repeats == 1
+    assert stats.median_s == pytest.approx(0.5)
+    assert stats.steady is False
