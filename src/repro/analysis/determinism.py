@@ -51,6 +51,7 @@ DEFAULT_TARGETS = (
     "repro/machine",
     "repro/threads",
     "repro/bench",
+    "repro/parallel",
 )
 
 SUPPRESS_MARK = "repro-lint: ignore"

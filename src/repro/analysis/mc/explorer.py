@@ -49,6 +49,7 @@ from repro.analysis.mc.fixtures import FIXTURES, MCFixture
 from repro.analysis.mc.properties import PropertyChecker, default_checkers
 from repro.machine.configs import SMALL
 from repro.machine.smp import Machine
+from repro.parallel import ProgressFn, Shard, merged_values, run_shards
 from repro.threads.errors import DeadlockError, StepBudgetExceeded
 from repro.threads.runtime import Runtime
 
@@ -339,21 +340,45 @@ def explore_fixture(
     return results, diagnostics
 
 
+def _fixture_shard(
+    name: str, budget: MCBudget, dpor: bool, chaos: bool
+) -> Tuple[List[ExplorationResult], List[Diagnostic]]:
+    """Worker entry point: one registered fixture, clean + chaos."""
+    return explore_fixture(name, budget, dpor=dpor, chaos=chaos)
+
+
 def explore_all(
     budget: MCBudget = SMALL_BUDGET,
     *,
     fixtures: Optional[Sequence[str]] = None,
     dpor: bool = True,
     chaos: bool = True,
+    jobs: int = 1,
+    progress: Optional[ProgressFn] = None,
 ) -> Tuple[List[ExplorationResult], List[Diagnostic]]:
-    """Explore every (or the named) registered fixture."""
+    """Explore every (or the named) registered fixture.
+
+    Each fixture's exploration is an independent pure function of
+    (fixture name, budget, dpor, chaos), so with ``jobs > 1`` fixtures
+    run on a :mod:`repro.parallel` process pool; the merge re-sorts by
+    fixture order and the final report is bit-identical to ``jobs=1``.
+    """
     names = list(fixtures) if fixtures else sorted(FIXTURES)
+    shards = [
+        Shard(
+            index=i,
+            key=f"mc/{name}",
+            fn="repro.analysis.mc.explorer:_fixture_shard",
+            params={
+                "name": name, "budget": budget, "dpor": dpor, "chaos": chaos,
+            },
+        )
+        for i, name in enumerate(names)
+    ]
+    outcomes = run_shards(shards, jobs=jobs, progress=progress)
     results: List[ExplorationResult] = []
     diagnostics: List[Diagnostic] = []
-    for name in names:
-        sub_results, sub_diags = explore_fixture(
-            name, budget, dpor=dpor, chaos=chaos
-        )
+    for sub_results, sub_diags in merged_values(outcomes):
         results.extend(sub_results)
         diagnostics.extend(sub_diags)
     diagnostics.sort(key=lambda d: d.sort_key)

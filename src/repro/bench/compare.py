@@ -14,6 +14,10 @@ The decision rule, per benchmark present in both runs:
 A benchmark present in the baseline but missing from the new run is a
 failure (coverage silently shrinking must not read as "no regression");
 a new benchmark absent from the baseline is reported but never fails.
+A benchmark whose median is non-positive on either side is
+**inconclusive** and also fails the gate: a zero median means the run
+measured nothing, and the old behaviour (change = 0, pass) let a broken
+harness sail through.
 """
 
 from __future__ import annotations
@@ -38,6 +42,9 @@ class Delta:
     regressed: bool
     #: "", "baseline" or "new" -- which side is missing the benchmark
     missing: str = ""
+    #: True when either side's median is non-positive: no meaningful
+    #: relative change exists, so the gate cannot pass it vacuously
+    inconclusive: bool = False
 
 
 @dataclass(frozen=True)
@@ -54,8 +61,14 @@ class Comparison:
         return tuple(d for d in self.deltas if d.regressed)
 
     @property
+    def inconclusives(self) -> Tuple[Delta, ...]:
+        return tuple(d for d in self.deltas if d.inconclusive)
+
+    @property
     def ok(self) -> bool:
-        return not self.regressions
+        # an inconclusive benchmark (zero median) fails the gate: it used
+        # to read as "0% change" and pass no matter how broken the run was
+        return not self.regressions and not self.inconclusives
 
 
 def compare(
@@ -103,15 +116,30 @@ def compare(
             continue
         base_median = base.stats.median_s
         new_median = fresh.stats.median_s
-        change = (
-            (new_median - base_median) / base_median
-            if base_median > 0.0
-            else 0.0
-        )
+        if base_median <= 0.0 or new_median <= 0.0:
+            # a zero/negative median means the run measured nothing; the
+            # old code reported change=0.0 here and passed vacuously
+            deltas.append(
+                Delta(
+                    name=name,
+                    base_median_s=base_median,
+                    new_median_s=new_median,
+                    change=None,
+                    allowed=None,
+                    regressed=False,
+                    inconclusive=True,
+                )
+            )
+            continue
+        change = (new_median - base_median) / base_median
         allowed = max_regress
         if noise_aware:
-            allowed += 0.5 * base.stats.rel_spread
-            allowed += 0.5 * fresh.stats.rel_spread
+            base_spread = base.stats.rel_spread
+            new_spread = fresh.stats.rel_spread
+            # medians are positive here, so both spreads are measurable
+            assert base_spread is not None and new_spread is not None
+            allowed += 0.5 * base_spread
+            allowed += 0.5 * new_spread
         deltas.append(
             Delta(
                 name=name,
@@ -156,6 +184,13 @@ def format_comparison(result: Comparison) -> str:
                 f"{'-':>9} {'-':>9}  MISSING (fail)"
             )
             continue
+        if d.inconclusive:
+            lines.append(
+                f"{d.name:<28} {_ms(d.base_median_s):>12} "
+                f"{_ms(d.new_median_s):>12} "
+                f"{'-':>9} {'-':>9}  INCONCLUSIVE (fail)"
+            )
+            continue
         assert d.change is not None and d.allowed is not None
         verdict = "REGRESSED" if d.regressed else "ok"
         lines.append(
@@ -164,10 +199,14 @@ def format_comparison(result: Comparison) -> str:
             f"{100.0 * d.allowed:>8.1f}%  {verdict}"
         )
     regressions = result.regressions
-    lines.append(
+    inconclusives = result.inconclusives
+    summary = (
         f"-- {len(result.deltas)} benchmark(s), "
         f"{len(regressions)} regression(s)"
     )
+    if inconclusives:
+        summary += f", {len(inconclusives)} inconclusive"
+    lines.append(summary)
     return "\n".join(lines)
 
 

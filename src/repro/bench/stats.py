@@ -76,12 +76,19 @@ def percentile(samples: Sequence[float], q: float) -> float:
     return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
 
-def relative_spread(samples: Sequence[float]) -> float:
+def relative_spread(samples: Sequence[float]) -> Optional[float]:
     """(p90 - p10) / median -- the harness's noise measure (0 for a
-    perfectly quiet run; ~0.1 means +-5% around the median)."""
+    perfectly quiet run; ~0.1 means +-5% around the median).
+
+    Returns ``None`` when the median is not positive: a run whose
+    samples are all (near) zero has no meaningful relative noise, and
+    reporting 0 would make it look perfectly quiet -- which let the
+    steady-state detector fire instantly and ``compare`` pass
+    vacuously.  Callers must treat ``None`` as "inconclusive", never as
+    "quiet"."""
     median = percentile(samples, 50.0)
     if median <= 0.0:
-        return 0.0
+        return None
     return (percentile(samples, 90.0) - percentile(samples, 10.0)) / median
 
 
@@ -103,10 +110,14 @@ class Stats:
     steady: bool
 
     @property
-    def rel_spread(self) -> float:
-        """(p90 - p10) / median; the noise term compare() widens by."""
+    def rel_spread(self) -> Optional[float]:
+        """(p90 - p10) / median; the noise term compare() widens by.
+
+        ``None`` when the median is not positive -- see
+        :func:`relative_spread`; compare() treats such runs as
+        inconclusive rather than noiseless."""
         if self.median_s <= 0.0:
-            return 0.0
+            return None
         return (self.p90_s - self.p10_s) / self.median_s
 
 
@@ -159,13 +170,13 @@ def collect(
         if len(samples) < policy.min_repeats:
             continue
         window = samples[-policy.steady_window:]
-        if (
-            policy.steady_rel_spread > 0.0
-            and len(window) >= policy.steady_window
-            and relative_spread(window) <= policy.steady_rel_spread
-        ):
-            steady = True
-            break
+        if policy.steady_rel_spread > 0.0 and len(window) >= policy.steady_window:
+            spread = relative_spread(window)
+            # an all-zero window has no measurable spread: keep sampling
+            # instead of declaring an instant (vacuous) steady state
+            if spread is not None and spread <= policy.steady_rel_spread:
+                steady = True
+                break
         if spent >= policy.time_budget_s:
             break
     return summarize(samples, steady=steady), dict(counters)

@@ -16,6 +16,11 @@ Commands:
   ``BENCH_<suite>.json``, ``compare`` two result files with noise-aware
   thresholds, ``update-baseline`` to re-record a checked-in baseline.
 
+The sweep commands (``faults run``, ``experiment``, ``mc``,
+``bench run``) take ``--jobs N`` to shard over a process pool via
+:mod:`repro.parallel`; output is bit-identical to ``--jobs 1``
+(docs/PARALLEL.md).
+
 Everything except ``bench`` (which measures host wall time) is
 deterministic given ``--seed``.
 """
@@ -53,8 +58,24 @@ _PARAMS = {
 _EXPERIMENTS = {}
 
 
+def _shard_progress(outcome, done, total) -> None:
+    """Progress line per finished shard (stderr, never in the report)."""
+    status = "ok" if outcome.ok else f"FAILED ({outcome.error})"
+    retries = (
+        f" [attempt {outcome.attempts}]" if outcome.attempts > 1 else ""
+    )
+    print(
+        f"  [{done}/{total}] {outcome.shard.key}: {status}{retries}",
+        file=sys.stderr,
+    )
+
+
 def _experiment_registry():
-    """Lazy experiment table (imports are heavy enough to defer)."""
+    """Lazy experiment table (imports are heavy enough to defer).
+
+    Every entry takes the ``--jobs`` value; all but the sharded sweeps
+    ignore it.
+    """
     if _EXPERIMENTS:
         return _EXPERIMENTS
     from repro.experiments.fig4 import run_fig4
@@ -73,8 +94,12 @@ def _experiment_registry():
         format_inference_comparison,
         run_inference_comparison,
     )
+    from repro.experiments.offline import (
+        format_offline_comparison,
+        run_offline_comparison,
+    )
 
-    def fig4_text():
+    def fig4_text(jobs=1):
         panels = run_fig4()
         rows = [
             (panel, curve.label, 100.0 * curve.mean_relative_error)
@@ -88,16 +113,24 @@ def _experiment_registry():
     _EXPERIMENTS.update(
         {
             "fig4": fig4_text,
-            "fig5": lambda: format_fig5(run_fig5()),
-            "fig6": lambda: format_fig6(run_fig6()),
-            "fig7": lambda: format_fig7(run_fig7()),
-            "fig8": lambda: format_fig8(run_fig8()),
-            "fig9": lambda: format_fig9(run_fig9()),
-            "table3": lambda: format_table3(run_table3()),
-            "table5": lambda: format_table5(run_table5()),
-            "fairness": lambda: format_fairness_sweep(run_fairness_sweep()),
-            "inference": lambda: format_inference_comparison(
+            "fig5": lambda jobs=1: format_fig5(run_fig5()),
+            "fig6": lambda jobs=1: format_fig6(run_fig6()),
+            "fig7": lambda jobs=1: format_fig7(run_fig7()),
+            "fig8": lambda jobs=1: format_fig8(run_fig8()),
+            "fig9": lambda jobs=1: format_fig9(run_fig9()),
+            "table3": lambda jobs=1: format_table3(run_table3()),
+            "table5": lambda jobs=1: format_table5(run_table5()),
+            "fairness": lambda jobs=1: format_fairness_sweep(
+                run_fairness_sweep()
+            ),
+            "inference": lambda jobs=1: format_inference_comparison(
                 run_inference_comparison()
+            ),
+            "offline": lambda jobs=1: format_offline_comparison(
+                run_offline_comparison(
+                    jobs=jobs,
+                    progress=_shard_progress if jobs > 1 else None,
+                )
             ),
         }
     )
@@ -238,7 +271,7 @@ def _cmd_model(args) -> int:
 
 def _cmd_experiment(args) -> int:
     registry = _experiment_registry()
-    print(registry[args.name]())
+    print(registry[args.name](jobs=args.jobs))
     return 0
 
 
@@ -251,6 +284,7 @@ def _cmd_faults_run(args) -> int:
     )
 
     workloads = campaign_workloads(args.scale)
+    workload_names = list(workloads)
     if args.workload != "all":
         if args.workload not in workloads:
             print(
@@ -259,7 +293,7 @@ def _cmd_faults_run(args) -> int:
                 file=sys.stderr,
             )
             return 2
-        workloads = {args.workload: workloads[args.workload]}
+        workload_names = [args.workload]
     if args.fault != "all" and args.fault not in FAULT_CLASSES:
         print(
             "repro faults run: unknown fault class %r (choose from %s)"
@@ -271,10 +305,13 @@ def _cmd_faults_run(args) -> int:
         list(FAULT_CLASSES) if args.fault == "all" else [args.fault]
     )
     rows = run_campaign(
-        workloads=workloads,
+        scale=args.scale,
+        workload_names=workload_names,
         policies=tuple(args.policy or ("fcfs", "lff")),
         fault_classes=fault_classes,
         seed=args.seed,
+        jobs=args.jobs,
+        progress=_shard_progress if args.jobs > 1 else None,
     )
     print(format_campaign(rows))
     return 0 if all(r.ok for r in rows) else 1
@@ -370,6 +407,8 @@ def _cmd_mc(args) -> int:
         fixtures=fixtures,
         dpor=not args.no_dpor,
         chaos=not args.no_chaos,
+        jobs=args.jobs,
+        progress=_shard_progress if args.jobs > 1 else None,
     )
     stats = None
     if not args.skip_model:
@@ -419,6 +458,7 @@ def _cmd_bench_run(args) -> int:
     result = run_suite(
         args.suite,
         progress=lambda name: print(f"  running {name} ...", file=sys.stderr),
+        jobs=args.jobs,
     )
     out = args.out or default_baseline_path(args.suite)
     write_suite(out, result)
@@ -575,8 +615,13 @@ def build_parser() -> argparse.ArgumentParser:
         "name",
         choices=[
             "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-            "table3", "table5", "fairness", "inference",
+            "table3", "table5", "fairness", "inference", "offline",
         ],
+    )
+    exp_p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for sharded sweeps (offline); results are "
+        "bit-identical to --jobs 1",
     )
     exp_p.set_defaults(func=_cmd_experiment)
 
@@ -609,6 +654,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", choices=("smoke", "default"), default="smoke"
     )
     faults_run_p.add_argument("--seed", type=int, default=0)
+    faults_run_p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes ((workload, policy) pairs fan out; the "
+        "merged table is bit-identical to --jobs 1)",
+    )
     faults_run_p.set_defaults(func=_cmd_faults_run)
 
     analyze_p = sub.add_parser(
@@ -695,6 +745,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--skip-model", action="store_true",
         help="skip the symbolic cache-model sweep",
     )
+    mc_p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (fixtures fan out; the merged report is "
+        "bit-identical to --jobs 1)",
+    )
     mc_p.set_defaults(func=_cmd_mc)
 
     bench_p = sub.add_parser(
@@ -713,6 +768,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench_run_p.add_argument(
         "--out",
         help="output JSON path (default: BENCH_<suite>.json in the cwd)",
+    )
+    bench_run_p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes, one benchmark per shard (timing stays "
+        "per-shard through the audited clock; co-scheduled shards can "
+        "contend, so gate comparisons serially)",
     )
     bench_run_p.set_defaults(func=_cmd_bench_run)
 

@@ -23,12 +23,13 @@ make.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.machine.configs import ULTRA1
 from repro.machine.smp import Machine
+from repro.parallel import ProgressFn, Shard, merged_values, run_shards
 from repro.sched.fcfs import FCFSScheduler
 from repro.sim.driver import _WorkThreadSampler
 from repro.sim.report import format_table
@@ -42,57 +43,86 @@ from repro.threads.runtime import Runtime
 from repro.workloads import MONITORED_APPS
 
 
+def _offline_shard(app: str, seed: int) -> Dict[str, float]:
+    """Worker entry point: the sweep for one monitored app."""
+    return _run_one_app(app, seed)
+
+
 def run_offline_comparison(
-    apps=("merge", "barnes"), seed: int = 0
+    apps: Sequence[str] = ("merge", "barnes"),
+    seed: int = 0,
+    jobs: int = 1,
+    progress: Optional[ProgressFn] = None,
 ) -> Dict[str, Dict[str, float]]:
-    """Per app: observed-vs-model MAE, observed-vs-replay MAE, and costs."""
-    results: Dict[str, Dict[str, float]] = {}
-    for name in apps:
-        app = MONITORED_APPS[name]()
-        config = ULTRA1
-        machine = Machine(config, seed=seed)
-        runtime = Runtime(machine, FCFSScheduler(model_scheduler_memory=False))
-        tracer = FootprintTracer(machine)
-        sampler = _WorkThreadSampler(machine, tracer)
-        recorder = ReferenceTraceRecorder(max_total_refs=20_000_000,
-                                          strict=False)
-        TracingRuntimeAdapter(runtime, recorder)
-        runtime.add_observer(tracer)
-        runtime.add_observer(sampler)
+    """Per app: observed-vs-model MAE, observed-vs-replay MAE, and costs.
 
-        app.setup(runtime)
-        init = app.init_body()
-        if init is not None:
-            runtime.at_create(init, name="init")
-            runtime.run()
-        machine.flush_all()
-        work_tid = runtime.at_create(app.work_body(), name="work")
-        runtime.declare_state(work_tid, app.state_regions())
-        sampler.arm(work_tid)
+    Each app's run is independent given (app, seed), so with
+    ``jobs > 1`` the sweep fans out through :mod:`repro.parallel`; the
+    merge reassembles the dict in ``apps`` order, bit-identical to the
+    serial sweep.
+    """
+    shards = [
+        Shard(
+            index=i,
+            key=f"offline/{name}",
+            fn="repro.experiments.offline:_offline_shard",
+            params={"app": name, "seed": seed},
+        )
+        for i, name in enumerate(apps)
+    ]
+    outcomes = run_shards(shards, jobs=jobs, progress=progress)
+    return {
+        name: metrics
+        for name, metrics in zip(apps, merged_values(outcomes))
+    }
+
+
+def _run_one_app(name: str, seed: int) -> Dict[str, float]:
+    """The three-way comparison for one app (see the module docstring)."""
+    app = MONITORED_APPS[name]()
+    config = ULTRA1
+    machine = Machine(config, seed=seed)
+    runtime = Runtime(machine, FCFSScheduler(model_scheduler_memory=False))
+    tracer = FootprintTracer(machine)
+    sampler = _WorkThreadSampler(machine, tracer)
+    recorder = ReferenceTraceRecorder(max_total_refs=20_000_000,
+                                      strict=False)
+    TracingRuntimeAdapter(runtime, recorder)
+    runtime.add_observer(tracer)
+    runtime.add_observer(sampler)
+
+    app.setup(runtime)
+    init = app.init_body()
+    if init is not None:
+        runtime.at_create(init, name="init")
         runtime.run()
+    machine.flush_all()
+    work_tid = runtime.at_create(app.work_body(), name="work")
+    runtime.declare_state(work_tid, app.state_regions())
+    sampler.arm(work_tid)
+    runtime.run()
 
-        misses = np.asarray(sampler.misses, dtype=np.int64)
-        observed = np.asarray(sampler.observed, dtype=float)
-        n_cache = config.l2_lines
-        k = (n_cache - 1) / n_cache
-        online = n_cache * (1.0 - k ** misses.astype(float))
+    misses = np.asarray(sampler.misses, dtype=np.int64)
+    observed = np.asarray(sampler.observed, dtype=float)
+    n_cache = config.l2_lines
+    k = (n_cache - 1) / n_cache
+    online = n_cache * (1.0 - k ** misses.astype(float))
 
-        trace = recorder.trace(work_tid)
-        replay_x, replay_y = footprint_curve_from_trace(trace, n_cache)
-        # align the replay curve to the sampler's miss positions
-        if replay_x.size:
-            aligned = np.interp(misses, replay_x, replay_y)
-        else:
-            aligned = np.zeros_like(observed)
+    trace = recorder.trace(work_tid)
+    replay_x, replay_y = footprint_curve_from_trace(trace, n_cache)
+    # align the replay curve to the sampler's miss positions
+    if replay_x.size:
+        aligned = np.interp(misses, replay_x, replay_y)
+    else:
+        aligned = np.zeros_like(observed)
 
-        results[name] = {
-            "online_mae": float(np.mean(np.abs(online - observed))),
-            "offline_mae": float(np.mean(np.abs(aligned - observed))),
-            "trace_bytes": recorder.storage_bytes,
-            "model_bytes": 8 * (16 * n_cache + 1 + n_cache),  # k^n + log F
-            "trace_truncated": recorder.truncated,
-        }
-    return results
+    return {
+        "online_mae": float(np.mean(np.abs(online - observed))),
+        "offline_mae": float(np.mean(np.abs(aligned - observed))),
+        "trace_bytes": recorder.storage_bytes,
+        "model_bytes": 8 * (16 * n_cache + 1 + n_cache),  # k^n + log F
+        "trace_truncated": recorder.truncated,
+    }
 
 
 def format_offline_comparison(results: Dict[str, Dict[str, float]]) -> str:

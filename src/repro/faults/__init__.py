@@ -27,6 +27,7 @@ cycle reporting in :mod:`repro.threads.errors`.
 
 from repro.faults.campaign import (
     CampaignRow,
+    campaign_shards,
     campaign_workloads,
     format_campaign,
     run_campaign,
@@ -54,6 +55,7 @@ __all__ = [
     "InjectedCrash",
     "InvariantChecker",
     "ThreadFaults",
+    "campaign_shards",
     "campaign_workloads",
     "format_campaign",
     "run_campaign",

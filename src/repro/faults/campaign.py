@@ -25,10 +25,11 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.faults.plan import EXPECTS_TIMEOUT, FAULT_CLASSES, FaultPlan
 from repro.machine.configs import SMALL, MachineConfig
+from repro.parallel import ProgressFn, Shard, run_shards
 from repro.sched import SCHEDULERS
 from repro.sim.driver import (
     HardenedResult,
@@ -105,6 +106,124 @@ def _diff_signatures(base, faulty) -> str:
     return "; ".join(diffs)
 
 
+#: watchdog defaults for campaign cells (the per-shard timeout: step
+#: budgets are simulated-event counts, so they fire identically no
+#: matter which worker runs the shard)
+DEFAULT_STEP_BUDGET = 50_000
+DEFAULT_MAX_CHUNKS = 40
+
+
+def _run_pair(
+    wname: str,
+    factory: Callable,
+    policy: str,
+    fault_classes: Iterable[str],
+    config: MachineConfig,
+    seed: int,
+    watchdog_factory: Callable[[], Watchdog],
+) -> List[CampaignRow]:
+    """One (workload, policy) block: fault-free baseline, then every
+    requested fault class against it.  This is the shard body -- the
+    serial loop and the worker processes both call it, so the two paths
+    cannot diverge."""
+    scheduler_factory = SCHEDULERS[policy]
+    baseline = run_hardened(
+        factory,
+        config,
+        scheduler_factory,
+        plan=None,
+        seed=seed,
+        watchdog=watchdog_factory(),
+    )
+    return [
+        _run_cell(
+            wname,
+            policy,
+            cname,
+            FAULT_CLASSES[cname](seed),
+            factory,
+            scheduler_factory,
+            config,
+            seed,
+            baseline,
+            watchdog_factory(),
+        )
+        for cname in fault_classes
+    ]
+
+
+def _campaign_shard(
+    workload: str,
+    policy: str,
+    scale: str,
+    fault_classes: List[str],
+    config: MachineConfig,
+    seed: int,
+    step_budget: int,
+    max_chunks: int,
+) -> List[CampaignRow]:
+    """Worker entry point: everything arrives by name or plain value."""
+    factory = campaign_workloads(scale)[workload]
+    return _run_pair(
+        workload,
+        factory,
+        policy,
+        fault_classes,
+        config,
+        seed,
+        lambda: Watchdog(step_budget=step_budget, max_chunks=max_chunks),
+    )
+
+
+def campaign_shards(
+    scale: str = "smoke",
+    workload_names: Optional[Sequence[str]] = None,
+    policies: Iterable[str] = ("fcfs", "lff"),
+    fault_classes: Optional[Iterable[str]] = None,
+    config: MachineConfig = SMALL,
+    seed: int = 0,
+    step_budget: int = DEFAULT_STEP_BUDGET,
+    max_chunks: int = DEFAULT_MAX_CHUNKS,
+) -> List[Shard]:
+    """Deterministic work partitioning of the campaign matrix.
+
+    One shard per (workload, policy) pair, in the serial iteration
+    order, so the merged rows are bit-identical to the serial loop.
+    Sharding at the pair keeps the fault-free baseline computed once
+    per pair (as the serial loop does) instead of once per cell.
+    """
+    names = (
+        list(workload_names)
+        if workload_names is not None
+        else list(campaign_workloads(scale))
+    )
+    classes = (
+        list(fault_classes) if fault_classes is not None
+        else list(FAULT_CLASSES)
+    )
+    shards = []
+    for wname in names:
+        for policy in policies:
+            shards.append(
+                Shard(
+                    index=len(shards),
+                    key=f"faults/{wname}/{policy}",
+                    fn="repro.faults.campaign:_campaign_shard",
+                    params={
+                        "workload": wname,
+                        "policy": policy,
+                        "scale": scale,
+                        "fault_classes": classes,
+                        "config": config,
+                        "seed": seed,
+                        "step_budget": step_budget,
+                        "max_chunks": max_chunks,
+                    },
+                )
+            )
+    return shards
+
+
 def run_campaign(
     workloads: Optional[Dict[str, Callable]] = None,
     policies: Iterable[str] = ("fcfs", "lff"),
@@ -112,6 +231,12 @@ def run_campaign(
     config: MachineConfig = SMALL,
     seed: int = 0,
     watchdog_factory: Optional[Callable[[], Watchdog]] = None,
+    *,
+    scale: str = "smoke",
+    workload_names: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    partial: bool = False,
+    progress: Optional[ProgressFn] = None,
 ) -> List[CampaignRow]:
     """Run the full fault matrix; returns one row per cell.
 
@@ -119,42 +244,79 @@ def run_campaign(
     results bit-identical, crashes were survived by retry, livelocks
     became watchdog diagnostics.  A ``DIVERGED`` or ``ERROR`` row is a
     genuine robustness bug.
+
+    With ``jobs > 1`` the (workload, policy) pairs run on a process
+    pool via :mod:`repro.parallel`; the merged rows are bit-identical
+    to ``jobs=1`` (asserted by ``tests/parallel``).  The parallel path
+    requires the work to be specified *by name* (``scale`` plus
+    ``workload_names``) so shards stay pure and picklable -- passing
+    live ``workloads`` factories or a ``watchdog_factory`` closure
+    forces the serial path.  With ``partial=True`` a shard that failed
+    (after its retry) is reported as one synthetic ``SHARD-FAILED`` row
+    instead of aborting the whole campaign.
     """
-    if workloads is None:
-        workloads = campaign_workloads("smoke")
     if fault_classes is None:
         fault_classes = list(FAULT_CLASSES)
-    if watchdog_factory is None:
-        watchdog_factory = lambda: Watchdog(step_budget=50_000, max_chunks=40)
+    fault_classes = list(fault_classes)
 
-    rows: List[CampaignRow] = []
-    for wname, factory in workloads.items():
-        for policy in policies:
-            scheduler_factory = SCHEDULERS[policy]
-            baseline = run_hardened(
-                factory,
-                config,
-                scheduler_factory,
-                plan=None,
-                seed=seed,
-                watchdog=watchdog_factory(),
+    if workloads is not None or watchdog_factory is not None:
+        if jobs > 1:
+            raise ValueError(
+                "parallel campaigns shard by name: pass scale/"
+                "workload_names instead of live workloads/watchdog "
+                "factories"
             )
-            for cname in fault_classes:
-                plan = FAULT_CLASSES[cname](seed)
-                rows.append(
-                    _run_cell(
+        if workloads is None:
+            workloads = campaign_workloads(scale)
+        if watchdog_factory is None:
+            watchdog_factory = lambda: Watchdog(
+                step_budget=DEFAULT_STEP_BUDGET, max_chunks=DEFAULT_MAX_CHUNKS
+            )
+        rows: List[CampaignRow] = []
+        for wname, factory in workloads.items():
+            for policy in policies:
+                rows.extend(
+                    _run_pair(
                         wname,
-                        policy,
-                        cname,
-                        plan,
                         factory,
-                        scheduler_factory,
+                        policy,
+                        fault_classes,
                         config,
                         seed,
-                        baseline,
-                        watchdog_factory(),
+                        watchdog_factory,
                     )
                 )
+        return rows
+
+    shards = campaign_shards(
+        scale=scale,
+        workload_names=workload_names,
+        policies=policies,
+        fault_classes=fault_classes,
+        config=config,
+        seed=seed,
+    )
+    outcomes = run_shards(
+        shards, jobs=jobs, partial=partial, progress=progress
+    )
+    rows = []
+    for outcome in outcomes:
+        if outcome.ok:
+            rows.extend(outcome.value)
+        else:
+            # partial mode: one synthetic row stands in for the lost pair
+            _prefix, wname, policy = outcome.shard.key.split("/")
+            rows.append(
+                CampaignRow(
+                    workload=wname,
+                    policy=policy,
+                    fault_class="*",
+                    outcome="SHARD-FAILED",
+                    ok=False,
+                    attempts=outcome.attempts,
+                    detail=outcome.error,
+                )
+            )
     return rows
 
 

@@ -53,6 +53,20 @@ class FaultyCounterView:
         )
 
     @property
+    def last_overflow_suspect(self) -> bool:
+        """Overflow suspicion is a property of the real reads, never of
+        the injected perturbation; forward it unmodified."""
+        return self._inner.last_overflow_suspect
+
+    @property
+    def overflow_suspects(self) -> int:
+        return self._inner.overflow_suspects
+
+    @property
+    def last_overflow_detail(self) -> str:
+        return self._inner.last_overflow_detail
+
+    @property
     def read_cost_instructions(self) -> int:
         return self._inner.read_cost_instructions
 

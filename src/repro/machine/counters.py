@@ -133,6 +133,18 @@ class MissCounterView:
     the hit delta exceeds the ref delta -- physically impossible, so
     necessarily a wrap artefact or hardware fault -- is clamped to zero
     misses rather than reported as a negative count.
+
+    An interval that accumulates ``wrap`` or more events cannot be
+    distinguished from one that accumulated ``events % wrap`` -- the
+    modulo subtraction silently under-reports it.  The view therefore
+    keeps a conservative overflow-suspicion flag: a single-interval
+    delta exceeding ``wrap // 2`` (or a hit delta exceeding the ref
+    delta) is far more plausibly a wrapped register than real traffic,
+    so it sets :attr:`last_overflow_suspect`, bumps
+    :attr:`overflow_suspects`, and records a diagnostic string -- the
+    runtime surfaces these so LFF never consumes a wrapped ``n``
+    unnoticed (the scheduler still clamps the *value*; the flag is what
+    makes the wrap visible instead of silent).
     """
 
     def __init__(self, counters: PerformanceCounters) -> None:
@@ -144,6 +156,12 @@ class MissCounterView:
         self._counters = counters
         self._wrap = counters.wrap
         self._last_refs, self._last_hits = counters.read()
+        #: True when the most recent interval's deltas looked wrapped
+        self.last_overflow_suspect = False
+        #: intervals flagged as overflow-suspect since construction
+        self.overflow_suspects = 0
+        #: diagnostic string for the most recent suspect interval
+        self.last_overflow_detail = ""
 
     def interval_misses(self) -> int:
         """Misses since the previous call (or construction); never negative."""
@@ -151,6 +169,17 @@ class MissCounterView:
         d_refs = (refs - self._last_refs) % self._wrap
         d_hits = (hits - self._last_hits) % self._wrap
         self._last_refs, self._last_hits = refs, hits
+        threshold = self._wrap // 2
+        suspect = d_refs > threshold or d_hits > threshold or d_hits > d_refs
+        self.last_overflow_suspect = suspect
+        if suspect:
+            self.overflow_suspects += 1
+            self.last_overflow_detail = (
+                f"counter deltas refs={d_refs} hits={d_hits} exceed "
+                f"wrap/2={threshold} of a {self._counters.width_bits}-bit "
+                "PIC (or hits > refs): interval likely wrapped; miss count "
+                "under-reported"
+            )
         return max(0, d_refs - d_hits)
 
     @property

@@ -118,6 +118,14 @@ class PriorityHeap:
         its priority entry (or None if it has none).  Returns
         (entry or None, number of pops performed) -- the pop count feeds
         cost accounting.
+
+        Back-map audit note: every entry popped here was counted by
+        :meth:`push` (or recounted by :meth:`compact`), so its tid's
+        back-map count must be positive when the entry leaves the array.
+        A zero count would mean an entry the back-map never saw -- drift
+        that :meth:`validate` would only catch at the *next* call --
+        so decrementing through zero raises :class:`HeapCorruption`
+        immediately instead of silently re-inserting a bogus count.
         """
         pops = 0
         heap = self._heap
@@ -131,8 +139,13 @@ class PriorityHeap:
             remaining = by_tid.get(tid, 0) - 1
             if remaining > 0:
                 by_tid[tid] = remaining
-            else:
+            elif remaining == 0:
                 by_tid.pop(tid, None)
+            else:
+                raise HeapCorruption(
+                    f"popped heap entry for tid {tid} but the back-map "
+                    f"holds no entries for it: push/pop accounting drifted"
+                )
             if (
                 thread.state is ThreadState.READY
                 and entry.seq == thread.ready_seq

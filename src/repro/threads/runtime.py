@@ -59,6 +59,11 @@ Body = Union[Generator, Callable[[], Generator]]
 #: sync-carrying event classes -> attributes holding their sync objects;
 #: the interpreter registers (auto-names) these before observers see the
 #: event, so every observer and error message agrees on the name
+#: cap on the per-runtime counter-overflow diagnostic trail; the tally
+#: (:attr:`Runtime.counter_overflow_suspects`) is unbounded, only the
+#: stored messages are
+_MAX_COUNTER_DIAGNOSTICS = 8
+
 _SYNC_EVENT_ATTRS = {
     ev.Acquire: ("mutex",),
     ev.Release: ("mutex",),
@@ -186,6 +191,13 @@ class Runtime:
         self.last_touch_lines: Optional[np.ndarray] = None
         self.context_switches = 0
         self.events_executed = 0
+        #: intervals whose PIC deltas looked wrapped (see
+        #: :class:`~repro.machine.counters.MissCounterView`); the miss
+        #: *value* is still clamped by the scheduler -- this tally is what
+        #: keeps the wrap from passing silently
+        self.counter_overflow_suspects = 0
+        #: bounded trail of overflow-suspect diagnostics (first few)
+        self.counter_diagnostics: List[str] = []
         #: event class -> bound interpreter method; subclasses are added
         #: lazily by :meth:`_resolve_handler`
         self._handlers: Dict[type, Callable] = {
@@ -399,6 +411,15 @@ class Runtime:
         + base switch cost)."""
         view = self._views[cpu]
         misses = view.interval_misses()
+        if view.last_overflow_suspect:
+            # a wrapped PIC must never be consumed unnoticed: tally it and
+            # keep a bounded diagnostic trail for reports/tests
+            self.counter_overflow_suspects += 1
+            if len(self.counter_diagnostics) < _MAX_COUNTER_DIAGNOSTICS:
+                self.counter_diagnostics.append(
+                    f"cpu{cpu} interval for {thread.name}: "
+                    f"{view.last_overflow_detail}"
+                )
         self.machine.compute(cpu, view.read_cost_instructions)
         thread.stats.intervals += 1
         thread.stats.misses += misses

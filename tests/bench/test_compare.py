@@ -126,3 +126,41 @@ def test_format_comparison_mentions_verdicts():
     assert "MISSING (fail)" in text
     assert "new (no baseline)" in text
     assert "2 regression(s)" in text
+
+
+def test_zero_median_baseline_is_inconclusive_and_fails():
+    # the old gate computed change=0 here and passed vacuously
+    base = _suite(b=0.0)
+    new = _suite(b=0.100)
+    result = compare(base, new, max_regress=0.25)
+    (delta,) = result.deltas
+    assert delta.inconclusive
+    assert delta.change is None and delta.allowed is None
+    assert not delta.regressed  # not a *regression* -- a non-measurement
+    assert not result.ok
+    assert result.inconclusives == (delta,)
+
+
+def test_zero_median_new_run_is_inconclusive_and_fails():
+    result = compare(_suite(b=0.100), _suite(b=0.0), max_regress=0.25)
+    assert result.deltas[0].inconclusive
+    assert not result.ok
+
+
+def test_inconclusive_does_not_mask_other_benchmarks():
+    base = _suite(a=0.100, z=0.0)
+    new = _suite(a=0.110, z=0.0)
+    result = compare(base, new, max_regress=0.25)
+    by_name = {d.name: d for d in result.deltas}
+    assert not by_name["a"].inconclusive
+    assert not by_name["a"].regressed
+    assert by_name["z"].inconclusive
+    assert not result.ok
+
+
+def test_format_comparison_mentions_inconclusive():
+    text = format_comparison(
+        compare(_suite(b=0.0), _suite(b=0.0), max_regress=0.25)
+    )
+    assert "INCONCLUSIVE (fail)" in text
+    assert "1 inconclusive" in text

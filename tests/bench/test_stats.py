@@ -201,3 +201,35 @@ def test_once_policy_single_sample():
     assert stats.repeats == 1
     assert stats.median_s == pytest.approx(0.5)
     assert stats.steady is False
+
+
+class TestDegenerateSpread:
+    def test_zero_median_spread_is_none_not_zero(self):
+        # 0 would read as "perfectly quiet"; the degenerate case must be
+        # explicit so compare treats it as inconclusive
+        assert relative_spread([0.0, 0.0, 0.0]) is None
+
+    def test_negative_median_spread_is_none(self):
+        assert relative_spread([-2.0, -1.0, 1.0]) is None
+
+    def test_boundary_just_above_zero_is_measurable(self):
+        spread = relative_spread([1e-12, 1e-12, 1e-12])
+        assert spread == 0.0
+
+    def test_stats_rel_spread_mirrors_the_contract(self):
+        assert summarize([0.0, 0.0, 0.0]).rel_spread is None
+        assert summarize([2.0, 2.0, 2.0]).rel_spread == 0.0
+
+    def test_all_zero_window_never_declares_steady(self):
+        policy = RepeatPolicy(
+            warmup=0,
+            min_repeats=2,
+            max_repeats=6,
+            time_budget_s=1e9,
+            steady_window=2,
+            steady_rel_spread=0.10,
+        )
+        clock = FakeClock([0.0] * 64)  # every sample measures 0.0
+        stats, _ = collect(lambda: None, clock, policy)
+        assert not stats.steady
+        assert stats.repeats == policy.max_repeats

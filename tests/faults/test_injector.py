@@ -173,3 +173,23 @@ class TestDeterminismAndReporting:
         assert summary["dropped_edges"] == 1
         assert summary["plan"] == "annotation"
         assert summary["seed"] == 5
+
+
+class TestOverflowForwarding:
+    """Overflow suspicion is a property of the real PIC reads; the
+    faulty wrapper must forward it from the inner view untouched --
+    never synthesize it from the injected perturbation."""
+
+    def test_forwards_suspicion_from_inner_view(self):
+        inner = SimpleNamespace(
+            interval_misses=lambda: 3,
+            last_overflow_suspect=True,
+            overflow_suspects=4,
+            last_overflow_detail="interval likely wrapped",
+            read_cost_instructions=6,
+        )
+        injector = _injector(counter=CounterFaults(prob=0.0))
+        view = FaultyCounterView(inner, injector, cpu=0)
+        assert view.last_overflow_suspect is True
+        assert view.overflow_suspects == 4
+        assert view.last_overflow_detail == "interval likely wrapped"

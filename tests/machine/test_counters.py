@@ -133,3 +133,66 @@ class TestMissCounterView:
     def test_read_cost_positive(self):
         view = MissCounterView(PerformanceCounters())
         assert view.read_cost_instructions > 0
+
+
+class TestOverflowSuspicion:
+    """The modulo subtraction cannot distinguish an interval of
+    ``events`` from one of ``events % wrap``; the view's conservative
+    flag is what keeps that silent under-report visible to LFF."""
+
+    def test_quiet_interval_not_suspect(self):
+        pics = PerformanceCounters(width_bits=8)
+        view = MissCounterView(pics)
+        pics.record(CounterEvent.ECACHE_REFS, 100)
+        pics.record(CounterEvent.ECACHE_HITS, 60)
+        assert view.interval_misses() == 40
+        assert not view.last_overflow_suspect
+        assert view.overflow_suspects == 0
+        assert view.last_overflow_detail == ""
+
+    def test_delta_above_half_wrap_is_suspect(self):
+        pics = PerformanceCounters(width_bits=8)
+        view = MissCounterView(pics)
+        pics.record(CounterEvent.ECACHE_REFS, 200)  # > wrap // 2 == 128
+        view.interval_misses()
+        assert view.last_overflow_suspect
+        assert view.overflow_suspects == 1
+        assert "wrapped" in view.last_overflow_detail
+
+    def test_boundary_at_exactly_half_wrap_not_suspect(self):
+        pics = PerformanceCounters(width_bits=8)
+        view = MissCounterView(pics)
+        pics.record(CounterEvent.ECACHE_REFS, 128)  # == wrap // 2
+        view.interval_misses()
+        assert not view.last_overflow_suspect
+        pics.record(CounterEvent.ECACHE_REFS, 129)  # one past
+        view.interval_misses()
+        assert view.last_overflow_suspect
+
+    def test_hits_exceeding_refs_is_suspect_and_clamped(self):
+        pics = PerformanceCounters(width_bits=8)
+        view = MissCounterView(pics)
+        pics.record(CounterEvent.ECACHE_HITS, 50)
+        assert view.interval_misses() == 0
+        assert view.last_overflow_suspect
+
+    def test_flag_clears_on_next_clean_interval(self):
+        pics = PerformanceCounters(width_bits=8)
+        view = MissCounterView(pics)
+        pics.record(CounterEvent.ECACHE_REFS, 200)
+        view.interval_misses()
+        assert view.last_overflow_suspect
+        pics.record(CounterEvent.ECACHE_REFS, 10)
+        view.interval_misses()
+        assert not view.last_overflow_suspect
+        assert view.overflow_suspects == 1  # the tally is cumulative
+
+    def test_true_wrap_whose_delta_lands_small_is_undetectable(self):
+        # 300 events through an 8-bit register leave a delta of 44:
+        # indistinguishable from a genuinely small interval, which is
+        # exactly why the flag is "suspicion", not proof
+        pics = PerformanceCounters(width_bits=8)
+        view = MissCounterView(pics)
+        pics.record(CounterEvent.ECACHE_REFS, 300)
+        assert view.interval_misses() == 44
+        assert not view.last_overflow_suspect

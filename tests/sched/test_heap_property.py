@@ -1,0 +1,105 @@
+"""Property test for the heap's back-map under arbitrary interleavings.
+
+PR 4 inlined the back-map decrement into ``pop_valid``; this stateful
+test drives push / pop / invalidate / re-validate / compact in every
+order hypothesis can find and asserts, after each step, that
+
+- :meth:`validate` holds (the back-map agrees exactly with a recount of
+  the heap array -- same tids, same counts), and
+- :meth:`entries_for` never reports an entry for a thread whose entries
+  have all been popped: a popped entry (valid or lazily dead) must
+  leave the back-map the moment it leaves the array.
+
+Any drift -- a double decrement, a missed decrement on the lazy-deletion
+path, a stale tid left behind by compact -- fails with the exact
+interleaving that produced it.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.sched.heap import PriorityHeap
+from repro.threads.thread import ActiveThread, ThreadState
+
+_TIDS = st.integers(min_value=0, max_value=5)
+
+
+class HeapBackMapMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self) -> None:
+        self.heap = PriorityHeap()
+        self.threads = {}
+        self.versions = {}
+
+    def _thread(self, tid: int) -> ActiveThread:
+        if tid not in self.threads:
+            t = ActiveThread(tid, iter(()))
+            t.state = ThreadState.READY
+            self.threads[tid] = t
+            self.versions[tid] = 0
+        return self.threads[tid]
+
+    def _version_fn(self):
+        return lambda thread: self.versions.get(thread.tid)
+
+    @rule(tid=_TIDS, priority=st.floats(0.0, 10.0, allow_nan=False))
+    def push(self, tid, priority):
+        thread = self._thread(tid)
+        thread.state = ThreadState.READY
+        self.heap.push(thread, priority, self.versions[tid])
+
+    @rule()
+    def pop(self):
+        before = len(self.heap)
+        entry, pops = self.heap.pop_valid(self._version_fn())
+        # every pop (valid result or lazily-dead entry) removes exactly
+        # one array entry; the back-map must have shed them all, which
+        # the invariant below cross-checks against the array
+        assert len(self.heap) == before - pops
+        if entry is not None:
+            assert entry.thread.state is ThreadState.READY
+
+    @rule(tid=_TIDS)
+    def invalidate_by_state(self, tid):
+        if tid in self.threads:
+            self.threads[tid].state = ThreadState.BLOCKED
+
+    @rule(tid=_TIDS)
+    def invalidate_by_seq(self, tid):
+        if tid in self.threads:
+            self.threads[tid].mark_ready()
+
+    @rule(tid=_TIDS)
+    def bump_version(self, tid):
+        if tid in self.versions:
+            self.versions[tid] += 1
+
+    @rule()
+    def compact(self):
+        self.heap.compact(self._version_fn())
+
+    @invariant()
+    def backmap_matches_array(self):
+        if not hasattr(self, "heap"):
+            return
+        self.heap.validate()
+        recount = {}
+        for e in self.heap:
+            tid = e.thread.tid
+            recount[tid] = recount.get(tid, 0) + 1
+        # entries_for must agree with the array for every tid ever seen,
+        # including tids whose entries were all popped (count 0)
+        for tid in set(recount) | set(self.threads):
+            assert self.heap.entries_for(tid) == recount.get(tid, 0)
+
+
+HeapBackMapMachine.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)
+TestHeapBackMap = HeapBackMapMachine.TestCase

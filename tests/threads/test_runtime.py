@@ -455,3 +455,34 @@ class TestSMP:
         rt.at_create(body)
         with pytest.raises(ThreadError):
             rt.run()
+
+
+class TestCounterOverflowSurfacing:
+    def test_narrow_counters_flag_wrapped_interval(self, machine):
+        from repro.machine.counters import PerformanceCounters
+
+        # shrink the PICs to 8 bits so one 200-line touch wraps them
+        for cpu in machine.cpus:
+            cpu.counters = PerformanceCounters(width_bits=8)
+        rt = Runtime(machine, FCFSScheduler(model_scheduler_memory=False))
+        region = rt.alloc_lines("r", 200)
+
+        def body():
+            yield Touch(region.lines())
+
+        rt.at_create(body)
+        rt.run()
+        assert rt.counter_overflow_suspects >= 1
+        assert rt.counter_diagnostics
+        assert "wrapped" in rt.counter_diagnostics[0]
+
+    def test_wide_counters_never_flag(self, rt):
+        region = rt.alloc_lines("r", 200)
+
+        def body():
+            yield Touch(region.lines())
+
+        rt.at_create(body)
+        rt.run()
+        assert rt.counter_overflow_suspects == 0
+        assert rt.counter_diagnostics == []
