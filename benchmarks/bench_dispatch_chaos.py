@@ -1,0 +1,67 @@
+"""Dispatch chaos: the full fault matrix survives a killed worker.
+
+The acceptance bar for the fault-tolerant dispatch layer
+(docs/PARALLEL.md): the 80-cell campaign -- 5 workloads x 2 policies x
+8 fault classes -- runs on the cluster backend with one worker killed
+mid-run, and
+
+- the merged rows are **bit-identical** to the serial campaign (node
+  deaths may move work and charge attempts, never change results);
+- an immediately following warm-cache re-run executes **zero** cells
+  (every (workload, policy) pair's fingerprint is already on disk).
+"""
+
+import tempfile
+
+from conftest import report_suite
+
+from repro.bench import ONCE, measure
+from repro.faults import FAULT_CLASSES, format_campaign, run_campaign
+from repro.parallel import ClusterConfig, ResultCache
+
+
+def _row_lines(rows):
+    return format_campaign(rows)
+
+
+def test_dispatch_chaos_campaign():
+    serial = run_campaign(scale="smoke", seed=0)
+    assert len(serial) == 5 * 2 * len(FAULT_CLASSES) == 80
+
+    cluster = ClusterConfig(
+        heartbeat_s=0.2,
+        backoff_base_s=0.02,
+        backoff_cap_s=0.2,
+        tick_s=0.02,
+        max_respawns=4,
+        chaos_kill=1,  # node0 dies right after its first delivered result
+    )
+    with tempfile.TemporaryDirectory() as cache_dir:
+        rows, result = measure(
+            "dispatch_chaos_campaign",
+            lambda: run_campaign(
+                scale="smoke",
+                seed=0,
+                jobs=2,
+                backend="cluster",
+                cluster=cluster,
+                cache=ResultCache(cache_dir),
+            ),
+            counters=lambda rows: {"cells": float(len(rows))},
+            policy=ONCE,
+        )
+        report_suite(
+            "dispatch_chaos_campaign", result, text=_row_lines(rows)
+        )
+
+        # bit-identical merge despite the injected worker kill
+        assert _row_lines(rows) == _row_lines(serial)
+
+        # warm re-run: every pair comes from the cache, zero executions
+        warm_cache = ResultCache(cache_dir)
+        warm = run_campaign(
+            scale="smoke", seed=0, jobs=2, cache=warm_cache
+        )
+        assert _row_lines(warm) == _row_lines(serial)
+        assert warm_cache.hits == 10  # all 10 (workload, policy) shards
+        assert warm_cache.misses == 0

@@ -35,10 +35,15 @@ DT004   warning   unordered-iteration: iterating a set (or set-valued
 DT005   warning   id-keyed-dict-iteration: iterating a dict keyed by
                   ``id(...)`` -- insertion order follows memory layout,
                   which is not stable across runs
-DT006   error     unaudited-timer: a raw wall-clock read inside the
-                  bench harness (``repro/bench``) outside the audited
-                  ``repro/bench/clock.py`` -- benchmark timing must
-                  flow through ``repro.bench.clock.perf_clock``
+DT006   error     unaudited-timer: a raw wall-clock read inside a
+                  subsystem with an audited clock (``repro/bench``,
+                  ``repro/parallel/dispatch``) outside that clock
+                  module -- timing must flow through the subsystem's
+                  one audited reader
+DT007   warning   registration-order-iteration: raw iteration over a
+                  dispatch node registry's ``.nodes`` mapping --
+                  insertion order is worker registration order, a
+                  race; use the sorted accessors
 MC001   error     unpredicted-deadlock: the model checker reached a
                   deadlock that the lock-order pass does not predict
 MC002   error     sync-order-violation: non-FIFO mutex/semaphore handoff
@@ -79,6 +84,7 @@ CODES: Dict[str, Tuple[str, str]] = {
     "DT004": ("warning", "unordered-iteration"),
     "DT005": ("warning", "id-keyed-dict-iteration"),
     "DT006": ("error", "unaudited-timer"),
+    "DT007": ("warning", "registration-order-iteration"),
     "MC001": ("error", "unpredicted-deadlock"),
     "MC002": ("error", "sync-order-violation"),
     "MC003": ("error", "result-divergence"),

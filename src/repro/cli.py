@@ -14,12 +14,17 @@ Commands:
   verification (MC001-MC005);
 - ``bench``      the performance-regression harness: ``run`` a suite to
   ``BENCH_<suite>.json``, ``compare`` two result files with noise-aware
-  thresholds, ``update-baseline`` to re-record a checked-in baseline.
+  thresholds, ``update-baseline`` to re-record a checked-in baseline;
+- ``dispatch worker``  join a running cluster coordinator as a shard
+  worker node (what an SSH launcher runs on each remote host).
 
 The sweep commands (``faults run``, ``experiment``, ``mc``,
 ``bench run``) take ``--jobs N`` to shard over a process pool via
 :mod:`repro.parallel`; output is bit-identical to ``--jobs 1``
-(docs/PARALLEL.md).
+(docs/PARALLEL.md).  ``--backend cluster`` routes the same shards
+through the fault-tolerant dispatch layer instead of the local pool,
+and ``--cache-dir`` (not on ``bench``) makes the sweep resumable via
+the content-addressed result cache -- neither changes the output.
 
 Everything except ``bench`` (which measures host wall time) is
 deterministic given ``--seed``.
@@ -64,17 +69,47 @@ def _shard_progress(outcome, done, total) -> None:
     retries = (
         f" [attempt {outcome.attempts}]" if outcome.attempts > 1 else ""
     )
+    where = f" @{outcome.node}" if outcome.node else ""
     print(
-        f"  [{done}/{total}] {outcome.shard.key}: {status}{retries}",
+        f"  [{done}/{total}] {outcome.shard.key}: {status}{retries}{where}",
         file=sys.stderr,
     )
+
+
+def _dispatch_kwargs(args):
+    """``backend``/``cache``/``cluster`` kwargs from the common flags.
+
+    Shared by every sweep command that grew ``--backend``/``--cache-dir``
+    so the flags mean the same thing everywhere; ``--chaos-kill`` (fault
+    campaign only, for the dispatch-chaos CI job) configures the cluster
+    to kill that many of its own spawned workers mid-run.
+    """
+    from repro.parallel import ClusterConfig, ResultCache
+
+    cache = None
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is not None:
+        cache = ResultCache(cache_dir)
+    cluster = None
+    chaos_kill = getattr(args, "chaos_kill", 0)
+    if chaos_kill:
+        cluster = ClusterConfig(
+            chaos_kill=chaos_kill,
+            max_respawns=max(2, 2 * chaos_kill),
+        )
+    return {
+        "backend": getattr(args, "backend", "local"),
+        "cache": cache,
+        "cluster": cluster,
+    }
 
 
 def _experiment_registry():
     """Lazy experiment table (imports are heavy enough to defer).
 
-    Every entry takes the ``--jobs`` value; all but the sharded sweeps
-    ignore it.
+    Every entry takes the ``--jobs`` value plus the dispatch kwargs
+    (``backend``/``cache``/``cluster``); all but the sharded sweeps
+    ignore them.
     """
     if _EXPERIMENTS:
         return _EXPERIMENTS
@@ -99,7 +134,7 @@ def _experiment_registry():
         run_offline_comparison,
     )
 
-    def fig4_text(jobs=1):
+    def fig4_text(jobs=1, **dispatch):
         panels = run_fig4()
         rows = [
             (panel, curve.label, 100.0 * curve.mean_relative_error)
@@ -113,23 +148,24 @@ def _experiment_registry():
     _EXPERIMENTS.update(
         {
             "fig4": fig4_text,
-            "fig5": lambda jobs=1: format_fig5(run_fig5()),
-            "fig6": lambda jobs=1: format_fig6(run_fig6()),
-            "fig7": lambda jobs=1: format_fig7(run_fig7()),
-            "fig8": lambda jobs=1: format_fig8(run_fig8()),
-            "fig9": lambda jobs=1: format_fig9(run_fig9()),
-            "table3": lambda jobs=1: format_table3(run_table3()),
-            "table5": lambda jobs=1: format_table5(run_table5()),
-            "fairness": lambda jobs=1: format_fairness_sweep(
+            "fig5": lambda jobs=1, **kw: format_fig5(run_fig5()),
+            "fig6": lambda jobs=1, **kw: format_fig6(run_fig6()),
+            "fig7": lambda jobs=1, **kw: format_fig7(run_fig7()),
+            "fig8": lambda jobs=1, **kw: format_fig8(run_fig8()),
+            "fig9": lambda jobs=1, **kw: format_fig9(run_fig9()),
+            "table3": lambda jobs=1, **kw: format_table3(run_table3()),
+            "table5": lambda jobs=1, **kw: format_table5(run_table5()),
+            "fairness": lambda jobs=1, **kw: format_fairness_sweep(
                 run_fairness_sweep()
             ),
-            "inference": lambda jobs=1: format_inference_comparison(
+            "inference": lambda jobs=1, **kw: format_inference_comparison(
                 run_inference_comparison()
             ),
-            "offline": lambda jobs=1: format_offline_comparison(
+            "offline": lambda jobs=1, **kw: format_offline_comparison(
                 run_offline_comparison(
                     jobs=jobs,
                     progress=_shard_progress if jobs > 1 else None,
+                    **kw,
                 )
             ),
         }
@@ -271,7 +307,7 @@ def _cmd_model(args) -> int:
 
 def _cmd_experiment(args) -> int:
     registry = _experiment_registry()
-    print(registry[args.name](jobs=args.jobs))
+    print(registry[args.name](jobs=args.jobs, **_dispatch_kwargs(args)))
     return 0
 
 
@@ -312,6 +348,7 @@ def _cmd_faults_run(args) -> int:
         seed=args.seed,
         jobs=args.jobs,
         progress=_shard_progress if args.jobs > 1 else None,
+        **_dispatch_kwargs(args),
     )
     print(format_campaign(rows))
     return 0 if all(r.ok for r in rows) else 1
@@ -409,6 +446,7 @@ def _cmd_mc(args) -> int:
         chaos=not args.no_chaos,
         jobs=args.jobs,
         progress=_shard_progress if args.jobs > 1 else None,
+        **_dispatch_kwargs(args),
     )
     stats = None
     if not args.skip_model:
@@ -459,6 +497,7 @@ def _cmd_bench_run(args) -> int:
         args.suite,
         progress=lambda name: print(f"  running {name} ...", file=sys.stderr),
         jobs=args.jobs,
+        backend=args.backend,
     )
     out = args.out or default_baseline_path(args.suite)
     write_suite(out, result)
@@ -565,6 +604,33 @@ def _cmd_lint(args) -> int:
     return 1 if found else 0
 
 
+def _cmd_dispatch_worker(args) -> int:
+    from repro.parallel.dispatch import worker
+
+    argv = ["--connect", args.connect]
+    if args.node_id:
+        argv += ["--node-id", args.node_id]
+    if args.chaos:
+        argv += ["--chaos", args.chaos]
+    return worker.main(argv)
+
+
+def _add_dispatch_flags(p, with_cache=True) -> None:
+    """The ``--backend``/``--cache-dir`` flags every sweep command shares."""
+    p.add_argument(
+        "--backend", choices=("local", "cluster"), default="local",
+        help="shard dispatch backend: this host's process pool, or the "
+        "fault-tolerant cluster layer (docs/PARALLEL.md); output is "
+        "bit-identical either way",
+    )
+    if with_cache:
+        p.add_argument(
+            "--cache-dir", dest="cache_dir", metavar="DIR",
+            help="content-addressed result cache directory: finished "
+            "cells are skipped on re-run (resumable sweeps)",
+        )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -623,6 +689,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for sharded sweeps (offline); results are "
         "bit-identical to --jobs 1",
     )
+    _add_dispatch_flags(exp_p)
     exp_p.set_defaults(func=_cmd_experiment)
 
     faults_p = sub.add_parser(
@@ -658,6 +725,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="worker processes ((workload, policy) pairs fan out; the "
         "merged table is bit-identical to --jobs 1)",
+    )
+    _add_dispatch_flags(faults_run_p)
+    faults_run_p.add_argument(
+        "--chaos-kill", dest="chaos_kill", type=int, default=0,
+        metavar="N",
+        help="testing only (--backend cluster): kill N spawned workers "
+        "after their first result to exercise reassignment; the merged "
+        "table must still be bit-identical (the dispatch-chaos CI job)",
     )
     faults_run_p.set_defaults(func=_cmd_faults_run)
 
@@ -750,6 +825,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (fixtures fan out; the merged report is "
         "bit-identical to --jobs 1)",
     )
+    _add_dispatch_flags(mc_p)
     mc_p.set_defaults(func=_cmd_mc)
 
     bench_p = sub.add_parser(
@@ -775,6 +851,8 @@ def build_parser() -> argparse.ArgumentParser:
         "per-shard through the audited clock; co-scheduled shards can "
         "contend, so gate comparisons serially)",
     )
+    # no --cache-dir: a cached timing would report a past machine state
+    _add_dispatch_flags(bench_run_p, with_cache=False)
     bench_run_p.set_defaults(func=_cmd_bench_run)
 
     bench_cmp_p = bench_sub.add_parser(
@@ -812,6 +890,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="baseline path to write (default: BENCH_<suite>.json)",
     )
     bench_up_p.set_defaults(func=_cmd_bench_update)
+
+    dispatch_p = sub.add_parser(
+        "dispatch",
+        help="cluster dispatch plumbing (docs/PARALLEL.md)",
+    )
+    dispatch_sub = dispatch_p.add_subparsers(
+        dest="dispatch_command", required=True
+    )
+    worker_p = dispatch_sub.add_parser(
+        "worker",
+        help="attach this host to a running coordinator as a worker node "
+        "(what an SSH launcher runs remotely)",
+    )
+    worker_p.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="coordinator address printed/configured by the sweep command",
+    )
+    worker_p.add_argument(
+        "--node-id",
+        help="node id to register as (default: worker-<pid>)",
+    )
+    worker_p.add_argument(
+        "--chaos", default="",
+        help="testing only: seeded kill points, e.g. 'die-after-results:1'",
+    )
+    worker_p.set_defaults(func=_cmd_dispatch_worker)
     return parser
 
 

@@ -29,7 +29,14 @@ import numpy as np
 
 from repro.machine.configs import ULTRA1
 from repro.machine.smp import Machine
-from repro.parallel import ProgressFn, Shard, merged_values, run_shards
+from repro.parallel import (
+    ClusterConfig,
+    ProgressFn,
+    ResultCache,
+    Shard,
+    merged_values,
+    run_shards,
+)
 from repro.sched.fcfs import FCFSScheduler
 from repro.sim.driver import _WorkThreadSampler
 from repro.sim.report import format_table
@@ -53,13 +60,18 @@ def run_offline_comparison(
     seed: int = 0,
     jobs: int = 1,
     progress: Optional[ProgressFn] = None,
+    backend: str = "local",
+    cache: Optional[ResultCache] = None,
+    cluster: Optional[ClusterConfig] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Per app: observed-vs-model MAE, observed-vs-replay MAE, and costs.
 
     Each app's run is independent given (app, seed), so with
     ``jobs > 1`` the sweep fans out through :mod:`repro.parallel`; the
     merge reassembles the dict in ``apps`` order, bit-identical to the
-    serial sweep.
+    serial sweep.  ``backend="cluster"`` runs apps on dispatch worker
+    nodes and ``cache`` resumes an interrupted sweep from the on-disk
+    result cache -- neither can change the merged report.
     """
     shards = [
         Shard(
@@ -70,7 +82,10 @@ def run_offline_comparison(
         )
         for i, name in enumerate(apps)
     ]
-    outcomes = run_shards(shards, jobs=jobs, progress=progress)
+    outcomes = run_shards(
+        shards, jobs=jobs, progress=progress,
+        backend=backend, cache=cache, cluster=cluster,
+    )
     return {
         name: metrics
         for name, metrics in zip(apps, merged_values(outcomes))

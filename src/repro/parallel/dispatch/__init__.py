@@ -1,0 +1,54 @@
+"""``repro.parallel.dispatch``: the fault-tolerant cluster backend.
+
+This package is the scale-out path for every sweep in the repository:
+it executes the same :class:`~repro.parallel.shard.Shard` cells the
+local process pool runs, but on a registry of *worker nodes* speaking a
+small length-prefixed JSON protocol over sockets -- subprocesses today,
+SSH hosts tomorrow (a remote worker is just
+``python -m repro.parallel.dispatch.worker --connect host:port``).
+
+The robustness contract mirrors the paper's: dispatch-level chaos --
+a node dying mid-shard, mid-heartbeat, or halfway through uploading a
+result -- may cost time, but it can never change the merged result,
+which stays bit-identical to a serial run (asserted by
+``tests/parallel/test_dispatch_chaos.py`` and the ``dispatch-chaos``
+CI job).  The moving parts:
+
+- :mod:`~repro.parallel.dispatch.protocol` -- the framed JSON wire
+  format (pickled payloads ride base64-encoded inside the envelope);
+- :mod:`~repro.parallel.dispatch.registry` -- node registration,
+  heartbeat liveness, deadline-based eviction;
+- :mod:`~repro.parallel.dispatch.backoff` -- decorrelated-jitter
+  exponential backoff for shard retries;
+- :mod:`~repro.parallel.dispatch.cache` -- the content-addressed shard
+  result cache (fingerprint = hash of callable path, canonical params,
+  code version) that makes killed campaigns resumable;
+- :mod:`~repro.parallel.dispatch.worker` -- the worker main loop (and
+  its seeded chaos hooks, used by the kill tests);
+- :mod:`~repro.parallel.dispatch.coordinator` -- the scheduler: assign,
+  retry with backoff, steal from slow nodes, evict dead ones, and fall
+  back to the local pool when no workers register.
+
+Select it with ``run_shards(..., backend="cluster")`` or the CLI's
+``--backend cluster`` (docs/PARALLEL.md).
+"""
+
+from repro.parallel.dispatch.backoff import DecorrelatedJitter
+from repro.parallel.dispatch.cache import (
+    ResultCache,
+    code_version,
+    shard_fingerprint,
+)
+from repro.parallel.dispatch.coordinator import ClusterConfig, run_cluster
+from repro.parallel.dispatch.registry import NodeRegistry, NodeState
+
+__all__ = [
+    "ClusterConfig",
+    "DecorrelatedJitter",
+    "NodeRegistry",
+    "NodeState",
+    "ResultCache",
+    "code_version",
+    "run_cluster",
+    "shard_fingerprint",
+]

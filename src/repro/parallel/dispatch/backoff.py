@@ -1,0 +1,45 @@
+"""Decorrelated-jitter exponential backoff for shard retries.
+
+A shard that raises on one node is retried, but not immediately: if the
+failure came from a shared cause (an overloaded node, a transient
+resource), synchronized retries from many shards would stampede.  The
+scheme here is the "decorrelated jitter" variant: each successive delay
+is drawn uniformly from ``[base, prev * 3]`` and clamped to ``cap``, so
+delays grow roughly exponentially while two shards that failed together
+never retry in lockstep.
+
+Backoff affects *when* a shard re-runs, never *what* it computes, so it
+is outside the determinism contract -- but the draw sequence itself is
+still seeded (``random.Random``), so a given coordinator run's retry
+timeline is reproducible in tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+
+class DecorrelatedJitter:
+    """Per-shard retry-delay state; one instance per coordinator run."""
+
+    def __init__(self, base_s: float, cap_s: float, seed: int = 0) -> None:
+        if base_s <= 0.0:
+            raise ValueError("backoff base must be positive")
+        if cap_s < base_s:
+            raise ValueError("backoff cap must be >= base")
+        self.base_s = base_s
+        self.cap_s = cap_s
+        self._rng = random.Random(seed)
+        self._prev: Dict[int, float] = {}
+
+    def next_delay(self, shard_index: int) -> float:
+        """The delay before ``shard_index``'s next retry attempt."""
+        prev = self._prev.get(shard_index, self.base_s)
+        delay = min(self.cap_s, self._rng.uniform(self.base_s, prev * 3.0))
+        self._prev[shard_index] = delay
+        return delay
+
+    def reset(self, shard_index: int) -> None:
+        """Forget a shard's state (called when it finally succeeds)."""
+        self._prev.pop(shard_index, None)

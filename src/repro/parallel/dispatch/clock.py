@@ -1,0 +1,29 @@
+"""The dispatch layer's audited clock.
+
+Liveness genuinely needs host time: heartbeat deadlines, shard
+timeouts, and steal thresholds are statements about *wall-clock*
+worker health, not about simulated events.  But host time must never
+leak into *results* -- the whole repository rests on bit-identical
+replay -- so the same discipline the bench harness uses for timing
+applies here: exactly one module reads the monotonic clock, everything
+else takes a ``Clock`` as a parameter (tests substitute fakes), and
+the determinism lint (DT006) flags any raw timer read elsewhere under
+``repro/parallel/dispatch/``.
+
+The clock is used purely for scheduling decisions (when to evict, when
+to retry, when to steal); shard results remain pure functions of
+``(fn, params)``, so no reading of this clock can change merged output.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+#: a monotonic time source: seconds from an arbitrary origin
+Clock = Callable[[], float]
+
+
+def monotonic_clock() -> float:
+    """The one audited host-time read of the dispatch layer."""
+    return time.monotonic()

@@ -1,0 +1,646 @@
+"""The dispatch coordinator: assign, retry, steal, evict, degrade.
+
+``run_cluster`` executes a batch of shards on a registry of worker
+nodes.  It is the cluster counterpart of the local pool in
+:mod:`repro.parallel.engine`, and it honours the same two contracts:
+
+- **determinism** -- shards are pure functions of ``(fn, params)``, so
+  *which* node runs a shard, in *what* order, after *how many* retries
+  can never change the merged output (sorted by shard index upstream);
+  scheduling here is free to react to wall-clock events;
+- **attempt accounting** -- every terminated execution charges the
+  shard one attempt (a node death also charges a crash), mirroring the
+  local backend, so ``ShardOutcome`` reads the same whichever backend
+  produced it.
+
+Scheduling model (one thread owns all state; socket reader threads only
+enqueue events):
+
+- **liveness**: nodes must heartbeat; a node silent past
+  ``heartbeat_s * liveness_factor`` is evicted and its work requeued
+  (a delivered result also proves liveness);
+- **retry + backoff**: a shard whose execution *raised* is requeued
+  with a decorrelated-jitter delay (``backoff_base_s``..``backoff_cap_s``)
+  so correlated failures do not stampede; a shard stranded by a node
+  *death* requeues immediately (matching the local backend's
+  crash-retry semantics);
+- **work-stealing**: an assignment outstanding longer than
+  ``steal_after_s`` is speculatively duplicated onto an idle node
+  (up to ``max_duplicates`` concurrent copies); the first result wins
+  and later duplicates are discarded -- purity makes duplicates safe;
+- **hard timeout**: an assignment outstanding longer than
+  ``shard_timeout_s`` declares its node stuck; the node is evicted
+  (and killed, if we spawned it) and the shard requeued;
+- **graceful degradation**: if no node registers within
+  ``register_timeout_s``, or every node dies with the respawn budget
+  exhausted, the unfinished shards are handed back to the caller, and
+  :func:`~repro.parallel.engine.run_shards` finishes them on the local
+  process pool -- a cluster outage degrades to PR 5 behaviour, never to
+  a failed run.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import queue
+import socket
+import subprocess
+import sys
+import threading
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+)
+
+from repro.parallel.dispatch.backoff import DecorrelatedJitter
+from repro.parallel.dispatch.clock import Clock, monotonic_clock
+from repro.parallel.dispatch.protocol import (
+    ProtocolError,
+    decode_payload,
+    encode_payload,
+    recv_frame,
+    send_frame,
+)
+from repro.parallel.dispatch.registry import NodeRegistry, NodeState
+from repro.parallel.shard import Shard
+
+logger = logging.getLogger("repro.parallel.dispatch")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Tunables of one cluster run (defaults suit same-host workers)."""
+
+    #: worker subprocesses to spawn; ``None`` means "the jobs value",
+    #: 0 means "spawn none -- external workers will attach"
+    workers: Optional[int] = None
+    host: str = "127.0.0.1"
+    port: int = 0  # 0: let the OS pick
+    heartbeat_s: float = 0.5
+    liveness_factor: float = 6.0
+    register_timeout_s: float = 20.0
+    #: outstanding longer than this: duplicate onto an idle node
+    steal_after_s: float = 30.0
+    #: outstanding longer than this: the node is stuck -- evict it
+    shard_timeout_s: float = 600.0
+    max_duplicates: int = 2
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    backoff_seed: int = 0
+    #: dead spawned workers replaced up to this many times per run
+    max_respawns: int = 2
+    #: main-loop wakeup granularity
+    tick_s: float = 0.05
+    #: testing/CI: give the first N spawned workers a
+    #: ``die-after-results:1`` chaos spec (one injected kill each)
+    chaos_kill: int = 0
+    #: testing: explicit per-node chaos specs (overrides ``chaos_kill``)
+    worker_chaos: Mapping[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class _Assignment:
+    seq: int
+    shard: Shard
+    node_id: str
+    started_at: float
+
+
+@dataclass
+class _Event:
+    kind: str  # "register" | "heartbeat" | "result" | "gone"
+    node_id: str
+    message: Dict[str, Any]
+    conn: Optional[socket.socket] = None
+
+
+class _RunSink(Protocol):
+    """The slice of the engine's per-run bookkeeping the coordinator
+    drives (implemented by ``repro.parallel.engine._Run``); typed as a
+    structural protocol so the two modules stay import-cycle free."""
+
+    def charge(self, shard: Shard, crashed: bool = False) -> int: ...
+
+    def exhausted(self, shard: Shard) -> bool: ...
+
+    def record_error(self, shard: Shard, message: str) -> None: ...
+
+    def finalize(
+        self,
+        shard: Shard,
+        status: str,
+        value: Any,
+        error: str,
+        node: str = "",
+        cached: bool = False,
+    ) -> None: ...
+
+    def is_finalized(self, shard: Shard) -> bool: ...
+
+
+class ClusterDispatcher:
+    """One ``run_cluster`` invocation's scheduler state."""
+
+    def __init__(
+        self,
+        shards: Sequence[Shard],
+        run: _RunSink,
+        jobs: int,
+        config: ClusterConfig,
+        clock: Clock = monotonic_clock,
+    ) -> None:
+        self.shards = list(shards)
+        self.run = run
+        self.config = config
+        self.workers = config.workers if config.workers is not None else jobs
+        self._clock = clock
+        self.registry = NodeRegistry(
+            heartbeat_s=config.heartbeat_s,
+            liveness_factor=config.liveness_factor,
+            clock=clock,
+        )
+        self._backoff = DecorrelatedJitter(
+            config.backoff_base_s, config.backoff_cap_s, config.backoff_seed
+        )
+        self._events: "queue.Queue[_Event]" = queue.Queue()
+        #: (ready_time, shard) cells awaiting (re)assignment
+        self._pending: List[Tuple[float, Shard]] = []
+        #: live assignments by shard index (duplicates from stealing)
+        self._outstanding: Dict[int, List[_Assignment]] = {}
+        self._by_seq: Dict[int, _Assignment] = {}
+        self._seq = 0
+        self._procs: Dict[str, "subprocess.Popen[bytes]"] = {}
+        self._spawn_ordinal = 0
+        self._respawns_used = 0
+        self._ever_registered = False
+        self._listener: Optional[socket.socket] = None
+        self._addr: Tuple[str, int] = ("", 0)
+        self._chaos_by_node: Dict[str, str] = dict(config.worker_chaos)
+        if config.chaos_kill and not self._chaos_by_node:
+            self._chaos_by_node = {
+                f"node{i}": "die-after-results:1"
+                for i in range(config.chaos_kill)
+            }
+
+    # -- listener / readers ------------------------------------------------
+
+    def _start_listener(self) -> Tuple[str, int]:
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.config.host, self.config.port))
+        listener.listen(16)
+        self._listener = listener
+        threading.Thread(target=self._accept_loop, daemon=True).start()
+        host, port = listener.getsockname()[:2]
+        return str(host), int(port)
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while True:
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed: run is over
+            try:
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:
+                pass
+            threading.Thread(
+                target=self._reader, args=(conn,), daemon=True
+            ).start()
+
+    def _reader(self, conn: socket.socket) -> None:
+        """Per-connection thread: frames in, events out."""
+        try:
+            first = recv_frame(conn)
+        except (ProtocolError, OSError):
+            first = None
+        if first is None or first.get("type") != "register":
+            try:
+                conn.close()
+            except OSError:
+                pass
+            return
+        node_id = str(first.get("node", ""))
+        self._events.put(_Event("register", node_id, first, conn=conn))
+        while True:
+            try:
+                message = recv_frame(conn)
+            except (ProtocolError, OSError):
+                break
+            if message is None:
+                break
+            self._events.put(
+                _Event(str(message["type"]), node_id, message)
+            )
+        self._events.put(_Event("gone", node_id, {}))
+
+    # -- worker subprocesses -----------------------------------------------
+
+    def _spawn_worker(self, host: str, port: int) -> None:
+        node_id = f"node{self._spawn_ordinal}"
+        self._spawn_ordinal += 1
+        cmd = [
+            sys.executable,
+            "-m",
+            "repro.parallel.dispatch.worker",
+            "--connect",
+            f"{host}:{port}",
+            "--node-id",
+            node_id,
+        ]
+        chaos = self._chaos_by_node.get(node_id, "")
+        if chaos:
+            cmd += ["--chaos", chaos]
+        env = dict(os.environ)
+        # make sure workers resolve the same `repro` this process runs
+        import repro
+
+        src_root = os.path.dirname(
+            os.path.dirname(os.path.abspath(repro.__file__))
+        )
+        env["PYTHONPATH"] = src_root + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        self._procs[node_id] = subprocess.Popen(cmd, env=env)
+
+    def _respawn_if_budgeted(self, host: str, port: int) -> None:
+        if self._respawns_used >= self.config.max_respawns:
+            return
+        if not self._unfinished():
+            return
+        self._respawns_used += 1
+        self._spawn_worker(host, port)
+
+    # -- scheduling --------------------------------------------------------
+
+    def _unfinished(self) -> List[Shard]:
+        return [
+            shard
+            for shard in self.shards
+            if not self.run.is_finalized(shard)
+        ]
+
+    def _send_to(self, state: NodeState, message: Dict[str, Any]) -> bool:
+        try:
+            send_frame(state.conn, message)
+            return True
+        except OSError:
+            self._handle_gone(state.node_id, "send failed")
+            return False
+
+    def _assign(self, state: NodeState, shard: Shard) -> bool:
+        self._seq += 1
+        seq = self._seq
+        ok = self._send_to(
+            state,
+            {
+                "type": "assign",
+                "seq": seq,
+                "index": shard.index,
+                "key": shard.key,
+                "fn": shard.fn,
+                "payload": encode_payload(dict(shard.params)),
+            },
+        )
+        if not ok:
+            return False
+        assignment = _Assignment(seq, shard, state.node_id, self._clock())
+        state.outstanding.append(seq)
+        self._outstanding.setdefault(shard.index, []).append(assignment)
+        self._by_seq[seq] = assignment
+        return True
+
+    def _drop_shard_assignments(self, index: int) -> None:
+        """Forget every live assignment of a finalized shard.  The seqs
+        stay in their nodes' ``outstanding`` lists until the node
+        actually reports (or dies), so a node still chewing a stale
+        duplicate is not considered idle."""
+        for assignment in self._outstanding.pop(index, []):
+            self._by_seq.pop(assignment.seq, None)
+
+    def _requeue(self, shard: Shard, delay_s: float) -> None:
+        self._pending.append((self._clock() + delay_s, shard))
+
+    def _handle_register(self, event: _Event) -> None:
+        assert event.conn is not None
+        if event.node_id in self.registry or not event.node_id:
+            logger.warning(
+                "rejecting duplicate/empty node id %r", event.node_id
+            )
+            try:
+                event.conn.close()
+            except OSError:
+                pass
+            return
+        state = self.registry.register(
+            event.node_id,
+            event.conn,
+            pid=int(event.message.get("pid", 0)),
+            spawned=event.node_id in self._procs,
+        )
+        self._ever_registered = True
+        self._send_to(
+            state,
+            {"type": "welcome", "heartbeat_s": self.config.heartbeat_s},
+        )
+
+    def _handle_result(self, event: _Event) -> None:
+        message = event.message
+        seq = int(message["seq"])
+        state = self.registry.nodes.get(event.node_id)
+        if state is not None:
+            self.registry.heard_from(event.node_id)
+            if seq in state.outstanding:
+                state.outstanding.remove(seq)
+            state.results += 1
+        assignment = self._by_seq.pop(seq, None)
+        if assignment is None:
+            return  # stale duplicate of an already-settled shard
+        shard = assignment.shard
+        self._outstanding[shard.index] = [
+            a for a in self._outstanding.get(shard.index, [])
+            if a.seq != seq
+        ]
+        if self.run.is_finalized(shard):
+            return
+        self.run.charge(shard)
+        if message.get("status") == "ok":
+            self._drop_shard_assignments(shard.index)
+            self._backoff.reset(shard.index)
+            self.run.finalize(
+                shard,
+                "ok",
+                decode_payload(str(message["payload"])),
+                "",
+                node=event.node_id,
+            )
+            return
+        error = str(message.get("error", "shard raised"))
+        self.run.record_error(shard, f"[{event.node_id}] {error}")
+        if self.run.exhausted(shard):
+            self._drop_shard_assignments(shard.index)
+            self.run.finalize(
+                shard, "failed", None, error, node=event.node_id
+            )
+        elif not self._outstanding.get(shard.index):
+            # no duplicate still running: retry after a jittered delay
+            self._requeue(shard, self._backoff.next_delay(shard.index))
+
+    def _handle_gone(self, node_id: str, reason: str) -> None:
+        state = self.registry.evict(node_id, reason)
+        if state is None:
+            return
+        logger.info("node %s left the cluster: %s", node_id, reason)
+        try:
+            state.conn.close()
+        except OSError:
+            pass
+        proc = self._procs.get(node_id)
+        if proc is not None and proc.poll() is None:
+            proc.kill()
+        for seq in list(state.outstanding):
+            assignment = self._by_seq.pop(seq, None)
+            if assignment is None:
+                continue  # stale duplicate; shard already settled
+            shard = assignment.shard
+            survivors = [
+                a for a in self._outstanding.get(shard.index, [])
+                if a.seq != seq
+            ]
+            self._outstanding[shard.index] = survivors
+            if self.run.is_finalized(shard) or survivors:
+                continue  # another copy is still running
+            self.run.charge(shard, crashed=True)
+            detail = f"worker node {node_id} died ({reason})"
+            self.run.record_error(shard, detail)
+            if self.run.exhausted(shard):
+                self.run.finalize(shard, "failed", None, detail,
+                                  node=node_id)
+            else:
+                self._requeue(shard, 0.0)
+        if state.spawned:
+            host, port = self._addr
+            self._respawn_if_budgeted(host, port)
+
+    def _handle_event(self, event: _Event) -> None:
+        if event.kind == "register":
+            self._handle_register(event)
+        elif event.kind == "heartbeat":
+            self.registry.heard_from(event.node_id)
+        elif event.kind == "result":
+            self._handle_result(event)
+        elif event.kind == "gone":
+            self._handle_gone(event.node_id, "connection closed")
+        # unknown frame types are ignored: forward-compatible protocol
+
+    def _check_timeouts(self) -> None:
+        now = self._clock()
+        # hard per-shard timeout: the node is stuck, evict it
+        stuck = sorted(
+            {
+                a.node_id
+                for assignments in self._outstanding.values()
+                for a in assignments
+                if now - a.started_at > self.config.shard_timeout_s
+            }
+        )
+        for node_id in stuck:
+            self._handle_gone(node_id, "shard timeout")
+        # liveness deadlines
+        for state in self.registry.expired():
+            self._handle_gone(state.node_id, "missed heartbeat deadline")
+
+    def _steal(self) -> None:
+        """Duplicate slow assignments onto idle nodes (speculation)."""
+        idle = self.registry.idle_nodes()
+        if not idle:
+            return
+        now = self._clock()
+        for index in sorted(self._outstanding):
+            if not idle:
+                return
+            assignments = self._outstanding[index]
+            if not assignments or len(assignments) >= self.config.max_duplicates:
+                continue
+            age = now - min(a.started_at for a in assignments)
+            if age <= self.config.steal_after_s:
+                continue
+            busy = {a.node_id for a in assignments}
+            thief = next(
+                (n for n in idle if n.node_id not in busy), None
+            )
+            if thief is None:
+                continue
+            idle = [n for n in idle if n.node_id != thief.node_id]
+            logger.info(
+                "stealing %s (outstanding %.1fs) onto %s",
+                assignments[0].shard.key, age, thief.node_id,
+            )
+            self._assign(thief, assignments[0].shard)
+
+    def _dispatch_pending(self) -> None:
+        now = self._clock()
+        ready = sorted(
+            (shard.index, ready_at, shard)
+            for ready_at, shard in self._pending
+            if ready_at <= now
+        )
+        if not ready:
+            return
+        idle = self.registry.idle_nodes()
+        assigned_indices: List[int] = []
+        for (index, _ready_at, shard), state in zip(ready, idle):
+            if self._assign(state, shard):
+                assigned_indices.append(index)
+        if assigned_indices:
+            taken = set(assigned_indices)
+            self._pending = [
+                (ready_at, shard)
+                for ready_at, shard in self._pending
+                if shard.index not in taken
+            ]
+
+    def _poll_spawned(self) -> None:
+        """Spot worker processes that died before ever registering."""
+        for node_id in sorted(self._procs):
+            proc = self._procs[node_id]
+            if proc.poll() is None:
+                continue
+            if node_id in self.registry:
+                continue  # reader will deliver "gone" when the socket drops
+            if node_id in self.registry.departed:
+                continue
+            self.registry.departed[node_id] = (
+                f"spawn exited with code {proc.returncode} before register"
+            )
+            host, port = self._addr
+            self._respawn_if_budgeted(host, port)
+
+    # -- the run -----------------------------------------------------------
+
+    def execute(self) -> List[Shard]:
+        """Run until every shard settles or the cluster degrades.
+
+        Returns the shards that were *not* finalized -- empty on a
+        normal run; the whole batch when no worker ever registered; the
+        tail of the batch when the cluster died mid-run.  The engine
+        finishes the returned shards on the local pool.
+        """
+        host, port = self._start_listener()
+        self._addr = (host, port)
+        started = self._clock()
+        self._pending = [(started, shard) for shard in self.shards]
+        for _ in range(self.workers):
+            self._spawn_worker(host, port)
+        try:
+            while self._unfinished():
+                try:
+                    event: Optional[_Event] = self._events.get(
+                        timeout=self.config.tick_s
+                    )
+                except queue.Empty:
+                    event = None
+                while event is not None:
+                    self._handle_event(event)
+                    try:
+                        event = self._events.get_nowait()
+                    except queue.Empty:
+                        event = None
+                self._poll_spawned()
+                self._check_timeouts()
+                self._steal()
+                self._dispatch_pending()
+                if not self.registry:
+                    if not self._ever_registered:
+                        if (
+                            self._clock() - started
+                            > self.config.register_timeout_s
+                        ):
+                            logger.warning(
+                                "no worker registered within %.1fs; "
+                                "degrading to the local pool",
+                                self.config.register_timeout_s,
+                            )
+                            break
+                        if (
+                            self.workers == 0
+                            and not self._procs
+                            and self.config.port == 0
+                        ):
+                            # an ephemeral port nobody was told about:
+                            # nothing can ever register; don't wait.
+                            # (an explicit port means external workers
+                            # may dial in -- honour register_timeout_s)
+                            logger.warning(
+                                "cluster backend with workers=0 and no "
+                                "external nodes; degrading to the local "
+                                "pool"
+                            )
+                            break
+                    elif (
+                        self._respawns_used >= self.config.max_respawns
+                        and all(
+                            proc.poll() is not None
+                            for proc in self._procs.values()
+                        )
+                    ):
+                        logger.warning(
+                            "every worker died and the respawn budget is "
+                            "exhausted; degrading to the local pool"
+                        )
+                        break
+        finally:
+            self._shutdown()
+        return self._unfinished()
+
+    def _shutdown(self) -> None:
+        for state in self.registry.sorted_nodes():
+            try:
+                send_frame(state.conn, {"type": "shutdown"})
+            except OSError:
+                pass
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        for node_id in sorted(self._procs):
+            proc = self._procs[node_id]
+            try:
+                proc.wait(timeout=2.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                try:
+                    proc.wait(timeout=2.0)
+                except subprocess.TimeoutExpired:
+                    pass
+        for state in self.registry.sorted_nodes():
+            try:
+                state.conn.close()
+            except OSError:
+                pass
+
+
+def run_cluster(
+    shards: Sequence[Shard],
+    run: _RunSink,
+    jobs: int,
+    config: Optional[ClusterConfig] = None,
+    clock: Clock = monotonic_clock,
+) -> List[Shard]:
+    """Execute ``shards`` on the cluster backend; returns the leftovers
+    the caller must finish locally (graceful degradation)."""
+    dispatcher = ClusterDispatcher(
+        shards, run, jobs=jobs, config=config or ClusterConfig(),
+        clock=clock,
+    )
+    return dispatcher.execute()

@@ -1,0 +1,121 @@
+"""The dispatch wire format: length-prefixed JSON frames.
+
+Every message between coordinator and worker is one *frame*: a 4-byte
+big-endian length followed by that many bytes of UTF-8 JSON.  The JSON
+envelope carries the message ``type`` plus plain-value fields; shard
+parameters and result values -- which are arbitrary picklable objects,
+not JSON -- travel base64-encoded pickle bytes in a ``payload`` field.
+Keeping the envelope JSON (rather than raw pickle frames) means a
+foreign tool, an SSH tunnel health check, or a future non-Python
+worker can parse the control plane without a pickle VM; only the two
+payload fields need one.
+
+Message types (see docs/PARALLEL.md for the full exchange):
+
+=============  =========  ==================================================
+type           direction  fields
+=============  =========  ==================================================
+``register``   w -> c     ``node`` (id), ``pid``
+``welcome``    c -> w     ``heartbeat_s`` (interval the worker must beat at)
+``heartbeat``  w -> c     ``node``
+``assign``     c -> w     ``seq``, ``index``, ``key``, ``fn``, ``payload``
+                          (pickled params dict)
+``result``     w -> c     ``seq``, ``index``, ``status`` ("ok"|"raised"),
+                          ``payload`` (pickled value) or ``error`` (string)
+``shutdown``   c -> w     --
+=============  =========  ==================================================
+
+A frame that cannot be parsed, or a connection that closes mid-frame,
+is a *node failure*, never a poisoned run: the coordinator treats the
+connection as dead and reassigns the node's outstanding work (the kill
+tests exercise exactly the mid-upload case).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import socket
+import struct
+from typing import Any, Dict, List, Optional
+
+#: frame length prefix: 4-byte unsigned big-endian
+_LEN = struct.Struct(">I")
+
+#: refuse frames past this size -- a corrupt length prefix must not
+#: make the receiver try to allocate gigabytes
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+class ProtocolError(Exception):
+    """A malformed frame or envelope (treated as node failure)."""
+
+
+def encode_payload(value: Any) -> str:
+    """Pickle ``value`` and wrap it for the JSON envelope."""
+    return base64.b64encode(
+        pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def decode_payload(text: str) -> Any:
+    """Inverse of :func:`encode_payload`."""
+    return pickle.loads(base64.b64decode(text.encode("ascii")))
+
+
+def pack_frame(message: Dict[str, Any]) -> bytes:
+    """Serialize one envelope to its on-wire bytes."""
+    body = json.dumps(message, sort_keys=True).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds MAX_FRAME_BYTES"
+        )
+    return _LEN.pack(len(body)) + body
+
+
+def send_frame(sock: socket.socket, message: Dict[str, Any]) -> None:
+    """Write one frame; raises ``OSError`` if the peer is gone."""
+    sock.sendall(pack_frame(message))
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes; ``None`` on clean EOF at a frame
+    boundary, ``ProtocolError`` on EOF mid-frame."""
+    chunks: List[bytes] = []
+    got = 0
+    while got < count:
+        chunk = sock.recv(count - got)
+        if not chunk:
+            if got == 0:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({got}/{count} bytes)"
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """Read one frame; ``None`` on clean EOF between frames.
+
+    Raises :class:`ProtocolError` for truncated or malformed frames and
+    lets socket errors propagate -- both mean "this node is gone".
+    """
+    header = _recv_exact(sock, _LEN.size)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds MAX_FRAME_BYTES")
+    body = _recv_exact(sock, length) if length else b""
+    if body is None:
+        raise ProtocolError("connection closed after length prefix")
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from exc
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolError("envelope must be an object with a 'type'")
+    return message

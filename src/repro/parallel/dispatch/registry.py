@@ -1,0 +1,141 @@
+"""Node registration and heartbeat liveness.
+
+The registry is the coordinator's view of the cluster, in the spirit of
+the global-scheduler state of the ray scheduler prototype: every worker
+that completes the ``register`` handshake gets a :class:`NodeState`
+tracking its last heartbeat and current assignment.  Liveness is
+deadline-based: a node that has not been heard from (heartbeat *or*
+result -- results prove liveness too) within
+``heartbeat_s * liveness_factor`` seconds is evicted, and its
+outstanding work is reassigned by the coordinator.
+
+Ordering discipline: the node map is keyed by node id, and *when* nodes
+registered depends on host timing -- so raw iteration over it would let
+wall-clock racing leak into assignment order.  Every accessor here
+returns nodes sorted by id, and the determinism lint's DT007 flags any
+unordered iteration over a ``.nodes`` map in this package.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.parallel.dispatch.clock import Clock, monotonic_clock
+
+
+@dataclass
+class NodeState:
+    """One registered worker node."""
+
+    node_id: str
+    #: the coordinator-side connection to the node (sends are guarded by
+    #: the coordinator; the reader thread owns receives)
+    conn: socket.socket = field(repr=False)
+    pid: int = 0
+    registered_at: float = 0.0
+    last_heard: float = 0.0
+    #: sequence numbers of assignments currently on this node
+    outstanding: List[int] = field(default_factory=list)
+    #: results this node has delivered (for reports and tests)
+    results: int = 0
+    #: True for workers the coordinator spawned itself (it may respawn
+    #: them); False for externally attached workers (SSH hosts)
+    spawned: bool = True
+
+    @property
+    def idle(self) -> bool:
+        return not self.outstanding
+
+
+class NodeRegistry:
+    """Registered nodes, their liveness, and eviction deadlines."""
+
+    def __init__(
+        self,
+        heartbeat_s: float,
+        liveness_factor: float = 4.0,
+        clock: Clock = monotonic_clock,
+    ) -> None:
+        if heartbeat_s <= 0.0:
+            raise ValueError("heartbeat interval must be positive")
+        if liveness_factor < 1.0:
+            raise ValueError("liveness factor must be >= 1")
+        self.heartbeat_s = heartbeat_s
+        self.deadline_s = heartbeat_s * liveness_factor
+        self._clock = clock
+        self.nodes: Dict[str, NodeState] = {}
+        #: nodes evicted or departed, kept for the run report
+        self.departed: Dict[str, str] = {}
+
+    # -- membership --------------------------------------------------------
+
+    def register(
+        self,
+        node_id: str,
+        conn: socket.socket,
+        pid: int = 0,
+        spawned: bool = True,
+    ) -> NodeState:
+        """Admit a node; re-registration of a live id is a failure."""
+        if node_id in self.nodes:
+            raise ValueError(f"node id {node_id!r} already registered")
+        now = self._clock()
+        state = NodeState(
+            node_id=node_id,
+            conn=conn,
+            pid=pid,
+            registered_at=now,
+            last_heard=now,
+            spawned=spawned,
+        )
+        self.nodes[node_id] = state
+        return state
+
+    def evict(self, node_id: str, reason: str) -> Optional[NodeState]:
+        """Remove a node (death, eviction, shutdown); returns its final
+        state so the coordinator can requeue its outstanding work."""
+        state = self.nodes.pop(node_id, None)
+        if state is not None:
+            self.departed[node_id] = reason
+        return state
+
+    # -- liveness ----------------------------------------------------------
+
+    def heard_from(self, node_id: str) -> bool:
+        """Record proof of life (heartbeat or delivered result)."""
+        state = self.nodes.get(node_id)
+        if state is None:
+            return False
+        state.last_heard = self._clock()
+        return True
+
+    def expired(self) -> List[NodeState]:
+        """Nodes past their liveness deadline, sorted by id.
+
+        The caller decides what eviction means (close the socket,
+        requeue work); the registry only judges the deadline.
+        """
+        now = self._clock()
+        return [
+            state
+            for state in self.sorted_nodes()
+            if now - state.last_heard > self.deadline_s
+        ]
+
+    # -- ordered views (never iterate ``.nodes`` raw: DT007) ---------------
+
+    def sorted_nodes(self) -> List[NodeState]:
+        """Every live node, sorted by node id."""
+        return [self.nodes[node_id] for node_id in sorted(self.nodes)]
+
+    def idle_nodes(self) -> List[NodeState]:
+        """Live nodes with no outstanding assignment, sorted by id."""
+        return [state for state in self.sorted_nodes() if state.idle]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self.nodes

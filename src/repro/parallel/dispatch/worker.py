@@ -1,0 +1,256 @@
+"""The worker node: connect, register, heartbeat, execute, repeat.
+
+A worker is one process that connects to a coordinator socket, speaks
+the :mod:`~repro.parallel.dispatch.protocol` frames, and executes
+shards exactly the way the local backend does -- through
+:func:`~repro.parallel.shard.execute_shard`, with application
+exceptions caught and shipped back as ``raised`` results so a bad
+shard never takes the node down.  The coordinator normally spawns
+workers as subprocesses on the same host, but nothing here assumes
+that: ``python -m repro.parallel.dispatch.worker --connect host:port``
+(or ``repro dispatch worker``) attaches any reachable machine as a
+node, which is the SSH-host generalization path.
+
+Heartbeats run on a daemon thread at the interval the coordinator's
+``welcome`` frame dictates; the socket is shared between the heartbeat
+thread and the main loop, so every send holds a lock (frames must
+never interleave mid-write).
+
+**Chaos hooks.**  The kill tests and the ``dispatch-chaos`` CI job
+need workers that die at *seeded, reproducible* points.  ``--chaos``
+takes a comma-separated spec; each key fires once, at the Nth event of
+its kind, and kills the process with ``os._exit`` (no cleanup, no
+goodbye -- exactly what a kernel OOM-kill or a yanked cable looks like
+to the coordinator):
+
+- ``die-before-result:N``  execute the Nth assigned shard, then die
+  without sending the result (work lost mid-shard);
+- ``die-mid-upload:N``     die halfway through sending the Nth result
+  frame (tests the truncated-frame path);
+- ``die-after-results:N``  die right after successfully sending the
+  Nth result (the coordinator has the value; the node just vanishes);
+- ``die-at-heartbeat:N``   die instead of sending the Nth heartbeat;
+- ``freeze-at-heartbeat:N``  stop heartbeating (but keep the socket
+  open and keep working) from the Nth beat on -- the deadline-eviction
+  path, not the dead-socket path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.parallel.dispatch.protocol import (
+    ProtocolError,
+    encode_payload,
+    decode_payload,
+    pack_frame,
+    recv_frame,
+    send_frame,
+)
+from repro.parallel.shard import Shard, execute_shard
+
+#: exit codes for chaos deaths (distinct so tests can tell them apart)
+CHAOS_EXIT = 23
+
+
+@dataclass
+class WorkerChaos:
+    """Parsed ``--chaos`` spec; 0 means "never fire"."""
+
+    die_before_result: int = 0
+    die_mid_upload: int = 0
+    die_after_results: int = 0
+    die_at_heartbeat: int = 0
+    freeze_at_heartbeat: int = 0
+
+
+def parse_chaos(spec: str) -> WorkerChaos:
+    """Parse ``key:N[,key:N...]`` into a :class:`WorkerChaos`."""
+    chaos = WorkerChaos()
+    if not spec:
+        return chaos
+    keys = {
+        "die-before-result": "die_before_result",
+        "die-mid-upload": "die_mid_upload",
+        "die-after-results": "die_after_results",
+        "die-at-heartbeat": "die_at_heartbeat",
+        "freeze-at-heartbeat": "freeze_at_heartbeat",
+    }
+    for part in spec.split(","):
+        key, sep, count = part.partition(":")
+        if not sep or key not in keys:
+            raise ValueError(f"bad chaos spec {part!r}")
+        setattr(chaos, keys[key], int(count))
+    return chaos
+
+
+class Worker:
+    """One worker node's lifetime on an established connection."""
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        node_id: str,
+        chaos: Optional[WorkerChaos] = None,
+    ) -> None:
+        self.sock = sock
+        self.node_id = node_id
+        self.chaos = chaos or WorkerChaos()
+        self._send_lock = threading.Lock()
+        self._results_sent = 0
+        self._beats_sent = 0
+        self._stop = threading.Event()
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _send(self, message: Dict[str, Any]) -> None:
+        with self._send_lock:
+            send_frame(self.sock, message)
+
+    def _die(self) -> None:
+        """A chaos death: no cleanup, no goodbye, no flush."""
+        os._exit(CHAOS_EXIT)
+
+    # -- heartbeats --------------------------------------------------------
+
+    def _heartbeat_loop(self, interval_s: float) -> None:
+        while not self._stop.wait(interval_s):
+            self._beats_sent += 1
+            if self.chaos.die_at_heartbeat == self._beats_sent:
+                self._die()
+            if (
+                self.chaos.freeze_at_heartbeat
+                and self._beats_sent >= self.chaos.freeze_at_heartbeat
+            ):
+                continue  # silent: the eviction deadline must fire
+            try:
+                self._send({"type": "heartbeat", "node": self.node_id})
+            except OSError:
+                return  # coordinator is gone; main loop will notice
+
+    # -- the main loop -----------------------------------------------------
+
+    def _send_result(self, message: Dict[str, Any]) -> None:
+        if self.chaos.die_mid_upload == self._results_sent + 1:
+            # ship only half the frame, then die: the coordinator must
+            # treat the truncated frame as node death, not as a result
+            blob = pack_frame(message)
+            with self._send_lock:
+                self.sock.sendall(blob[: max(1, len(blob) // 2)])
+            self._die()
+        self._send(message)
+        self._results_sent += 1
+        if self.chaos.die_after_results == self._results_sent:
+            self._die()
+
+    def _execute(self, message: Dict[str, Any]) -> None:
+        shard = Shard(
+            index=int(message["index"]),
+            key=str(message["key"]),
+            fn=str(message["fn"]),
+            params=decode_payload(str(message["payload"])),
+        )
+        try:
+            value = execute_shard(shard)
+        except Exception as exc:
+            self._send_result(
+                {
+                    "type": "result",
+                    "seq": message["seq"],
+                    "index": shard.index,
+                    "status": "raised",
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+            )
+            return
+        if self.chaos.die_before_result == self._results_sent + 1:
+            self._die()
+        self._send_result(
+            {
+                "type": "result",
+                "seq": message["seq"],
+                "index": shard.index,
+                "status": "ok",
+                "payload": encode_payload(value),
+            }
+        )
+
+    def run(self) -> int:
+        """Register, then serve assignments until shutdown/EOF."""
+        self._send(
+            {"type": "register", "node": self.node_id, "pid": os.getpid()}
+        )
+        welcome = recv_frame(self.sock)
+        if welcome is None or welcome.get("type") != "welcome":
+            return 1
+        beat = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(float(welcome["heartbeat_s"]),),
+            daemon=True,
+        )
+        beat.start()
+        try:
+            while True:
+                try:
+                    message = recv_frame(self.sock)
+                except (ProtocolError, OSError):
+                    return 1
+                if message is None or message["type"] == "shutdown":
+                    return 0
+                if message["type"] == "assign":
+                    self._execute(message)
+        finally:
+            self._stop.set()
+
+
+def run_worker(
+    host: str, port: int, node_id: str, chaos: Optional[WorkerChaos] = None
+) -> int:
+    """Connect to a coordinator and serve until it shuts us down."""
+    sock = socket.create_connection((host, port))
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return Worker(sock, node_id, chaos).run()
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-dispatch-worker",
+        description="attach this process to a dispatch coordinator "
+        "as a worker node (docs/PARALLEL.md)",
+    )
+    parser.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="coordinator address, e.g. 127.0.0.1:49200",
+    )
+    parser.add_argument(
+        "--node-id", default=f"worker-{os.getpid()}",
+        help="node id to register as (default: worker-<pid>)",
+    )
+    parser.add_argument(
+        "--chaos", default="",
+        help="testing only: seeded kill points, e.g. "
+        "'die-after-results:1' (see module docs)",
+    )
+    args = parser.parse_args(argv)
+    host, sep, port_text = args.connect.rpartition(":")
+    if not sep or not host:
+        parser.error(f"--connect must be HOST:PORT, got {args.connect!r}")
+    return run_worker(
+        host, int(port_text), args.node_id, parse_chaos(args.chaos)
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

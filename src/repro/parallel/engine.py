@@ -1,45 +1,86 @@
-"""The process-pool execution engine with a deterministic merge.
+"""The shard execution engine with a deterministic merge.
 
 ``run_shards`` executes a list of :class:`~repro.parallel.shard.Shard`
-cells either inline (``jobs=1``) or on a process pool (``jobs>1``) and
-returns one :class:`~repro.parallel.shard.ShardOutcome` per shard,
-**sorted by shard index** -- never by completion order -- so the caller
-sees exactly what a serial loop would have produced.
+cells and returns one :class:`~repro.parallel.shard.ShardOutcome` per
+shard, **sorted by shard index** -- never by completion order -- so the
+caller sees exactly what a serial loop would have produced.  Three
+execution paths share that contract:
+
+- ``backend="local", jobs=1`` -- inline, in index order;
+- ``backend="local", jobs>1`` -- a process pool on this host;
+- ``backend="cluster"``      -- the fault-tolerant dispatch layer
+  (:mod:`repro.parallel.dispatch`): socket worker nodes with heartbeat
+  liveness, per-shard retry with decorrelated-jitter backoff,
+  work-stealing from slow nodes, and graceful degradation back to the
+  local pool when no workers register or the cluster dies mid-run.
+
+Orthogonally, ``cache=`` plugs in a content-addressed result cache
+(:class:`~repro.parallel.dispatch.cache.ResultCache`): shards whose
+fingerprint (callable path, canonical params, code version) already has
+a stored result are *not executed at all* -- their outcomes come back
+``cached=True`` with ``attempts == 0`` -- and fresh ok results are
+persisted, which is what makes a killed campaign resumable.
 
 Failure semantics (see ``docs/PARALLEL.md``):
 
 - a shard that raises inside the worker is reported back as a value
   (the worker wrapper catches it), so an exception never poisons the
-  pool; the shard is retried up to ``retries`` more times;
+  pool; the shard is retried up to ``retries`` more times, and every
+  failed attempt's error is kept in ``ShardOutcome.history`` so crash
+  reports are auditable;
 - a worker *process* that dies (killed, segfaulted, ``os._exit``)
   breaks the pool; the engine rebuilds the pool and re-runs every shard
   whose result had not been collected, charging each an attempt --
   the pool cannot say which shard killed it, so the charge is
-  conservative (documented in ``docs/PARALLEL.md``);
+  conservative (the cluster backend *can* attribute deaths, and charges
+  only the dead node's own shards);
 - shards still failing after their retry budget become ``failed``
   outcomes; with ``partial=False`` (the default) the run then raises
   :class:`~repro.parallel.shard.ShardError` listing them, with
   ``partial=True`` the failed outcomes are returned alongside the good
-  ones so the caller can report exactly which cells were lost.
+  ones so the caller can report exactly which cells were lost;
+- a ``progress`` callback that raises is *isolated*: the exception is
+  logged once and swallowed, because a bad observer must never abort
+  or skew a campaign.
 
 Hung shards are the job of the *shards themselves*: simulation cells
 run under the existing :class:`~repro.sim.driver.Watchdog` step
 budgets, which turn a livelock into a typed diagnostic deterministically
 (the same number of simulated events every run) -- a wall-clock kill
 here would make results depend on host timing, which the determinism
-lint (DT003) exists to prevent.
+lint (DT003) exists to prevent.  (The *cluster* backend does use wall
+time, but only to judge node health -- never to decide results.)
 """
 
 from __future__ import annotations
 
+import logging
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.parallel.shard import Shard, ShardError, ShardOutcome, execute_shard
 
+if TYPE_CHECKING:
+    from repro.parallel.dispatch.cache import ResultCache
+    from repro.parallel.dispatch.coordinator import ClusterConfig
+
+logger = logging.getLogger("repro.parallel")
+
 #: progress callback: (finished outcome, shards finished, shards total)
 ProgressFn = Callable[[ShardOutcome, int, int], None]
+
+#: the pluggable dispatch backends ``run_shards`` accepts
+BACKENDS = ("local", "cluster")
 
 #: worker payload statuses (in-worker exceptions travel as values so an
 #: application error never breaks the pool)
@@ -73,7 +114,13 @@ def _check_shards(shards: Sequence[Shard]) -> List[Shard]:
 
 
 class _Run:
-    """Mutable bookkeeping for one ``run_shards`` invocation."""
+    """Mutable bookkeeping for one ``run_shards`` invocation.
+
+    Doubles as the sink the cluster coordinator drives (see the
+    ``_RunSink`` protocol in ``repro.parallel.dispatch.coordinator``),
+    so attempt accounting and progress reporting are identical across
+    backends.
+    """
 
     def __init__(
         self,
@@ -87,7 +134,9 @@ class _Run:
         self.outcomes: Dict[int, ShardOutcome] = {}
         self.attempts: Dict[int, int] = {}
         self.crashes: Dict[int, int] = {}
+        self.errors: Dict[int, List[str]] = {}
         self.finished = 0
+        self._progress_fault_logged = False
 
     def charge(self, shard: Shard, crashed: bool = False) -> int:
         """Record one attempt (and optionally one crash); returns the
@@ -100,19 +149,63 @@ class _Run:
     def exhausted(self, shard: Shard) -> bool:
         return self.attempts.get(shard.index, 0) > self.retries
 
-    def finalize(self, shard: Shard, status: str, value: Any, error: str) -> None:
+    def record_error(self, shard: Shard, message: str) -> None:
+        """Append one failed attempt's error to the shard's audit
+        trail (``ShardOutcome.history``)."""
+        self.errors.setdefault(shard.index, []).append(message)
+
+    def is_finalized(self, shard: Shard) -> bool:
+        return shard.index in self.outcomes
+
+    def _report(self, outcome: ShardOutcome) -> None:
+        """Invoke the progress callback with faults isolated.
+
+        A bad observer must never abort or skew a run: the first
+        exception is logged (once per run), every exception is
+        swallowed, and the callback keeps being invoked so a transient
+        fault does not silence all later progress.
+        """
+        if self.progress is None:
+            return
+        try:
+            self.progress(outcome, self.finished, self.total)
+        except Exception:
+            if not self._progress_fault_logged:
+                self._progress_fault_logged = True
+                logger.exception(
+                    "progress callback raised on %s; callback errors "
+                    "are isolated from the run (reported once)",
+                    outcome.shard.key,
+                )
+
+    def finalize(
+        self,
+        shard: Shard,
+        status: str,
+        value: Any,
+        error: str,
+        node: str = "",
+        cached: bool = False,
+    ) -> None:
         outcome = ShardOutcome(
             shard=shard,
             status=status,
             value=value,
             error=error,
-            attempts=self.attempts.get(shard.index, 1),
+            attempts=self.attempts.get(shard.index, 1 if not cached else 0),
             worker_crashes=self.crashes.get(shard.index, 0),
+            history=tuple(self.errors.get(shard.index, ())),
+            node=node,
+            cached=cached,
         )
         self.outcomes[shard.index] = outcome
         self.finished += 1
-        if self.progress is not None:
-            self.progress(outcome, self.finished, self.total)
+        self._report(outcome)
+
+    def finalize_cached(self, shard: Shard, value: Any) -> None:
+        """Settle a shard from the result cache: zero executions."""
+        self.attempts[shard.index] = 0
+        self.finalize(shard, "ok", value, "", node="cache", cached=True)
 
 
 def _run_serial(ordered: Sequence[Shard], run: _Run) -> None:
@@ -121,10 +214,12 @@ def _run_serial(ordered: Sequence[Shard], run: _Run) -> None:
             run.charge(shard)
             status, payload = _worker(shard)
             if status == _OK:
-                run.finalize(shard, "ok", payload, "")
+                run.finalize(shard, "ok", payload, "", node="local")
                 break
+            run.record_error(shard, str(payload))
             if run.exhausted(shard):
-                run.finalize(shard, "failed", None, str(payload))
+                run.finalize(shard, "failed", None, str(payload),
+                             node="local")
                 break
 
 
@@ -148,24 +243,36 @@ def _run_pool(ordered: Sequence[Shard], jobs: int, run: _Run) -> None:
                     run.crashes[shard.index] = (
                         run.crashes.get(shard.index, 0) + 1
                     )
+                    run.record_error(shard, "worker process died")
                     if run.exhausted(shard):
                         run.finalize(
                             shard, "failed", None,
                             "worker process died (after "
                             f"{run.attempts[shard.index]} attempt(s))",
+                            node="local",
                         )
                     else:
                         retry.append(shard)
                     continue
                 if status == _OK:
-                    run.finalize(shard, "ok", payload, "")
-                elif run.exhausted(shard):
-                    run.finalize(shard, "failed", None, str(payload))
+                    run.finalize(shard, "ok", payload, "", node="local")
+                    continue
+                run.record_error(shard, str(payload))
+                if run.exhausted(shard):
+                    run.finalize(shard, "failed", None, str(payload),
+                                 node="local")
                 else:
                     retry.append(shard)
         finally:
             executor.shutdown(wait=True)
         pending = retry
+
+
+def _run_local(to_run: Sequence[Shard], jobs: int, run: _Run) -> None:
+    if jobs == 1 or len(to_run) <= 1:
+        _run_serial(to_run, run)
+    else:
+        _run_pool(to_run, jobs, run)
 
 
 def run_shards(
@@ -175,6 +282,9 @@ def run_shards(
     retries: int = 1,
     partial: bool = False,
     progress: Optional[ProgressFn] = None,
+    backend: str = "local",
+    cache: Optional["ResultCache"] = None,
+    cluster: Optional["ClusterConfig"] = None,
 ) -> List[ShardOutcome]:
     """Execute every shard; returns outcomes sorted by shard index.
 
@@ -185,23 +295,68 @@ def run_shards(
     shard still failed after its retries raises :class:`ShardError`;
     with ``partial=True`` failures come back as outcomes with
     ``status == "failed"`` and ``value is None``.
+
+    ``backend="cluster"`` dispatches to worker nodes through
+    :mod:`repro.parallel.dispatch` (``jobs`` then sizes the spawned
+    worker fleet unless ``cluster.workers`` overrides it); if the
+    cluster cannot finish the batch -- no worker ever registered, or
+    every node died -- the leftovers run on the local pool, so the call
+    still returns a complete merge.
+
+    ``cache`` short-circuits shards whose content address already has a
+    stored result (``cached=True``, ``attempts == 0`` outcomes) and
+    persists fresh ok results; it composes with either backend.
     """
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
     if retries < 0:
         raise ValueError("retries must be non-negative")
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r} (choose from {', '.join(BACKENDS)})"
+        )
     ordered = _check_shards(shards)
     run = _Run(total=len(ordered), retries=retries, progress=progress)
-    if jobs == 1 or len(ordered) <= 1:
-        _run_serial(ordered, run)
-    else:
-        _run_pool(ordered, jobs, run)
+
+    to_run: Sequence[Shard] = ordered
+    if cache is not None:
+        uncached: List[Shard] = []
+        for shard in ordered:
+            hit, value = cache.lookup(shard)
+            if hit:
+                run.finalize_cached(shard, value)
+            else:
+                uncached.append(shard)
+        to_run = uncached
+
+    if to_run:
+        if backend == "cluster":
+            from repro.parallel.dispatch.coordinator import run_cluster
+
+            leftovers = run_cluster(to_run, run, jobs=jobs, config=cluster)
+            if leftovers:
+                # graceful degradation: whatever the cluster could not
+                # place finishes on this host's pool
+                _run_local(leftovers, jobs, run)
+        else:
+            _run_local(to_run, jobs, run)
+        if cache is not None:
+            for shard in to_run:
+                done = run.outcomes[shard.index]
+                if done.ok:
+                    cache.store(shard, done.value)
+
     outcomes = [run.outcomes[shard.index] for shard in ordered]
     if not partial:
         failed = [o for o in outcomes if not o.ok]
         if failed:
             detail = "; ".join(
-                f"{o.shard.key}: {o.error}" for o in failed[:5]
+                f"{o.shard.key}: {o.error} "
+                f"(attempt {o.attempts}"
+                + (f"; earlier: {'; '.join(o.history[:-1])}"
+                   if len(o.history) > 1 else "")
+                + ")"
+                for o in failed[:5]
             )
             raise ShardError(
                 f"{len(failed)}/{len(outcomes)} shard(s) failed: {detail}",

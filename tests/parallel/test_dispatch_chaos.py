@@ -1,0 +1,192 @@
+"""Kill workers at seeded points; the merge must never notice.
+
+Each test gives one spawned worker a ``--chaos`` spec (see
+``repro.parallel.dispatch.worker``) that kills it with ``os._exit`` at a
+reproducible point -- mid-shard, mid-upload, mid-heartbeat -- and then
+asserts the run's merged outcomes are bit-identical to a serial run,
+with the crash visible only in the audit fields (``worker_crashes``,
+``history``).
+"""
+
+import pytest
+
+from repro.parallel import (
+    ClusterConfig,
+    ResultCache,
+    Shard,
+    merged_values,
+    run_shards,
+)
+from repro.parallel.dispatch.worker import WorkerChaos, parse_chaos
+
+SQUARE = "tests.parallel.workers:square"
+COUNT = "tests.parallel.workers:count_calls"
+SLEEPER = "tests.parallel.workers:sleep_then_value"
+
+
+def chaos_config(worker_chaos, **overrides):
+    defaults = dict(
+        heartbeat_s=0.1,
+        liveness_factor=6.0,
+        register_timeout_s=15.0,
+        backoff_base_s=0.01,
+        backoff_cap_s=0.05,
+        tick_s=0.02,
+        max_respawns=4,
+        worker_chaos=worker_chaos,
+    )
+    defaults.update(overrides)
+    return ClusterConfig(**defaults)
+
+
+def squares(n):
+    return [
+        Shard(index=i, key=f"sq/{i}", fn=SQUARE, params={"x": i})
+        for i in range(n)
+    ]
+
+
+class TestChaosSpecParsing:
+    def test_parses_every_kill_point(self):
+        chaos = parse_chaos(
+            "die-before-result:2,die-mid-upload:1,die-after-results:3,"
+            "die-at-heartbeat:4,freeze-at-heartbeat:5"
+        )
+        assert chaos == WorkerChaos(
+            die_before_result=2,
+            die_mid_upload=1,
+            die_after_results=3,
+            die_at_heartbeat=4,
+            freeze_at_heartbeat=5,
+        )
+
+    def test_empty_spec_never_fires(self):
+        assert parse_chaos("") == WorkerChaos()
+
+    @pytest.mark.parametrize("spec", ["die", "die-before-result", "nope:1"])
+    def test_malformed_spec_rejected(self, spec):
+        with pytest.raises(ValueError):
+            parse_chaos(spec)
+
+
+class TestKilledWorkers:
+    """One worker dies mid-run; values stay bit-identical to serial."""
+
+    def _run_with(self, chaos_spec, n=6):
+        # a single worker (plus the respawn budget) pins the chaos
+        # point: node0 *must* take the first shard, so the kill always
+        # fires instead of racing a sibling that drains the batch first
+        serial = run_shards(squares(n))
+        chaotic = run_shards(
+            squares(n), jobs=2, backend="cluster",
+            cluster=chaos_config({"node0": chaos_spec}, workers=1),
+        )
+        assert merged_values(chaotic) == merged_values(serial)
+        assert [o.status for o in chaotic] == ["ok"] * n
+        return chaotic
+
+    def test_die_mid_shard_before_the_result(self):
+        outcomes = self._run_with("die-before-result:1")
+        crashed = [o for o in outcomes if o.worker_crashes]
+        assert crashed, "the kill must surface in the audit trail"
+        assert any(
+            "node0 died" in entry for o in crashed for entry in o.history
+        )
+
+    def test_die_mid_result_upload(self):
+        # half a frame on the wire: the coordinator must treat the
+        # truncated frame as node death, never parse it as a result
+        outcomes = self._run_with("die-mid-upload:1")
+        crashed = [o for o in outcomes if o.worker_crashes]
+        assert crashed
+        assert all(o.attempts >= 1 for o in outcomes)
+
+    def test_die_after_delivering_a_result(self):
+        # the value arrived; only the node's *later* shards reassign
+        outcomes = self._run_with("die-after-results:1")
+        delivered = [o for o in outcomes if o.node == "node0"]
+        assert len(delivered) == 1
+        assert delivered[0].worker_crashes == 0
+
+    def test_die_at_heartbeat(self):
+        self._run_with("die-at-heartbeat:1")
+
+    def test_chaos_kill_shorthand_matches_explicit_spec(self):
+        serial = run_shards(squares(6))
+        killed = run_shards(
+            squares(6), jobs=2, backend="cluster",
+            cluster=chaos_config({}, chaos_kill=1),
+        )
+        assert merged_values(killed) == merged_values(serial)
+
+
+class TestFrozenWorker:
+    def test_silent_node_is_evicted_and_its_shard_reassigned(self):
+        # node0 stops heartbeating immediately but keeps chewing a long
+        # shard; the deadline must evict it and reassign, not wait
+        shards = [
+            Shard(index=0, key="slow", fn=SLEEPER,
+                  params={"seconds": 1.0, "value": 42})
+        ] + squares(3)[1:]
+        outcomes = run_shards(
+            shards, jobs=2, backend="cluster",
+            cluster=chaos_config(
+                {"node0": "freeze-at-heartbeat:1"},
+                workers=1,  # node0 must take the slow shard
+                liveness_factor=3.0,  # 0.3s deadline
+                shard_timeout_s=60.0,
+            ),
+        )
+        assert outcomes[0].ok and outcomes[0].value == 42
+        assert outcomes[0].worker_crashes >= 1
+        assert any(
+            "missed heartbeat deadline" in entry
+            for entry in outcomes[0].history
+        )
+
+
+class TestChaosWithCache:
+    def test_warm_rerun_after_a_chaotic_campaign_executes_zero_cells(
+        self, tmp_path
+    ):
+        counter = tmp_path / "executions"
+        shards = [
+            Shard(index=i, key=f"c/{i}", fn=COUNT,
+                  params={"counter": str(counter), "value": i})
+            for i in range(6)
+        ]
+        cold = run_shards(
+            shards, jobs=2, backend="cluster",
+            cluster=chaos_config({"node0": "die-before-result:1"}),
+            cache=ResultCache(str(tmp_path / "cache"), version="v"),
+        )
+        executed_cold = len(counter.read_text())
+        assert executed_cold >= 6  # the killed attempt may add one
+        warm = run_shards(
+            shards, jobs=2, backend="cluster",
+            cluster=chaos_config({}),
+            cache=ResultCache(str(tmp_path / "cache"), version="v"),
+        )
+        assert len(counter.read_text()) == executed_cold  # zero new runs
+        assert all(o.cached and o.attempts == 0 for o in warm)
+        assert merged_values(warm) == merged_values(cold)
+
+
+class TestChaoticCampaignParity:
+    def test_fault_campaign_rows_survive_a_worker_kill(self):
+        from repro.faults import format_campaign, run_campaign
+
+        kwargs = dict(
+            scale="smoke",
+            workload_names=["randomwalk", "tasks"],
+            policies=("fcfs",),
+            fault_classes=["counter_noise", "thread_crash"],
+            seed=0,
+        )
+        serial = run_campaign(**kwargs)
+        chaotic = run_campaign(
+            jobs=2, backend="cluster",
+            cluster=chaos_config({"node0": "die-before-result:1"}),
+            **kwargs,
+        )
+        assert format_campaign(chaotic) == format_campaign(serial)

@@ -1,0 +1,190 @@
+"""The cluster backend end to end: parity, retries, degradation.
+
+These tests spawn real worker subprocesses speaking the socket protocol,
+so the timing constants are tightened to keep each run under a couple of
+seconds; the merged outcomes must still be bit-identical to serial.
+"""
+
+import pytest
+
+from repro.parallel import (
+    ClusterConfig,
+    Shard,
+    merged_values,
+    run_shards,
+)
+
+SQUARE = "tests.parallel.workers:square"
+RAISE_ONCE = "tests.parallel.workers:raise_once"
+ALWAYS_RAISE = "tests.parallel.workers:always_raise"
+SLEEPER = "tests.parallel.workers:sleep_then_value"
+
+
+def fast_config(**overrides):
+    """Test-speed cluster timing (same semantics, smaller constants)."""
+    defaults = dict(
+        heartbeat_s=0.1,
+        liveness_factor=6.0,
+        register_timeout_s=15.0,
+        backoff_base_s=0.01,
+        backoff_cap_s=0.05,
+        tick_s=0.02,
+    )
+    defaults.update(overrides)
+    return ClusterConfig(**defaults)
+
+
+def squares(n):
+    return [
+        Shard(index=i, key=f"sq/{i}", fn=SQUARE, params={"x": i})
+        for i in range(n)
+    ]
+
+
+class TestClusterParity:
+    def test_merge_is_bit_identical_to_serial(self):
+        serial = run_shards(squares(6))
+        clustered = run_shards(
+            squares(6), jobs=2, backend="cluster", cluster=fast_config()
+        )
+        assert merged_values(clustered) == merged_values(serial)
+        assert [o.status for o in clustered] == [o.status for o in serial]
+        assert [o.shard.index for o in clustered] == list(range(6))
+
+    def test_outcomes_carry_the_executing_node_id(self):
+        outcomes = run_shards(
+            squares(4), jobs=2, backend="cluster", cluster=fast_config()
+        )
+        for o in outcomes:
+            assert o.node.startswith("node")
+            assert o.cached is False
+
+    def test_unknown_backend_is_rejected(self):
+        with pytest.raises(ValueError):
+            run_shards(squares(1), backend="mesh")
+
+
+class TestClusterRetries:
+    def test_raising_shard_is_retried_with_node_attribution(self, tmp_path):
+        shards = squares(2) + [
+            Shard(index=2, key="r", fn=RAISE_ONCE,
+                  params={"flag": str(tmp_path / "flag"), "value": 7})
+        ]
+        outcomes = run_shards(
+            shards, jobs=2, backend="cluster", cluster=fast_config()
+        )
+        retried = outcomes[2]
+        assert retried.ok and retried.value == 7
+        assert retried.attempts == 2
+        assert len(retried.history) == 1
+        # the audit entry names the node the failed attempt ran on
+        assert retried.history[0].startswith("[node")
+        assert "injected first-attempt failure" in retried.history[0]
+
+    def test_exhausted_shard_fails_cleanly_in_partial_mode(self):
+        shards = squares(2) + [
+            Shard(index=2, key="bad", fn=ALWAYS_RAISE)
+        ]
+        outcomes = run_shards(
+            shards, jobs=2, retries=1, partial=True,
+            backend="cluster", cluster=fast_config(),
+        )
+        assert [o.ok for o in outcomes] == [True, True, False]
+        bad = outcomes[2]
+        assert bad.attempts == 2
+        assert len(bad.history) == 2
+        assert merged_values(outcomes) == [0, 1]
+
+
+class TestGracefulDegradation:
+    def test_no_workers_ever_register_falls_back_to_local(self):
+        # workers=0 and nothing external: the coordinator must hand the
+        # whole batch back immediately, not wait out a timeout
+        outcomes = run_shards(
+            squares(4), jobs=2, backend="cluster",
+            cluster=fast_config(workers=0, register_timeout_s=30.0),
+        )
+        assert merged_values(outcomes) == [0, 1, 4, 9]
+        assert all(o.node == "local" for o in outcomes)
+
+    def test_degraded_run_still_honours_retries(self, tmp_path):
+        shards = [
+            Shard(index=0, key="r", fn=RAISE_ONCE,
+                  params={"flag": str(tmp_path / "flag"), "value": 5})
+        ]
+        outcomes = run_shards(
+            shards, backend="cluster",
+            cluster=fast_config(workers=0),
+        )
+        assert outcomes[0].ok and outcomes[0].attempts == 2
+
+
+class TestExternalWorkers:
+    def test_worker_cli_attaches_to_an_explicit_port(self):
+        # workers=0 + an explicit port is the external-attach mode: the
+        # coordinator must wait out register_timeout_s for dial-ins
+        # instead of degrading on the first tick (it may only bail
+        # immediately when the port is ephemeral -- nobody can know it)
+        import socket
+        import subprocess
+        import sys
+        import threading
+
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+
+        box = {}
+
+        def coordinate():
+            box["outcomes"] = run_shards(
+                squares(4), jobs=2, backend="cluster",
+                cluster=fast_config(
+                    workers=0, port=port, register_timeout_s=30.0
+                ),
+            )
+
+        thread = threading.Thread(target=coordinate)
+        thread.start()
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.parallel.dispatch.worker",
+                "--connect", f"127.0.0.1:{port}",
+                "--node-id", "extern0",
+            ]
+        )
+        try:
+            thread.join(timeout=30.0)
+            assert not thread.is_alive(), "coordinator never finished"
+        finally:
+            proc.wait(timeout=10.0)
+        outcomes = box["outcomes"]
+        assert merged_values(outcomes) == [0, 1, 4, 9]
+        assert all(o.node == "extern0" for o in outcomes)
+
+
+class TestWorkStealing:
+    def test_slow_assignment_is_duplicated_onto_an_idle_node(self, caplog):
+        import logging
+
+        # shard 0 sleeps long enough to cross steal_after_s while the
+        # other node drains the quick shards and goes idle
+        shards = [
+            Shard(index=0, key="slow", fn=SLEEPER,
+                  params={"seconds": 1.2, "value": 99})
+        ] + [
+            Shard(index=i, key=f"sq/{i}", fn=SQUARE, params={"x": i})
+            for i in range(1, 4)
+        ]
+        with caplog.at_level(
+            logging.INFO, logger="repro.parallel.dispatch"
+        ):
+            outcomes = run_shards(
+                shards, jobs=2, backend="cluster",
+                cluster=fast_config(steal_after_s=0.3, max_duplicates=2),
+            )
+        assert merged_values(outcomes) == [99, 1, 4, 9]
+        assert any("stealing" in r.message for r in caplog.records)
+        # the first result wins; the discarded duplicate charges nothing
+        assert outcomes[0].attempts == 1

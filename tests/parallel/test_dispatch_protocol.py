@@ -1,0 +1,109 @@
+"""The dispatch wire format: frames, payloads, and failure modes."""
+
+import socket
+import struct
+
+import pytest
+
+from repro.parallel.dispatch.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_payload,
+    encode_payload,
+    pack_frame,
+    recv_frame,
+    send_frame,
+)
+
+
+@pytest.fixture
+def pair():
+    left, right = socket.socketpair()
+    yield left, right
+    for sock in (left, right):
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+class TestFrames:
+    def test_send_recv_roundtrip(self, pair):
+        left, right = pair
+        message = {"type": "assign", "seq": 7, "key": "faults/merge/lff"}
+        send_frame(left, message)
+        assert recv_frame(right) == message
+
+    def test_frames_do_not_bleed_into_each_other(self, pair):
+        left, right = pair
+        send_frame(left, {"type": "heartbeat", "node": "a"})
+        send_frame(left, {"type": "heartbeat", "node": "b"})
+        assert recv_frame(right)["node"] == "a"
+        assert recv_frame(right)["node"] == "b"
+
+    def test_clean_eof_between_frames_is_none(self, pair):
+        left, right = pair
+        send_frame(left, {"type": "shutdown"})
+        left.close()
+        assert recv_frame(right) == {"type": "shutdown"}
+        assert recv_frame(right) is None
+
+    def test_eof_mid_frame_is_protocol_error(self, pair):
+        left, right = pair
+        blob = pack_frame({"type": "result", "seq": 1, "payload": "x" * 64})
+        left.sendall(blob[: len(blob) // 2])
+        left.close()
+        with pytest.raises(ProtocolError):
+            recv_frame(right)
+
+    def test_eof_after_length_prefix_is_protocol_error(self, pair):
+        left, right = pair
+        left.sendall(struct.pack(">I", 10))
+        left.close()
+        with pytest.raises(ProtocolError):
+            recv_frame(right)
+
+    def test_corrupt_length_prefix_is_rejected_not_allocated(self, pair):
+        left, right = pair
+        left.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(ProtocolError):
+            recv_frame(right)
+
+    def test_non_json_body_is_protocol_error(self, pair):
+        left, right = pair
+        body = b"\xff\xfenot json"
+        left.sendall(struct.pack(">I", len(body)) + body)
+        with pytest.raises(ProtocolError):
+            recv_frame(right)
+
+    @pytest.mark.parametrize("body", [b"[1, 2]", b'"text"', b'{"seq": 1}'])
+    def test_envelope_must_be_object_with_type(self, pair, body):
+        left, right = pair
+        left.sendall(struct.pack(">I", len(body)) + body)
+        with pytest.raises(ProtocolError):
+            recv_frame(right)
+
+    def test_oversized_outbound_frame_is_refused(self):
+        with pytest.raises(ProtocolError):
+            pack_frame({"type": "x", "pad": "y" * (MAX_FRAME_BYTES + 1)})
+
+
+class TestPayloads:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            42,
+            {"nested": [1, 2, {"k": (3, 4)}]},
+            {"seed": 0, "config": frozenset({"a", "b"})},
+        ],
+    )
+    def test_roundtrip(self, value):
+        assert decode_payload(encode_payload(value)) == value
+
+    def test_payload_travels_inside_a_json_envelope(self, pair):
+        left, right = pair
+        params = {"x": 3, "weights": [0.5, 0.25]}
+        send_frame(left, {"type": "assign", "payload": encode_payload(params)})
+        message = recv_frame(right)
+        assert decode_payload(message["payload"]) == params

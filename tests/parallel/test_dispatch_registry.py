@@ -1,0 +1,153 @@
+"""Node registry liveness and the retry backoff, on a fake clock."""
+
+import pytest
+
+from repro.parallel.dispatch.backoff import DecorrelatedJitter
+from repro.parallel.dispatch.registry import NodeRegistry
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def _conn():
+    """Registry tests never touch the socket; any object will do."""
+    return object()
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def registry(clock):
+    # heartbeat 1s, deadline 4s
+    return NodeRegistry(heartbeat_s=1.0, liveness_factor=4.0, clock=clock)
+
+
+class TestMembership:
+    def test_register_and_contains(self, registry):
+        registry.register("node0", _conn(), pid=100)
+        assert "node0" in registry
+        assert len(registry) == 1
+
+    def test_duplicate_live_id_is_rejected(self, registry):
+        registry.register("node0", _conn())
+        with pytest.raises(ValueError):
+            registry.register("node0", _conn())
+
+    def test_evict_records_the_reason(self, registry):
+        registry.register("node0", _conn())
+        state = registry.evict("node0", "missed heartbeat deadline")
+        assert state is not None and state.node_id == "node0"
+        assert "node0" not in registry
+        assert registry.departed["node0"] == "missed heartbeat deadline"
+
+    def test_evicting_an_unknown_node_is_a_noop(self, registry):
+        assert registry.evict("ghost", "whatever") is None
+        assert "ghost" not in registry.departed
+
+    def test_id_can_reregister_after_eviction(self, registry):
+        registry.register("node0", _conn())
+        registry.evict("node0", "died")
+        registry.register("node0", _conn())
+        assert "node0" in registry
+
+    def test_bad_config_rejected(self, clock):
+        with pytest.raises(ValueError):
+            NodeRegistry(heartbeat_s=0.0, clock=clock)
+        with pytest.raises(ValueError):
+            NodeRegistry(heartbeat_s=1.0, liveness_factor=0.5, clock=clock)
+
+
+class TestLiveness:
+    def test_fresh_node_is_not_expired(self, registry, clock):
+        registry.register("node0", _conn())
+        clock.advance(3.9)
+        assert registry.expired() == []
+
+    def test_silent_node_expires_past_the_deadline(self, registry, clock):
+        registry.register("node0", _conn())
+        clock.advance(4.1)
+        assert [s.node_id for s in registry.expired()] == ["node0"]
+
+    def test_heartbeat_extends_the_deadline(self, registry, clock):
+        registry.register("node0", _conn())
+        clock.advance(3.0)
+        assert registry.heard_from("node0")
+        clock.advance(3.0)  # 6s after register, 3s after the beat
+        assert registry.expired() == []
+
+    def test_heard_from_unknown_node_is_false(self, registry):
+        assert not registry.heard_from("ghost")
+
+    def test_expired_is_sorted_by_id(self, registry, clock):
+        for node_id in ("b", "a", "c"):
+            registry.register(node_id, _conn())
+        clock.advance(10.0)
+        assert [s.node_id for s in registry.expired()] == ["a", "b", "c"]
+
+
+class TestOrderedViews:
+    def test_sorted_nodes_ignores_registration_order(self, registry):
+        for node_id in ("z", "m", "a"):
+            registry.register(node_id, _conn())
+        assert [s.node_id for s in registry.sorted_nodes()] == ["a", "m", "z"]
+
+    def test_idle_nodes_skips_busy_ones(self, registry):
+        for node_id in ("a", "b", "c"):
+            registry.register(node_id, _conn())
+        registry.nodes["b"].outstanding.append(17)
+        assert [s.node_id for s in registry.idle_nodes()] == ["a", "c"]
+        registry.nodes["b"].outstanding.clear()
+        assert [s.node_id for s in registry.idle_nodes()] == ["a", "b", "c"]
+
+
+class TestDecorrelatedJitter:
+    def test_delays_stay_within_base_and_cap(self):
+        backoff = DecorrelatedJitter(0.1, 2.0, seed=1)
+        delays = [backoff.next_delay(0) for _ in range(50)]
+        assert all(0.1 <= d <= 2.0 for d in delays)
+
+    def test_same_seed_reproduces_the_timeline(self):
+        a = DecorrelatedJitter(0.05, 1.0, seed=7)
+        b = DecorrelatedJitter(0.05, 1.0, seed=7)
+        assert [a.next_delay(3) for _ in range(10)] == [
+            b.next_delay(3) for _ in range(10)
+        ]
+
+    def test_delays_grow_toward_the_cap(self):
+        backoff = DecorrelatedJitter(0.1, 10.0, seed=0)
+        delays = [backoff.next_delay(0) for _ in range(40)]
+        # decorrelated jitter is noisy, but the tail must sit well above
+        # the first draw's ceiling
+        assert max(delays[10:]) > 3 * delays[0]
+
+    def test_reset_starts_the_shard_over(self):
+        backoff = DecorrelatedJitter(0.1, 10.0, seed=0)
+        for _ in range(10):
+            backoff.next_delay(5)
+        backoff.reset(5)
+        # after reset the next draw is from the initial [base, 3*base]
+        assert backoff.next_delay(5) <= 0.3
+
+    def test_shards_have_independent_state(self):
+        backoff = DecorrelatedJitter(0.1, 10.0, seed=0)
+        for _ in range(10):
+            backoff.next_delay(1)
+        # shard 2 never failed before: its first draw is an initial draw
+        assert backoff.next_delay(2) <= 0.3
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            DecorrelatedJitter(0.0, 1.0)
+        with pytest.raises(ValueError):
+            DecorrelatedJitter(1.0, 0.5)

@@ -173,3 +173,100 @@ class TestPool:
         )
         assert len(seen) == 5
         assert seen[-1] == (5, 5)
+
+
+class TestProgressIsolation:
+    """A bad progress observer must never abort or skew a run."""
+
+    def test_raising_callback_does_not_abort_the_run(self):
+        def bad_progress(outcome, done, total):
+            raise RuntimeError("observer bug")
+
+        outcomes = run_shards(squares(4), progress=bad_progress)
+        assert [o.ok for o in outcomes] == [True] * 4
+        assert merged_values(outcomes) == [0, 1, 4, 9]
+
+    def test_callback_fault_is_logged_once_but_still_invoked(self, caplog):
+        import logging
+
+        calls = []
+
+        def flaky_progress(outcome, done, total):
+            calls.append(done)
+            raise RuntimeError("observer bug")
+
+        with caplog.at_level(logging.ERROR, logger="repro.parallel"):
+            run_shards(squares(4), progress=flaky_progress)
+        # every shard still reached the callback ...
+        assert calls == [1, 2, 3, 4]
+        # ... but the fault was logged exactly once
+        faults = [
+            r for r in caplog.records if "progress callback" in r.message
+        ]
+        assert len(faults) == 1
+
+    def test_callback_fault_does_not_skew_outcomes(self, tmp_path):
+        # a raising observer alongside a retried shard: attempt counts
+        # and values match the observer-free run exactly
+        def shards():
+            return [
+                Shard(index=0, key="r", fn=RAISE_ONCE,
+                      params={"flag": str(tmp_path / "flag"), "value": 7})
+            ] + [
+                Shard(index=i, key=f"sq/{i}", fn=SQUARE, params={"x": i})
+                for i in range(1, 4)
+            ]
+
+        noisy = run_shards(
+            shards(), progress=lambda *a: (_ for _ in ()).throw(ValueError())
+        )
+        (tmp_path / "flag").unlink()
+        quiet = run_shards(shards())
+        assert [o.value for o in noisy] == [o.value for o in quiet]
+        assert [o.attempts for o in noisy] == [o.attempts for o in quiet]
+
+
+class TestAttemptAudit:
+    """Satellite 2: per-attempt history and provenance on outcomes."""
+
+    def test_clean_run_has_empty_history_and_local_node(self):
+        outcomes = run_shards(squares(2))
+        for o in outcomes:
+            assert o.history == ()
+            assert o.node == "local"
+            assert o.cached is False
+
+    def test_retried_shard_records_each_failed_attempt(self, tmp_path):
+        shard = Shard(index=0, key="r", fn=RAISE_ONCE,
+                      params={"flag": str(tmp_path / "flag"), "value": 3})
+        (outcome,) = run_shards([shard])
+        assert outcome.ok and outcome.attempts == 2
+        assert len(outcome.history) == 1
+        assert "injected first-attempt failure" in outcome.history[0]
+
+    def test_exhausted_shard_history_covers_every_attempt(self):
+        shard = Shard(index=0, key="bad", fn=ALWAYS_RAISE)
+        (outcome,) = run_shards([shard], retries=2, partial=True)
+        assert not outcome.ok
+        assert outcome.attempts == 3
+        assert len(outcome.history) == 3
+        assert all("boom" in entry for entry in outcome.history)
+
+    def test_pool_crash_appears_in_history(self, tmp_path):
+        shards = squares(3) + [
+            Shard(index=3, key="die", fn=DIE_ONCE,
+                  params={"flag": str(tmp_path / "flag"), "value": 9})
+        ]
+        outcomes = run_shards(shards, jobs=2)
+        assert outcomes[3].ok and outcomes[3].worker_crashes >= 1
+        assert any(
+            "worker process died" in entry for entry in outcomes[3].history
+        )
+
+    def test_shard_error_detail_includes_attempts_and_history(self):
+        shard = Shard(index=0, key="bad", fn=ALWAYS_RAISE)
+        with pytest.raises(ShardError) as excinfo:
+            run_shards([shard], retries=1)
+        text = str(excinfo.value)
+        assert "attempt 2" in text
+        assert "earlier:" in text
