@@ -38,6 +38,9 @@ a hand-written bad one.
 
 from __future__ import annotations
 
+import sys
+from dataclasses import dataclass
+from types import FrameType
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.analysis.diagnostics import Diagnostic
@@ -49,6 +52,92 @@ SPURIOUS_Q = 0.05
 #: minimum discriminating overlap (lines, and fraction of D(a)) for AN001
 MIN_SHARED_LINES = 2
 MIN_SHARED_FRACTION = 0.30
+
+#: module prefixes of the plumbing between a workload's ``at_share`` call
+#: and the recording wrapper; frames from these modules are skipped when
+#: attributing an annotation to its source call site
+_PLUMBING_MODULES = (
+    "repro.threads",
+    "repro.analysis",
+    "repro.inference",
+    "repro.faults",
+)
+
+
+def annotation_call_site() -> Optional[Tuple[str, int]]:
+    """(file, line) of the workload frame that issued the current
+    ``at_share``: the nearest caller outside the annotation plumbing."""
+    frame: Optional[FrameType] = sys._getframe(1)
+    while frame is not None:
+        module = frame.f_globals.get("__name__", "")
+        if not any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in _PLUMBING_MODULES
+        ):
+            return frame.f_code.co_filename, frame.f_lineno
+        frame = frame.f_back
+    return None
+
+
+@dataclass(frozen=True)
+class EdgeObservation:
+    """Everything the auditor knows about one ordered thread pair.
+
+    The raw material both :meth:`AnnotationAuditor.diagnose` and the
+    repair engine (:mod:`repro.analysis.repair`) work from: the observed
+    footprint overlap, whether the evidence rules say an edge is
+    *expected*, and what (if anything) the workload annotated.
+    """
+
+    src: int
+    dst: int
+    src_name: str
+    dst_name: str
+    #: full-footprint overlap in lines, |L(src) & L(dst)|
+    overlap: int
+    #: the paper's coefficient over full footprints, overlap / |L(src)|
+    q_expected: float
+    #: discriminating overlap + temporal evidence: an edge should exist
+    expected: bool
+    #: the workload's annotated q, or None for an unannotated pair
+    annotated_q: Optional[float]
+    #: q written by the online inference for the pair, or None
+    inferred_q: Optional[float]
+    #: best coefficient product over annotated paths src -> dst
+    path_product: float
+
+    @property
+    def covered(self) -> bool:
+        """An annotated chain already carries the locality signal."""
+        return self.path_product >= max(0.0, self.q_expected - WEIGHT_TOLERANCE)
+
+
+def best_path_product(
+    adjacency: Dict[int, List[Tuple[int, float]]],
+    src: int,
+    dst: int,
+    max_hops: int = 4,
+) -> float:
+    """Best coefficient product over weighted paths ``src -> dst``.
+
+    A missing direct edge is fine when a chain of annotations already
+    carries the locality signal (merge: leaf -> parent -> grandparent).
+    Shared by the auditor and the repair engine, which re-evaluates
+    coverage over a candidate *repaired* edge set.
+    """
+    best = 0.0
+    stack = [(src, 1.0, 0, frozenset([src]))]
+    while stack:
+        node, product, hops, seen = stack.pop()
+        if node == dst:
+            best = max(best, product)
+            continue
+        if hops >= max_hops:
+            continue
+        for nxt, q in adjacency.get(node, ()):
+            if nxt not in seen:
+                stack.append((nxt, product * q, hops + 1, seen | {nxt}))
+    return best
 
 
 class AnnotationAuditor:
@@ -68,6 +157,9 @@ class AnnotationAuditor:
         self.annotated: Dict[Tuple[int, int], float] = {}
         #: (src, dst) -> last q written by the online inference
         self.inferred: Dict[Tuple[int, int], float] = {}
+        #: (src, dst) -> (file, line) of the workload call that last
+        #: annotated the pair (repair localization raw material)
+        self.annotation_sites: Dict[Tuple[int, int], Tuple[str, int]] = {}
         self._in_inference = False
         inner_share = runtime.graph.share
 
@@ -75,11 +167,26 @@ class AnnotationAuditor:
             inner_share(src, dst, q)
             if self._in_inference:
                 self.inferred[(src, dst)] = q
-            else:
-                self.annotated[(src, dst)] = q
+                return
+            if q == 0.0:
+                # the complete-graph view: a zero coefficient removes the
+                # edge, so the pair reverts to unannotated
+                self.annotated.pop((src, dst), None)
+                self.annotation_sites.pop((src, dst), None)
+                return
+            self.annotated[(src, dst)] = q
+            site = annotation_call_site()
+            if site is not None:
+                self.annotation_sites[(src, dst)] = site
 
         runtime.graph.share = recording_share
         runtime.add_observer(self)
+
+    @property
+    def in_inference(self) -> bool:
+        """Whether the currently-executing graph write originates from the
+        online inference observer (set by :meth:`track_inference`)."""
+        return self._in_inference
 
     def track_inference(self, inference) -> None:
         """Tag graph writes made from inside the inference observer, so
@@ -123,34 +230,15 @@ class AnnotationAuditor:
         thread = self.runtime.threads.get(tid)
         return thread.name if thread is not None else f"tid-{tid}"
 
-    def _annotated_path_product(
-        self, src: int, dst: int, max_hops: int = 4
-    ) -> float:
-        """Best coefficient product over annotated paths src -> dst.
+    def observations(self) -> Dict[Tuple[int, int], EdgeObservation]:
+        """The observed-vs-annotated table :meth:`diagnose` renders from.
 
-        A missing direct edge is fine when a chain of annotations already
-        carries the locality signal (merge: leaf -> parent -> grandparent).
+        One :class:`EdgeObservation` per candidate ordered pair: every
+        pair with any discriminating-footprint overlap, plus every
+        annotated pair (so spurious/mis-weighted edges are judged too).
+        The repair engine consumes this table directly -- synthesis works
+        from observations, not from parsed diagnostic messages.
         """
-        best = 0.0
-        adjacency: Dict[int, List[Tuple[int, float]]] = {}
-        for (a, b), q in self.annotated.items():
-            if q > 0.0:
-                adjacency.setdefault(a, []).append((b, q))
-        stack = [(src, 1.0, 0, frozenset([src]))]
-        while stack:
-            node, product, hops, seen = stack.pop()
-            if node == dst:
-                best = max(best, product)
-                continue
-            if hops >= max_hops:
-                continue
-            for nxt, q in adjacency.get(node, ()):
-                if nxt not in seen:
-                    stack.append((nxt, product * q, hops + 1, seen | {nxt}))
-        return best
-
-    def diagnose(self, source: str, anchor: Optional[str] = None) -> List[Diagnostic]:
-        """Diff expected sharing against annotated edges."""
         touch_count: Dict[int, int] = {}
         for per_thread in self._touches.values():
             for line in per_thread:
@@ -179,7 +267,12 @@ class AnnotationAuditor:
                         pairs.add((a, b))
         pairs.update(self.annotated)
 
-        found: List[Diagnostic] = []
+        adjacency: Dict[int, List[Tuple[int, float]]] = {}
+        for (a, b), q in self.annotated.items():
+            if q > 0.0:
+                adjacency.setdefault(a, []).append((b, q))
+
+        table: Dict[Tuple[int, int], EdgeObservation] = {}
         for src, dst in sorted(pairs):
             if src not in full or dst not in full or not full[src]:
                 # an annotated thread that never touched memory: nothing
@@ -192,67 +285,127 @@ class AnnotationAuditor:
                 self._touches[dst][line][1] > self._touches[src][line][0]
                 for line in disc_overlap
             )
-            expected = (
+            expected = bool(
                 len(disc_overlap) >= MIN_SHARED_LINES
                 and disc[src]
                 and len(disc_overlap) / len(disc[src]) >= MIN_SHARED_FRACTION
                 and evidence
             )
-            q_annotated = self.annotated.get((src, dst))
-            names = f"{self._thread_name(src)} -> {self._thread_name(dst)}"
-            if q_annotated is None and expected:
-                via = self._annotated_path_product(src, dst)
-                if via >= max(0.0, q_expected - WEIGHT_TOLERANCE):
-                    continue  # an annotated chain already carries it
+            annotated_q = self.annotated.get((src, dst))
+            path_product = 0.0
+            if annotated_q is None and expected:
+                path_product = best_path_product(adjacency, src, dst)
+            table[(src, dst)] = EdgeObservation(
+                src=src,
+                dst=dst,
+                src_name=self._thread_name(src),
+                dst_name=self._thread_name(dst),
+                overlap=overlap,
+                q_expected=q_expected,
+                expected=expected,
+                annotated_q=annotated_q,
+                inferred_q=self.inferred.get((src, dst)),
+                path_product=path_product,
+            )
+        return table
+
+    @staticmethod
+    def an001_canonical(
+        table: Dict[Tuple[int, int], EdgeObservation]
+    ) -> Set[Tuple[int, int]]:
+        """The deduped missing-edge set: one canonical direction per
+        undirected overlap.
+
+        The auditor sees the same sharing from both ends, so a symmetric
+        overlap would report ``A -> B`` *and* ``B -> A``.  Keep the
+        direction with the higher observed q (the smaller footprint's
+        view); on a tie, the lexicographically smaller source name.
+        """
+        firing = {
+            key
+            for key, obs in table.items()
+            if obs.annotated_q is None and obs.expected and not obs.covered
+        }
+        keep: Set[Tuple[int, int]] = set()
+        for src, dst in sorted(firing):
+            if (dst, src) not in firing:
+                keep.add((src, dst))
+                continue
+            fwd, rev = table[(src, dst)], table[(dst, src)]
+            if fwd.q_expected > rev.q_expected:
+                keep.add((src, dst))
+            elif fwd.q_expected == rev.q_expected and (
+                fwd.src_name < fwd.dst_name
+            ):
+                keep.add((src, dst))
+        return keep
+
+    def diagnose(self, source: str, anchor: Optional[str] = None) -> List[Diagnostic]:
+        """Diff expected sharing against annotated edges."""
+        return [diag for _key, diag in self.diagnose_pairs(source, anchor)]
+
+    def diagnose_pairs(
+        self, source: str, anchor: Optional[str] = None
+    ) -> List[Tuple[Tuple[int, int], Diagnostic]]:
+        """:meth:`diagnose`, keyed by the (src, dst) pair each finding is
+        about -- the correlation the repair engine needs to tie a fix to
+        the fingerprints it claims to resolve."""
+        table = self.observations()
+        an001 = self.an001_canonical(table)
+        found: List[Tuple[Tuple[int, int], Diagnostic]] = []
+        for key in sorted(table):
+            obs = table[key]
+            names = f"{obs.src_name} -> {obs.dst_name}"
+            if obs.annotated_q is None and obs.expected:
+                if key not in an001:
+                    continue  # covered by an annotated chain, or the
+                    # non-canonical direction of a symmetric overlap
                 hint = (
                     "; online inference concurs"
-                    if (src, dst) in self.inferred
+                    if obs.inferred_q is not None
                     else ""
                 )
-                found.append(
-                    Diagnostic(
-                        code="AN001",
-                        message=(
-                            f"{names} share {overlap} line(s) "
-                            f"(q~{q_expected:.2f}) but no at_share edge or "
-                            f"annotated path covers the pair{hint}"
-                        ),
-                        anchor=anchor,
-                        source=source,
-                    )
+                diag = Diagnostic(
+                    code="AN001",
+                    message=(
+                        f"{names} share {obs.overlap} line(s) "
+                        f"(q~{obs.q_expected:.2f}) but no at_share edge or "
+                        f"annotated path covers the pair{hint}"
+                    ),
+                    anchor=anchor,
+                    source=source,
                 )
-            elif q_annotated is not None and q_expected < SPURIOUS_Q:
+                found.append((key, diag))
+            elif obs.annotated_q is not None and obs.q_expected < SPURIOUS_Q:
                 hint = (
                     "; online inference saw sharing"
-                    if (src, dst) in self.inferred
+                    if obs.inferred_q is not None
                     else ""
                 )
-                found.append(
-                    Diagnostic(
-                        code="AN002",
-                        message=(
-                            f"at_share({names}, q={q_annotated:.2f}) but the "
-                            f"threads share only {overlap} line(s) "
-                            f"(q~{q_expected:.2f}) in this run{hint}"
-                        ),
-                        anchor=anchor,
-                        source=source,
-                    )
+                diag = Diagnostic(
+                    code="AN002",
+                    message=(
+                        f"at_share({names}, q={obs.annotated_q:.2f}) but the "
+                        f"threads share only {obs.overlap} line(s) "
+                        f"(q~{obs.q_expected:.2f}) in this run{hint}"
+                    ),
+                    anchor=anchor,
+                    source=source,
                 )
+                found.append((key, diag))
             elif (
-                q_annotated is not None
-                and abs(q_annotated - q_expected) > WEIGHT_TOLERANCE
+                obs.annotated_q is not None
+                and abs(obs.annotated_q - obs.q_expected) > WEIGHT_TOLERANCE
             ):
-                found.append(
-                    Diagnostic(
-                        code="AN003",
-                        message=(
-                            f"at_share({names}, q={q_annotated:.2f}) vs "
-                            f"observed overlap q~{q_expected:.2f} "
-                            f"(off by {abs(q_annotated - q_expected):.2f})"
-                        ),
-                        anchor=anchor,
-                        source=source,
-                    )
+                diag = Diagnostic(
+                    code="AN003",
+                    message=(
+                        f"at_share({names}, q={obs.annotated_q:.2f}) vs "
+                        f"observed overlap q~{obs.q_expected:.2f} "
+                        f"(off by {abs(obs.annotated_q - obs.q_expected):.2f})"
+                    ),
+                    anchor=anchor,
+                    source=source,
                 )
+                found.append((key, diag))
         return found

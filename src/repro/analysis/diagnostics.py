@@ -157,6 +157,16 @@ class Report:
             d for d in self.diagnostics if d.fingerprint() not in self.baseline
         ]
 
+    def stale_fingerprints(self) -> List[str]:
+        """Baseline entries the current run no longer produces.
+
+        A stale entry means the underlying bug was fixed but the baseline
+        still accepts it -- the drift ``repro analyze --strict-baseline``
+        exists to catch (the CI job keeps the checked-in file exact).
+        """
+        produced = {d.fingerprint() for d in self.diagnostics}
+        return sorted(fp for fp in self.baseline if fp not in produced)
+
     def render(self) -> str:
         """The byte-stable report text."""
         self.finalize()
@@ -175,15 +185,33 @@ class Report:
         return "\n".join(lines)
 
 
-def write_baseline(path: str, report: Report) -> None:
-    """Persist every current finding as accepted."""
+#: marker introducing a structured waiver on a baseline line
+WAIVE_MARKER = "# waive:"
+
+
+def write_baseline(
+    path: str, report: Report, waivers: Optional[Dict[str, str]] = None
+) -> None:
+    """Persist every current finding as accepted.
+
+    ``waivers`` maps fingerprints to justifications; a waived finding's
+    line carries the reason as a structured ``# waive: <reason>`` suffix
+    so an accepted finding is distinguishable from a merely-unsorted one.
+    """
     report.finalize()
+    waivers = waivers or {}
     lines = [
         "# repro analyze baseline: accepted diagnostic fingerprints.",
         "# Regenerate with `repro analyze --all-workloads --write-baseline`.",
+        "# A `# waive: <reason>` suffix records why a finding is accepted",
+        "# as permanently unfixable (preserved by --update-baseline).",
     ]
     for diag in report.diagnostics:
-        lines.append(f"{diag.fingerprint()}  {diag.code} {diag.message}")
+        fp = diag.fingerprint()
+        line = f"{fp}  {diag.code} {diag.message}"
+        if fp in waivers:
+            line += f"  {WAIVE_MARKER} {waivers[fp]}"
+        lines.append(line)
     with open(path, "w", encoding="utf-8") as fh:
         fh.write("\n".join(lines) + "\n")
 
@@ -195,7 +223,9 @@ def refresh_baseline(path: str, report: Report) -> List[Diagnostic]:
     Baselining a warning is a judgement call; baselining an error is how
     real bugs get buried, so the refresh refuses and returns the blocking
     errors instead of writing anything.  An empty return value means the
-    baseline file was rewritten.
+    baseline file was rewritten.  Waivers attached to still-present
+    findings are preserved; waivers of findings the run no longer
+    produces drop out with their entries.
     """
     report.baseline = load_baseline(path)
     blocking = [
@@ -203,8 +233,34 @@ def refresh_baseline(path: str, report: Report) -> List[Diagnostic]:
     ]
     if blocking:
         return blocking
-    write_baseline(path, report)
+    write_baseline(path, report, waivers=load_waivers(path))
     return []
+
+
+def add_waiver(
+    path: str, report: Report, fingerprint: str, reason: str
+) -> Optional[str]:
+    """Record a justification for one accepted finding.
+
+    Returns an error string (and writes nothing) when the fingerprint
+    does not match a current finding, or when it is an error-severity
+    finding that the baseline has not already accepted -- waiving is for
+    documented-unfixable warnings, not for burying new errors.
+    """
+    report.baseline = load_baseline(path)
+    by_fp = {d.fingerprint(): d for d in report.diagnostics}
+    diag = by_fp.get(fingerprint)
+    if diag is None:
+        return f"no current finding has fingerprint {fingerprint}"
+    if diag.severity == "error" and fingerprint not in report.baseline:
+        return (
+            f"refusing to waive new error-severity finding {fingerprint} "
+            f"({diag.code}); fix it instead"
+        )
+    waivers = load_waivers(path)
+    waivers[fingerprint] = reason
+    write_baseline(path, report, waivers=waivers)
+    return None
 
 
 def load_baseline(path: str) -> Set[str]:
@@ -220,3 +276,21 @@ def load_baseline(path: str) -> Set[str]:
     except FileNotFoundError:
         pass
     return accepted
+
+
+def load_waivers(path: str) -> Dict[str, str]:
+    """Fingerprint -> waive reason, from the structured baseline suffixes."""
+    waivers: Dict[str, str] = {}
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                marker = line.find(WAIVE_MARKER)
+                if marker >= 0:
+                    reason = line[marker + len(WAIVE_MARKER):].strip()
+                    waivers[line.split()[0]] = reason
+    except FileNotFoundError:
+        pass
+    return waivers

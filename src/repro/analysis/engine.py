@@ -21,7 +21,8 @@ surface ahead of the runtime's own :class:`DeadlockError`.
 from __future__ import annotations
 
 import inspect
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple
 
 from repro.analysis.annotations import AnnotationAuditor
 from repro.analysis.determinism import lint_paths
@@ -67,6 +68,42 @@ def lint_workload_names() -> List[str]:
     return sorted(_lint_workloads())
 
 
+class AuditOverlay(Protocol):
+    """A hook that rewrites annotation traffic during an audited run.
+
+    The repair engine's candidate-fix overlay implements this; it is
+    installed *after* the monitors attach (so its rewrites are what the
+    auditor records) and *before* the workload builds (so it sees every
+    ``at_share`` the workload issues).
+    """
+
+    def install(
+        self, runtime: object, auditor: Optional[AnnotationAuditor]
+    ) -> None:
+        ...
+
+
+@dataclass
+class AuditRun:
+    """One instrumented run plus the live monitors that watched it.
+
+    :func:`analyze_workload` keeps only the findings; the repair engine
+    needs the auditor's observation table and the inference estimates
+    too, so :func:`audit_workload` hands the whole bundle back.
+    """
+
+    name: str
+    findings: List[Diagnostic]
+    auditor: Optional[AnnotationAuditor]
+    inference: Optional[Any]
+    workload: Any
+    anchor: Optional[str]
+
+    @property
+    def source(self) -> str:
+        return f"annotations({self.name})"
+
+
 def analyze_workload(
     name: str,
     workload_factory: Optional[Callable[[], object]] = None,
@@ -80,6 +117,31 @@ def analyze_workload(
     ``workload_factory`` overrides the registry (used by tests to analyze
     fixture workloads); ``injector`` threads a fault injector through so
     forged-edge output can be checked end-to-end.
+    """
+    return audit_workload(
+        name,
+        workload_factory=workload_factory,
+        passes=passes,
+        seed=seed,
+        with_inference=with_inference,
+        injector=injector,
+    ).findings
+
+
+def audit_workload(
+    name: str,
+    workload_factory: Optional[Callable[[], object]] = None,
+    passes: Tuple[str, ...] = PASSES,
+    seed: int = 0,
+    with_inference: bool = True,
+    injector=None,
+    overlay: Optional[AuditOverlay] = None,
+) -> AuditRun:
+    """:func:`analyze_workload`, returning the monitors with the findings.
+
+    ``overlay`` is the repair engine's install point: a candidate fix set
+    wraps the sharing graph after the auditor does, so the re-audit judges
+    the *repaired* annotations (docs/ANALYSIS.md, Repair).
     """
     from repro.machine.configs import SMALL
     from repro.machine.smp import Machine
@@ -111,6 +173,8 @@ def analyze_workload(
 
         inference = SharingInference(runtime, seed=seed)
         auditor.track_inference(inference)
+    if overlay is not None:
+        overlay.install(runtime, auditor)
 
     workload.build(runtime)
     run_findings: List[Diagnostic] = []
@@ -137,8 +201,8 @@ def analyze_workload(
         )
 
     found: List[Diagnostic] = []
+    anchor = _workload_anchor(type(workload))
     if auditor is not None:
-        anchor = _workload_anchor(type(workload))
         found.extend(auditor.diagnose(f"annotations({name})", anchor=anchor))
     if locks is not None:
         static_graph, _rel = scan_workload_class(type(workload))
@@ -148,7 +212,14 @@ def analyze_workload(
     if races is not None:
         found.extend(races.diagnose(f"races({name})"))
     found.sort(key=lambda d: d.sort_key)
-    return found
+    return AuditRun(
+        name=name,
+        findings=found,
+        auditor=auditor,
+        inference=inference,
+        workload=workload,
+        anchor=anchor,
+    )
 
 
 def _workload_anchor(workload_cls) -> Optional[str]:

@@ -373,6 +373,8 @@ def _cmd_analyze(args) -> int:
             return 2
         names = args.workload
     passes = tuple(args.passes or ())
+    if args.suggest or args.fix:
+        return _analyze_repair(args, names, passes)
     report = run_analysis(
         workloads=names,
         passes=passes if passes else ("annotations", "locks", "races"),
@@ -381,6 +383,22 @@ def _cmd_analyze(args) -> int:
         with_mc=args.mc,
         mc_budget=args.mc_budget,
     )
+    if args.waive:
+        from repro.analysis.diagnostics import add_waiver
+
+        if args.baseline is None or not args.waive_reason:
+            print(
+                "repro analyze: --waive needs --baseline FILE and "
+                "--waive-reason TEXT",
+                file=sys.stderr,
+            )
+            return 2
+        error = add_waiver(args.baseline, report, args.waive, args.waive_reason)
+        if error is not None:
+            print(f"repro analyze: {error}", file=sys.stderr)
+            return 1
+        print(f"waived {args.waive}: {args.waive_reason}")
+        return 0
     if args.update_baseline:
         from repro.analysis.diagnostics import refresh_baseline
 
@@ -413,11 +431,83 @@ def _cmd_analyze(args) -> int:
                 file=sys.stderr,
             )
             return 2
-        write_baseline(args.baseline, report)
+        from repro.analysis.diagnostics import load_waivers
+
+        write_baseline(args.baseline, report, waivers=load_waivers(args.baseline))
         print(f"wrote {len(report.diagnostics)} fingerprint(s) to {args.baseline}")
         return 0
     print(report.render())
-    return 1 if report.new_diagnostics() else 0
+    failed = bool(report.new_diagnostics())
+    if args.strict_baseline:
+        stale = report.stale_fingerprints()
+        if stale:
+            print(
+                f"repro analyze: {len(stale)} stale baseline "
+                "fingerprint(s) no longer produced by any pass "
+                "(regenerate with --update-baseline):",
+                file=sys.stderr,
+            )
+            for fp in stale:
+                print(f"  {fp}", file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
+
+
+def _analyze_repair(args, names, passes) -> int:
+    """``repro analyze --suggest`` / ``--fix``: the repair engine."""
+    from repro.analysis import lint_workload_names, run_analysis
+    from repro.analysis.diagnostics import refresh_baseline
+    from repro.analysis.repair import (
+        apply_fixes,
+        reload_workload_modules,
+        render_report,
+        repair_workload,
+    )
+
+    patched_paths = []
+    for name in sorted(names):
+        result = repair_workload(name)
+        for line in render_report(result):
+            print(line)
+        if args.fix:
+            for path in apply_fixes(result.patchable_fixes):
+                patched_paths.append(path)
+                print(f"  patched {path}")
+    if not args.fix:
+        return 0
+    if not patched_paths:
+        print("repro analyze --fix: nothing to patch")
+        return 0
+    # the repaired annotations must pass a fresh audit; regenerate the
+    # baseline so resolved findings drop out (waivers are preserved)
+    reload_workload_modules()
+    if args.baseline is None:
+        return 0
+    # the baseline file is global, so the refresh must audit every
+    # workload even when --fix targeted one -- otherwise the untargeted
+    # workloads' accepted findings would silently drop out
+    report = run_analysis(
+        workloads=lint_workload_names(),
+        passes=passes if passes else ("annotations", "locks", "races"),
+        baseline_path=args.baseline,
+        with_lint=args.with_lint,
+    )
+    blocking = refresh_baseline(args.baseline, report)
+    if blocking:
+        print(
+            "repro analyze --fix: repaired run still has "
+            f"{len(blocking)} new error-severity finding(s); baseline "
+            "left untouched:",
+            file=sys.stderr,
+        )
+        for diag in blocking:
+            print(f"  {diag.render()}", file=sys.stderr)
+        return 1
+    print(
+        f"updated {args.baseline} with {len(report.diagnostics)} "
+        "fingerprint(s)"
+    )
+    return 0
 
 
 def _cmd_mc(args) -> int:
@@ -781,6 +871,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--update-baseline", action="store_true",
         help="regenerate --baseline from current findings, refusing if "
         "new error-severity findings would be buried",
+    )
+    analyze_p.add_argument(
+        "--suggest", action="store_true",
+        help="run the annotation repair engine and report verified "
+        "fixes + suggestions without touching any file",
+    )
+    analyze_p.add_argument(
+        "--fix", action="store_true",
+        help="apply verified literal annotation patches in place and "
+        "regenerate --baseline from the repaired workloads",
+    )
+    analyze_p.add_argument(
+        "--strict-baseline", action="store_true",
+        help="also fail on stale baseline entries the current run no "
+        "longer produces",
+    )
+    analyze_p.add_argument(
+        "--waive", metavar="FINGERPRINT",
+        help="record a waive reason for one accepted finding in "
+        "--baseline (requires --waive-reason)",
+    )
+    analyze_p.add_argument(
+        "--waive-reason", metavar="TEXT",
+        help="justification stored with --waive",
     )
     analyze_p.set_defaults(func=_cmd_analyze)
 

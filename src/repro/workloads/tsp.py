@@ -190,7 +190,7 @@ class TspWorkload(Workload):
             if self.annotate:
                 me = runtime.at_self()
                 runtime.at_share(me, tid, 0.8)  # parent prefetches for child
-                runtime.at_share(tid, me, 0.2)  # child's result read at join
+                runtime.at_share(tid, me, 0.68)  # child's result read at join
             children.append(tid)
         for tid in children:
             yield Join(tid)

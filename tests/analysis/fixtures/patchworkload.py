@@ -1,0 +1,60 @@
+"""A fixture workload whose annotation bugs are all literal-patchable.
+
+The repair round-trip tests copy this file somewhere writable, audit it,
+apply the synthesized patches to the copy, re-import it, and assert the
+repaired module audits clean -- the ``repro analyze --fix`` contract in
+miniature.  Keep every ``at_share`` q argument a literal: the point of
+this fixture is that the whole defect set is mechanically fixable.
+
+Seeded defects:
+
+- a 4-thread chain over one fully-shared region, annotated in a loop
+  with ``q=0.3`` in both directions -> AN003 per edge, at exactly two
+  loop-generated call sites (one literal fixes three edges at once);
+  the unannotated non-adjacent pairs additionally raise AN001 until the
+  re-weighted chain's path product covers them;
+- a disjoint pair annotated ``q=0.9`` -> AN002, fixed by patching the
+  literal to 0.0 (a zero coefficient un-annotates the pair).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.machine.address import Region
+from repro.threads.events import BarrierWait, Compute, Touch
+from repro.threads.sync import Barrier
+from repro.workloads.base import Workload
+
+
+class PatchableWorkload(Workload):
+    """Literal-only annotation bugs: every fix is an applicable patch."""
+
+    name = "patchable"
+
+    def build(self, runtime) -> None:
+        shared = runtime.alloc_lines("patch-shared", 32)
+        private_a = runtime.alloc_lines("patch-private-a", 32)
+        private_b = runtime.alloc_lines("patch-private-b", 32)
+        gate = Barrier(4, name="patch-gate")
+
+        def toucher(region: Region, sync: Optional[Barrier] = None) -> Generator:
+            # two passes so every thread revisits the shared lines after
+            # the others' first touch (the auditor's temporal evidence)
+            for _ in range(2):
+                yield Touch(region.lines())
+                yield Compute(100)
+                if sync is not None:
+                    yield BarrierWait(sync)
+
+        chain = [
+            runtime.at_create(toucher(shared, gate), name=f"chain-{i}")
+            for i in range(4)
+        ]
+        for left, right in zip(chain, chain[1:]):
+            runtime.at_share(left, right, 0.3)
+            runtime.at_share(right, left, 0.3)
+
+        lone_a = runtime.at_create(toucher(private_a), name="lone-a")
+        lone_b = runtime.at_create(toucher(private_b), name="lone-b")
+        runtime.at_share(lone_a, lone_b, 0.9)

@@ -24,7 +24,9 @@ def test_missing_edge_flagged_an001():
     an001 = _by_code(_findings(), "AN001")
     messages = " | ".join(d.message for d in an001)
     assert "sharer-a -> sharer-b" in messages
-    assert "sharer-b -> sharer-a" in messages
+    # the symmetric overlap is deduped: only the canonical direction
+    # (higher observed q, tie broken lexicographically) is reported
+    assert "sharer-b -> sharer-a" not in messages
 
 
 def test_spurious_edge_flagged_an002():

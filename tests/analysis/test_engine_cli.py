@@ -13,10 +13,10 @@ def test_registry_names_are_the_paper_workloads():
 
 
 def test_reports_are_byte_identical_across_runs():
-    first = run_analysis(workloads=["tsp"]).render()
-    second = run_analysis(workloads=["tsp"]).render()
+    first = run_analysis(workloads=["merge"]).render()
+    second = run_analysis(workloads=["merge"]).render()
     assert first == second
-    assert first  # tsp has known (baselined) findings
+    assert first  # merge has known (baselined, waived) findings
 
 
 def test_unknown_pass_rejected():
@@ -42,21 +42,23 @@ def test_cli_analyze_clean_workload_exits_zero(capsys):
 
 
 def test_cli_analyze_findings_without_baseline_exit_one(capsys):
-    code = main(["analyze", "--workload", "tsp"])
+    # tsp's annotation findings were repaired (repro analyze --fix);
+    # merge still carries its by-design, waived RS001 findings
+    code = main(["analyze", "--workload", "merge"])
     out = capsys.readouterr().out
     assert code == 1
-    assert "AN001" in out
+    assert "RS001" in out
 
 
 def test_cli_analyze_baseline_roundtrip(tmp_path, capsys):
     baseline = str(tmp_path / "base.txt")
     code = main(
-        ["analyze", "--workload", "tsp", "--baseline", baseline,
+        ["analyze", "--workload", "merge", "--baseline", baseline,
          "--write-baseline"]
     )
     assert code == 0
     capsys.readouterr()
-    code = main(["analyze", "--workload", "tsp", "--baseline", baseline])
+    code = main(["analyze", "--workload", "merge", "--baseline", baseline])
     out = capsys.readouterr().out
     assert code == 0
     assert "(baseline)" in out

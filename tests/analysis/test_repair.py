@@ -1,0 +1,330 @@
+"""The annotation repair engine: synthesis, localization, verification,
+patch application, and the baseline waiver machinery."""
+
+import importlib.util
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.astmap import scan_share_sites, site_at
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Report,
+    add_waiver,
+    load_baseline,
+    load_waivers,
+    refresh_baseline,
+    write_baseline,
+)
+from repro.analysis.engine import audit_workload
+from repro.analysis.repair import (
+    AnnotationOverlay,
+    apply_fixes,
+    localize_fixes,
+    repair_workload,
+    synthesize_fixes,
+    verify_fixes,
+)
+from repro.cli import main
+
+from tests.analysis.fixtures.badworkloads import MisannotatedWorkload
+
+FIXTURE = Path(__file__).parent / "fixtures" / "patchworkload.py"
+WORKLOADS = Path("src/repro/workloads")
+
+
+def _load_workload_class(path: Path, version: str):
+    spec = importlib.util.spec_from_file_location(
+        f"patchfix_{version}", str(path)
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.PatchableWorkload
+
+
+# -- synthesis ----------------------------------------------------------------
+
+
+def test_synthesis_actions_match_diagnostic_codes():
+    audit = audit_workload(
+        "misannotated",
+        workload_factory=MisannotatedWorkload,
+        passes=("annotations",),
+    )
+    fixes = synthesize_fixes(audit)
+    by_action = {}
+    for fix in fixes:
+        by_action.setdefault(fix.action, []).append(fix)
+    # loner pair: annotated but disjoint -> drop to zero
+    (drop,) = by_action["drop"]
+    assert (drop.src_name, drop.dst_name) == ("loner-a", "loner-b")
+    assert drop.new_q == 0.0
+    # half pair: annotated 1.0, observed ~0.5 -> reweight to observed
+    (reweight,) = by_action["reweight"]
+    assert (reweight.src_name, reweight.dst_name) == ("half-a", "half-b")
+    assert abs(reweight.new_q - reweight.observed_q) < 0.01
+    # sharer pair: unannotated, no covering path -> add
+    assert any(
+        (f.src_name, f.dst_name) == ("sharer-a", "sharer-b")
+        for f in by_action["add"]
+    )
+    # every fix claims at least one concrete fingerprint
+    assert all(fix.claims for fix in fixes)
+
+
+def test_synthesized_add_without_call_site_is_suggestion_only():
+    audit = audit_workload(
+        "misannotated",
+        workload_factory=MisannotatedWorkload,
+        passes=("annotations",),
+    )
+    site_fixes = localize_fixes(audit, synthesize_fixes(audit))
+    adds = [sf for sf in site_fixes if sf.action == "add"]
+    assert adds
+    assert all(not sf.patchable for sf in adds)
+    assert all("no existing call site" in sf.note for sf in adds)
+
+
+def test_auditor_records_annotation_call_sites():
+    audit = audit_workload(
+        "misannotated",
+        workload_factory=MisannotatedWorkload,
+        passes=("annotations",),
+    )
+    sites = set(audit.auditor.annotation_sites.values())
+    assert sites, "no call sites recorded"
+    assert all(path.endswith("badworkloads.py") for path, _line in sites)
+
+
+# -- AST localization ---------------------------------------------------------
+
+
+def test_astmap_finds_loop_generated_literal_sites():
+    """tsp's parent/child annotations live in the spawn loop with literal
+    q arguments: loop-generated AND patchable."""
+    sites = scan_share_sites(str(WORKLOADS / "tsp.py"))
+    assert len(sites) == 2
+    assert all(site.in_loop for site in sites)
+    assert all(site.patchable for site in sites)
+    assert sorted(site.q_literal for site in sites) == [0.68, 0.8]
+
+
+def test_astmap_computed_q_is_not_patchable():
+    """photo's stencil-row sites compute q from the halo distance; the
+    scan must find them, mark the loop, and refuse to call them literal."""
+    sites = scan_share_sites(str(WORKLOADS / "photo.py"))
+    assert len(sites) == 4
+    assert all(site.in_loop for site in sites)
+    assert all(not site.patchable for site in sites)
+    assert all(site.q_expr == "q" for site in sites)
+
+
+def test_astmap_site_at_maps_lines_to_sites():
+    sites = scan_share_sites(str(FIXTURE))
+    in_loop = [s for s in sites if s.in_loop]
+    assert len(in_loop) == 2  # the chain's two directions
+    hit = site_at(sites, in_loop[0].line)
+    assert hit is in_loop[0]
+    assert site_at(sites, 1) is None
+
+
+# -- verification -------------------------------------------------------------
+
+
+def test_verification_demotes_an_ineffective_fix():
+    """A fix whose new q equals the bad old q cannot clear its claims;
+    the CEGAR loop must demote it instead of declaring victory."""
+    from dataclasses import replace
+
+    audit = audit_workload(
+        "patchable",
+        workload_factory=_load_workload_class(FIXTURE, "verify"),
+        passes=("annotations",),
+    )
+    site_fixes = localize_fixes(audit, synthesize_fixes(audit))
+    sabotaged = [
+        replace(
+            sf,
+            new_literal=None,
+            edges=tuple(
+                replace(e, new_q=e.old_q if e.old_q is not None else e.new_q)
+                for e in sf.edges
+            ),
+        )
+        for sf in site_fixes
+    ]
+    factory = _load_workload_class(FIXTURE, "verify2")
+    verified, demoted, _ = verify_fixes(
+        "patchable", factory, sabotaged, audit.findings
+    )
+    assert verified == []
+    assert len(demoted) == len(sabotaged)
+
+
+def test_blind_overlay_drops_all_workload_edges():
+    overlay = AnnotationOverlay(blind=True)
+    audit = audit_workload(
+        "patchable",
+        workload_factory=_load_workload_class(FIXTURE, "blind"),
+        passes=("annotations",),
+        overlay=overlay,
+    )
+    assert audit.auditor.annotated == {}
+
+
+# -- the --fix round trip -----------------------------------------------------
+
+
+def test_fix_round_trip_and_idempotence(tmp_path):
+    """suggest -> apply -> re-audit-clean, and a second --fix is a no-op."""
+    work = tmp_path / "patchworkload.py"
+    shutil.copy(FIXTURE, work)
+
+    first = repair_workload(
+        "patchable",
+        workload_factory=_load_workload_class(work, "rt1"),
+        with_locality=False,
+    )
+    assert first.fixes, "no verified fixes on the seeded-bad fixture"
+    assert first.suggestions == []
+    assert all(vf.fix.patchable for vf in first.fixes)
+
+    patched = apply_fixes(first.patchable_fixes)
+    assert patched == [str(work)]
+    text = work.read_text()
+    assert "runtime.at_share(left, right, 1.00)" in text
+    assert "runtime.at_share(right, left, 1.00)" in text
+    assert "runtime.at_share(lone_a, lone_b, 0.0)" in text
+    assert "0.3)" not in text  # no bad chain literal survives
+    assert "0.9)" not in text  # the spurious edge was zeroed
+
+    # the repaired copy must audit clean
+    audit = audit_workload(
+        "patchable",
+        workload_factory=_load_workload_class(work, "rt2"),
+        passes=("annotations",),
+    )
+    assert audit.findings == []
+
+    # idempotence: a second repair finds nothing and patches nothing
+    second = repair_workload(
+        "patchable",
+        workload_factory=_load_workload_class(work, "rt3"),
+        with_locality=False,
+    )
+    assert second.fixes == []
+    assert apply_fixes(second.patchable_fixes) == []
+    assert work.read_text() == text
+
+
+def test_shipped_workloads_have_no_pending_fixes():
+    """The engine's own output was applied to the repo (tsp.py); the
+    shipped annotations must stay fix-free from here on."""
+    for name in ("merge", "photo", "tasks", "tsp"):
+        result = repair_workload(name, with_locality=False)
+        assert result.fixes == [], f"{name} has unapplied verified fixes"
+
+
+def test_cli_suggest_reports_and_exits_zero(capsys):
+    code = main(["analyze", "--workload", "tsp", "--suggest"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "repair(tsp): 0 verified fix(es)" in out
+
+
+# -- waivers and strict baseline ----------------------------------------------
+
+
+def _report(*diags):
+    report = Report()
+    report.extend(diags)
+    report.finalize()
+    return report
+
+
+def test_waiver_round_trip(tmp_path):
+    baseline = str(tmp_path / "base.txt")
+    diag = Diagnostic(code="RS001", message="benign race", source="races(x)")
+    report = _report(diag)
+    write_baseline(baseline, report, waivers={diag.fingerprint(): "by design"})
+    assert load_waivers(baseline) == {diag.fingerprint(): "by design"}
+    assert diag.fingerprint() in load_baseline(baseline)
+
+
+def test_update_baseline_preserves_waivers(tmp_path):
+    baseline = str(tmp_path / "base.txt")
+    diag = Diagnostic(code="RS001", message="benign race", source="races(x)")
+    write_baseline(
+        baseline, _report(diag), waivers={diag.fingerprint(): "by design"}
+    )
+    # refresh with the same finding plus a new warning
+    extra = Diagnostic(code="AN002", message="spurious", source="annotations(x)")
+    blocking = refresh_baseline(baseline, _report(diag, extra))
+    assert blocking == []
+    assert load_waivers(baseline) == {diag.fingerprint(): "by design"}
+    assert extra.fingerprint() in load_baseline(baseline)
+
+
+def test_add_waiver_refuses_new_error_severity(tmp_path):
+    baseline = tmp_path / "base.txt"
+    baseline.write_text("# empty\n")
+    error_diag = Diagnostic(code="LK001", message="cycle", source="locks(x)")
+    report = _report(error_diag)
+    message = add_waiver(
+        str(baseline), report, error_diag.fingerprint(), "please ignore"
+    )
+    assert message is not None and "refusing" in message
+    assert baseline.read_text() == "# empty\n"  # untouched
+
+
+def test_add_waiver_unknown_fingerprint_rejected(tmp_path):
+    baseline = tmp_path / "base.txt"
+    baseline.write_text("# empty\n")
+    message = add_waiver(str(baseline), _report(), "cafecafecafe", "reason")
+    assert message is not None and "no current finding" in message
+
+
+def test_checked_in_waivers_justify_every_rs001():
+    """The shipped baseline documents why each merge race is accepted."""
+    waivers = load_waivers("analysis-baseline.txt")
+    accepted = load_baseline("analysis-baseline.txt")
+    assert accepted, "baseline is empty"
+    assert set(waivers) == accepted  # every remaining entry is waived
+    assert all("by-design" in reason for reason in waivers.values())
+
+
+def test_strict_baseline_fails_on_stale_entries(tmp_path, capsys):
+    baseline = tmp_path / "base.txt"
+    shutil.copy("analysis-baseline.txt", baseline)
+    with open(baseline, "a", encoding="utf-8") as fh:
+        fh.write("deadbeefcafe  RS001 a finding nobody produces anymore\n")
+    code = main(
+        ["analyze", "--workload", "merge", "--baseline", str(baseline),
+         "--strict-baseline"]
+    )
+    err = capsys.readouterr().err
+    assert code == 1
+    assert "stale" in err
+    assert "deadbeefcafe" in err
+
+
+def test_strict_baseline_passes_when_exact(capsys):
+    code = main(
+        ["analyze", "--workload", "merge", "--baseline",
+         "analysis-baseline.txt", "--strict-baseline"]
+    )
+    assert code == 0
+
+
+def test_an001_symmetric_dedupe_emits_one_direction():
+    audit = audit_workload(
+        "misannotated",
+        workload_factory=MisannotatedWorkload,
+        passes=("annotations",),
+    )
+    an001 = [d.message for d in audit.findings if d.code == "AN001"]
+    forward = [m for m in an001 if "sharer-a -> sharer-b" in m]
+    backward = [m for m in an001 if "sharer-b -> sharer-a" in m]
+    assert len(forward) == 1
+    assert backward == []
