@@ -16,7 +16,12 @@ deterministic ordering, baseline suppression):
   simulator's own source against nondeterminism (DT001-DT005);
 - :mod:`repro.analysis.mc` -- the exhaustive schedule model checker
   (stateless search + DPOR) and the symbolic cache-model verification
-  (MC001-MC005).
+  (MC001-MC005);
+- :mod:`repro.analysis.staticshare` -- interprocedural static sharing
+  inference: predict the ``at_share`` graph from source without running
+  the workload, cross-validate it against the dynamic audit
+  (SA001-SA003), and feed unexercised-path candidates to the repair
+  engine.
 
 Entry points: ``repro analyze``, ``repro lint``, and ``repro mc`` in
 :mod:`repro.cli`, or :func:`repro.analysis.engine.run_analysis`
@@ -38,6 +43,7 @@ from repro.analysis.engine import (
     analyze_workload,
     lint_workload_names,
     run_analysis,
+    static_validate_workload,
 )
 from repro.analysis.locks import LockGraph, LockOrderMonitor, scan_workload_class
 from repro.analysis.races import RaceSanitizer
@@ -58,5 +64,6 @@ __all__ = [
     "load_baseline",
     "run_analysis",
     "scan_workload_class",
+    "static_validate_workload",
     "write_baseline",
 ]

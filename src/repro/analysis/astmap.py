@@ -8,6 +8,17 @@ expression (loop-generated sites like photo's stencil rows — suggestion
 only), and exposes the literal's exact source span so the repair engine
 can rewrite it without reformatting anything else.
 
+Recognized call shapes (each covered by a test in
+``tests/analysis/test_astmap.py``):
+
+- attribute-qualified: ``runtime.at_share(...)``, ``self.at_share(...)``,
+  or any other receiver — the trailing attribute decides;
+- bare name: ``at_share(...)``, including when imported under an alias
+  (``from ... import at_share as share_hint``) or bound to a local name
+  (``share = runtime.at_share``) — module-level aliases are tracked;
+- arguments positional or keyword: ``at_share(a, b, 0.3)``,
+  ``at_share(a, b, q=0.3)``, ``at_share(src=a, dst=b, q=0.3)``.
+
 Everything here is deterministic: files are scanned in sorted order and
 sites are reported in source order.
 """
@@ -17,7 +28,9 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.sources import SourceRegistry
 
 __all__ = [
     "ShareSite",
@@ -59,13 +72,58 @@ class ShareSite:
         )
 
 
-def _is_at_share(call: ast.Call) -> bool:
+def _alias_names(tree: ast.AST) -> Set[str]:
+    """Module-level names bound to ``at_share``.
+
+    Covers ``from m import at_share [as x]`` and ``x = <expr>.at_share``
+    (or ``x = at_share``) assignments anywhere in the module — the
+    symbolic-alias approximation the lock scan already uses for mutexes.
+    """
+    aliases: Set[str] = {"at_share"}
+    for _ in range(2):  # one re-pass resolves alias-of-alias chains
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom):
+                for name in node.names:
+                    if name.name == "at_share":
+                        aliases.add(name.asname or name.name)
+            elif isinstance(node, ast.Assign):
+                value = node.value
+                is_share = (
+                    isinstance(value, ast.Attribute)
+                    and value.attr == "at_share"
+                ) or (
+                    isinstance(value, ast.Name) and value.id in aliases
+                )
+                if is_share:
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            aliases.add(target.id)
+    return aliases
+
+
+def _is_at_share(call: ast.Call, aliases: Optional[Set[str]] = None) -> bool:
     func = call.func
     if isinstance(func, ast.Attribute):
         return func.attr == "at_share"
     if isinstance(func, ast.Name):
-        return func.id == "at_share"
+        return func.id in (aliases if aliases is not None else {"at_share"})
     return False
+
+
+def _share_arguments(
+    call: ast.Call,
+) -> Optional[Tuple[ast.expr, ast.expr]]:
+    """The (src, dst) argument expressions, positional or keyword."""
+    src: Optional[ast.expr] = call.args[0] if len(call.args) >= 1 else None
+    dst: Optional[ast.expr] = call.args[1] if len(call.args) >= 2 else None
+    for keyword in call.keywords:
+        if keyword.arg == "src":
+            src = keyword.value
+        elif keyword.arg == "dst":
+            dst = keyword.value
+    if src is None or dst is None:
+        return None
+    return src, dst
 
 
 def _q_argument(call: ast.Call) -> Optional[ast.expr]:
@@ -84,8 +142,9 @@ def _literal_value(node: ast.expr) -> Optional[float]:
 
 
 class _SiteCollector(ast.NodeVisitor):
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, aliases: Set[str]) -> None:
         self.path = path
+        self.aliases = aliases
         self.sites: List[ShareSite] = []
         self._loop_depth = 0
 
@@ -104,7 +163,11 @@ class _SiteCollector(ast.NodeVisitor):
         self._loop_depth -= 1
 
     def visit_Call(self, node: ast.Call) -> None:
-        if _is_at_share(node) and len(node.args) >= 2:
+        arguments = (
+            _share_arguments(node) if _is_at_share(node, self.aliases) else None
+        )
+        if arguments is not None:
+            src_node, dst_node = arguments
             q_node = _q_argument(node)
             q_literal = _literal_value(q_node) if q_node is not None else None
             q_span: Optional[Tuple[int, int, int, int]] = None
@@ -125,8 +188,8 @@ class _SiteCollector(ast.NodeVisitor):
                     path=self.path,
                     line=node.lineno,
                     end_line=node.end_lineno or node.lineno,
-                    src_expr=ast.unparse(node.args[0]),
-                    dst_expr=ast.unparse(node.args[1]),
+                    src_expr=ast.unparse(src_node),
+                    dst_expr=ast.unparse(dst_node),
                     q_expr=ast.unparse(q_node) if q_node is not None else "?",
                     q_literal=q_literal,
                     q_span=q_span,
@@ -136,20 +199,31 @@ class _SiteCollector(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def scan_share_sites(path: str) -> List[ShareSite]:
-    """All ``at_share`` calls in one source file, in source order."""
-    source = Path(path).read_text(encoding="utf-8")
-    tree = ast.parse(source, filename=path)
-    collector = _SiteCollector(path)
+def scan_share_sites(
+    path: str, registry: Optional[SourceRegistry] = None
+) -> List[ShareSite]:
+    """All ``at_share`` calls in one source file, in source order.
+
+    ``registry`` shares the parse with the other analysis passes; without
+    one, the file is read and parsed directly (one-shot callers).
+    """
+    if registry is not None:
+        tree: ast.Module = registry.tree(path)
+    else:
+        source = Path(path).read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=path)
+    collector = _SiteCollector(path, _alias_names(tree))
     collector.visit(tree)
     return collector.sites
 
 
-def scan_workload_sources(root: str) -> Dict[str, List[ShareSite]]:
+def scan_workload_sources(
+    root: str, registry: Optional[SourceRegistry] = None
+) -> Dict[str, List[ShareSite]]:
     """Scan every workload module under ``root`` (a directory)."""
     sites: Dict[str, List[ShareSite]] = {}
     for path in sorted(Path(root).glob("*.py")):
-        found = scan_share_sites(str(path))
+        found = scan_share_sites(str(path), registry=registry)
         if found:
             sites[str(path)] = found
     return sites

@@ -1,0 +1,83 @@
+"""One parse per module per analysis run: the shared source registry.
+
+Three passes read workload source: the lock-order static scan
+(:mod:`repro.analysis.locks`), the ``at_share`` site map
+(:mod:`repro.analysis.astmap`), and the static sharing inference
+(:mod:`repro.analysis.staticshare`).  Before this registry each pass
+re-read and re-parsed the same file; now an analysis run threads one
+:class:`SourceRegistry` through every pass and each module is parsed
+exactly once (``tests/analysis/test_sources.py`` pins the parse count).
+
+The registry is a cache, not a snapshot service: it reads a file the
+first time it is asked and serves the same :class:`ParsedSource` from
+then on.  That is the correct semantics for an analysis run, which must
+see one consistent view of each module even if the repair engine is
+about to rewrite it -- a post-fix re-audit builds a fresh registry.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional
+
+__all__ = ["ParsedSource", "SourceRegistry"]
+
+
+@dataclass(frozen=True)
+class ParsedSource:
+    """One module, parsed once: its path, raw text, and AST."""
+
+    path: str
+    text: str
+    tree: ast.Module
+
+
+class SourceRegistry:
+    """Parse-once cache of workload module sources.
+
+    ``parse_count`` counts actual :func:`ast.parse` calls, so tests can
+    assert that co-operating passes share parses instead of repeating
+    them.  Paths are normalised with :meth:`Path.resolve` so the same
+    file reached through different spellings still hits the cache.
+    """
+
+    def __init__(self) -> None:
+        self._cache: Dict[str, ParsedSource] = {}
+        self.parse_count = 0
+
+    def _key(self, path: str) -> str:
+        try:
+            return str(Path(path).resolve())
+        except OSError:
+            return path
+
+    def load(self, path: str) -> ParsedSource:
+        """The parsed module at ``path``, parsing at most once.
+
+        Raises ``OSError`` when unreadable and ``SyntaxError`` when
+        unparsable, exactly like the direct read each caller used to do
+        -- callers keep their existing error handling.
+        """
+        key = self._key(path)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        text = Path(path).read_text(encoding="utf-8")
+        self.parse_count += 1
+        parsed = ParsedSource(
+            path=path, text=text, tree=ast.parse(text, filename=path)
+        )
+        self._cache[key] = parsed
+        return parsed
+
+    def tree(self, path: str) -> ast.Module:
+        return self.load(path).tree
+
+    def text(self, path: str) -> str:
+        return self.load(path).text
+
+    def cached(self, path: str) -> Optional[ParsedSource]:
+        """The cached entry, or None -- never triggers a parse."""
+        return self._cache.get(self._key(path))

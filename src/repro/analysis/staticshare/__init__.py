@@ -1,0 +1,94 @@
+"""Static sharing inference: predict ``at_share`` graphs from source.
+
+Everything the dynamic auditor learns by running a workload, this
+package approximates by *reading* it: spawn sites become units, effect
+summaries propagate over the call graph, region instances classify by
+allocation context, and out comes a predicted sharing graph with
+confidence tiers -- before any run exists.  Cross-validation then diffs
+the prediction against a dynamic audit (SA001/SA002/SA003 diagnostics,
+precision/recall), and the bridge hands unannotated predicted edges to
+the repair engine as reviewable candidates.
+
+Entry point: :func:`predict_workload` on a workload class.  See
+``docs/ANALYSIS.md`` ("Static sharing inference") for the full model.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Optional
+
+from repro.analysis.sources import SourceRegistry
+from repro.analysis.staticshare.bridge import (
+    DEFAULT_STATIC_Q,
+    StaticCandidate,
+    static_candidates,
+)
+from repro.analysis.staticshare.crossval import (
+    CrossValidation,
+    cross_validate,
+    render_prediction,
+)
+from repro.analysis.staticshare.extract import ClassScan, scan_class
+from repro.analysis.staticshare.infer import infer_prediction
+from repro.analysis.staticshare.model import (
+    TIER_CONDITIONAL,
+    TIER_DEFINITE,
+    TIER_HEURISTIC,
+    TIERS,
+    PredictedEdge,
+    RegionDef,
+    ShareSiteRef,
+    SpawnUnit,
+    StaticPrediction,
+)
+
+__all__ = [
+    "TIER_DEFINITE",
+    "TIER_CONDITIONAL",
+    "TIER_HEURISTIC",
+    "TIERS",
+    "DEFAULT_STATIC_Q",
+    "RegionDef",
+    "SpawnUnit",
+    "PredictedEdge",
+    "ShareSiteRef",
+    "StaticPrediction",
+    "ClassScan",
+    "CrossValidation",
+    "StaticCandidate",
+    "scan_class",
+    "infer_prediction",
+    "cross_validate",
+    "render_prediction",
+    "static_candidates",
+    "predict_workload",
+]
+
+
+def predict_workload(
+    workload_cls: type,
+    workload: str,
+    registry: Optional[SourceRegistry] = None,
+) -> Optional[StaticPrediction]:
+    """Predict the sharing graph of a workload class from its source.
+
+    Returns None when the source cannot be located, read, or parsed --
+    the static pass degrades to absent, it never fails an analysis run.
+    """
+    try:
+        path = inspect.getsourcefile(workload_cls)
+    except TypeError:
+        return None
+    if path is None:
+        return None
+    if registry is None:
+        registry = SourceRegistry()
+    try:
+        tree = registry.tree(path)
+    except (OSError, SyntaxError):
+        return None
+    scan = scan_class(tree, workload_cls.__name__, path)
+    if scan is None:
+        return None
+    return infer_prediction(scan, workload)

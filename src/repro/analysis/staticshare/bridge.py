@@ -1,0 +1,85 @@
+"""Static SA001 findings -> repair-engine candidates.
+
+The repair engine's CEGAR loop verifies a candidate fix by re-running
+the workload and checking the re-audit: an edge whose sharing the run
+never exercises would immediately be judged spurious (AN002 -- zero
+observed overlap) and demoted.  That is correct behaviour for
+dynamically-synthesized fixes and exactly wrong for static ones, whose
+whole value is covering code paths no run exercises.
+
+So the bridge does *not* feed static candidates through verification.
+It turns each SA001 pair into a :class:`StaticCandidate` -- the
+``at_share`` call to add, the statically-estimated q, the evidence tier
+and regions, and the SA001 fingerprint it stems from -- and the repair
+report renders them as a separate ``[static]`` category: reviewed by a
+human, not auto-applied.  A candidate whose pair *was* dynamically
+corroborated is marked ``exercised`` (the dynamic synthesis will
+usually propose the same edge with a measured q; the static line then
+serves as cross-confirmation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.analysis.staticshare.crossval import CrossValidation
+
+__all__ = ["DEFAULT_STATIC_Q", "StaticCandidate", "static_candidates"]
+
+#: q proposed when no region size is statically known; deliberately
+#: mid-scale -- strong enough to matter, weak enough to be safe, and a
+#: later dynamic audit will re-weight it (AN003) once the path runs
+DEFAULT_STATIC_Q = 0.5
+
+
+@dataclass(frozen=True)
+class StaticCandidate:
+    """One proposed ``at_share`` sourced from the static inference."""
+
+    src_display: str
+    dst_display: str
+    q: float
+    tier: str
+    regions: Tuple[str, ...]
+    #: fingerprint of the SA001 finding this candidate resolves
+    fingerprint: str
+    #: the dynamic audit observed overlap for the pair (the candidate
+    #: then corroborates a dynamic fix rather than extending coverage)
+    exercised: bool
+
+    def render(self) -> str:
+        via = ", ".join(self.regions)
+        status = "exercised" if self.exercised else "unexercised path"
+        return (
+            f"at_share({self.src_display}, {self.dst_display}, {self.q:.2f})"
+            f"  [{self.tier}] via {via}  ({status}; from SA001 "
+            f"{self.fingerprint})"
+        )
+
+
+def static_candidates(validation: CrossValidation) -> List[StaticCandidate]:
+    """One candidate per SA001 pair, deterministic order."""
+    prediction = validation.prediction
+    corroborated = set(validation.corroborated)
+    out: List[StaticCandidate] = []
+    for pair in sorted(validation.sa001):
+        key = (
+            (pair[0], pair[1])
+            if (pair[0], pair[1]) in prediction.edges
+            else (pair[1], pair[0])
+        )
+        edge = prediction.edges[key]
+        q = edge.q_static if edge.q_static else DEFAULT_STATIC_Q
+        out.append(
+            StaticCandidate(
+                src_display=prediction.units[edge.src].display,
+                dst_display=prediction.units[edge.dst].display,
+                q=q,
+                tier=edge.tier,
+                regions=edge.regions,
+                fingerprint=validation.sa001[pair].fingerprint(),
+                exercised=pair in corroborated,
+            )
+        )
+    return out

@@ -1,0 +1,322 @@
+"""Cross-validation: predicted sharing vs the dynamic audit.
+
+The static pass and the dynamic auditor describe the same thing at
+different granularities -- the static side talks about *spawn units*
+(``at_create`` sites), the dynamic side about individual threads.  The
+bridge is thread names: each observed thread maps to the unit whose
+name pattern matches it best, and dynamic evidence aggregates to
+undirected unit pairs.
+
+Three diagnostics come out of the diff (all warnings, all flowing
+through the ordinary baseline machinery):
+
+- ``SA001`` -- a predicted pair (definite or conditional tier) with no
+  ``at_share`` statically covering it.  Purely static: it fires on code
+  paths no run has ever exercised, which is the whole point.
+- ``SA002`` -- a statically-resolved ``at_share`` whose unit pair has
+  no predicted edge at *any* tier: the annotated sharing is unreachable
+  from the source as written.  Also purely static.
+- ``SA003`` -- a genuine static/dynamic disagreement: a *definite*
+  static edge the run observed zero overlap for (conditional edges are
+  expected to be dynamically absent sometimes -- that is what the tier
+  means), or a dynamically-expected pair the static pass has no edge
+  for at all.
+
+Precision/recall are reported at the unit-pair level over the
+definite+conditional tiers: recall = dynamically-expected pairs the
+static pass predicted; precision = predicted pairs corroborated by any
+observed overlap.  Both are 1.0 when their denominator is empty.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.annotations import EdgeObservation
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.staticshare.model import (
+    TIER_CONDITIONAL,
+    TIER_DEFINITE,
+    StaticPrediction,
+)
+
+__all__ = ["CrossValidation", "cross_validate", "render_prediction"]
+
+#: undirected unit pair, canonically ordered
+Pair = Tuple[str, str]
+
+
+def _anchor_path(path: str) -> str:
+    """Repo-relative anchor path, matching the engine's convention."""
+    for marker in ("repro/", "tests/"):
+        index = path.rfind(marker)
+        if index >= 0:
+            return path[index:]
+    return os.path.basename(path)
+
+
+def _canon(a: str, b: str) -> Pair:
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass
+class CrossValidation:
+    """The static/dynamic diff for one workload."""
+
+    prediction: StaticPrediction
+    #: undirected predicted pairs at definite+conditional tiers
+    static_pairs: Tuple[Pair, ...]
+    #: undirected unit pairs the dynamic audit expects an edge for
+    dynamic_pairs: Tuple[Pair, ...]
+    #: static pairs with *any* observed dynamic overlap
+    corroborated: Tuple[Pair, ...]
+    #: observed thread names no unit's name pattern matches
+    unmapped_threads: Tuple[str, ...]
+    has_dynamic: bool
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: the SA001 finding per unannotated predicted pair -- structured
+    #: access for the repair bridge, which claims these fingerprints
+    sa001: Dict[Pair, Diagnostic] = field(default_factory=dict)
+
+    @property
+    def matched(self) -> Tuple[Pair, ...]:
+        dynamic = set(self.dynamic_pairs)
+        return tuple(p for p in self.static_pairs if p in dynamic)
+
+    @property
+    def missed(self) -> Tuple[Pair, ...]:
+        """Dynamic-expected pairs the static pass did not predict --
+        the false negatives the acceptance criteria pin at zero."""
+        static = set(self.static_pairs)
+        return tuple(p for p in self.dynamic_pairs if p not in static)
+
+    @property
+    def recall(self) -> Optional[float]:
+        if not self.has_dynamic:
+            return None
+        if not self.dynamic_pairs:
+            return 1.0
+        return len(self.matched) / len(self.dynamic_pairs)
+
+    @property
+    def precision(self) -> Optional[float]:
+        if not self.has_dynamic:
+            return None
+        if not self.static_pairs:
+            return 1.0
+        return len(self.corroborated) / len(self.static_pairs)
+
+
+def cross_validate(
+    prediction: StaticPrediction,
+    observations: Optional[Dict[Tuple[int, int], EdgeObservation]],
+    source: str,
+) -> CrossValidation:
+    """Diff a prediction against one dynamic audit's observation table.
+
+    ``observations=None`` runs the purely-static arm: SA001/SA002 still
+    fire, SA003 and precision/recall need a run and are skipped.
+    """
+    anchor_file = _anchor_path(prediction.path)
+
+    def unit_anchor(unit_id: str) -> str:
+        return f"{anchor_file}:{prediction.units[unit_id].lineno}"
+
+    # undirected static pairs at the diagnostic-driving tiers, with the
+    # strongest tier seen per pair
+    static_tier: Dict[Pair, str] = {}
+    for edge in prediction.edges_at(TIER_DEFINITE, TIER_CONDITIONAL):
+        pair = _canon(edge.src, edge.dst)
+        if static_tier.get(pair) != TIER_DEFINITE:
+            static_tier[pair] = edge.tier
+    static_pairs = tuple(sorted(static_tier))
+
+    # dynamic evidence, aggregated to unit pairs through name matching
+    dynamic_expected: Set[Pair] = set()
+    dynamic_overlap: Set[Pair] = set()
+    dynamic_names: Dict[Pair, Tuple[str, str]] = {}
+    unmapped: Set[str] = set()
+    if observations is not None:
+        for key in sorted(observations):
+            obs = observations[key]
+            src_unit = prediction.unit_for_thread(obs.src_name)
+            dst_unit = prediction.unit_for_thread(obs.dst_name)
+            for name, unit in (
+                (obs.src_name, src_unit), (obs.dst_name, dst_unit)
+            ):
+                if unit is None:
+                    unmapped.add(name)
+            if src_unit is None or dst_unit is None:
+                continue
+            pair = _canon(src_unit, dst_unit)
+            if obs.expected:
+                dynamic_expected.add(pair)
+                dynamic_names.setdefault(
+                    pair, (obs.src_name, obs.dst_name)
+                )
+            if obs.overlap > 0:
+                dynamic_overlap.add(pair)
+
+    diagnostics: List[Diagnostic] = []
+    sa001: Dict[Pair, Diagnostic] = {}
+
+    # SA001: predicted but statically unannotated
+    for pair in static_pairs:
+        if not prediction.annotated(pair[0], pair[1]):
+            edge = prediction.edges[
+                (pair[0], pair[1]) if (pair[0], pair[1]) in prediction.edges
+                else (pair[1], pair[0])
+            ]
+            regions = ", ".join(edge.regions)
+            diag = Diagnostic(
+                code="SA001",
+                message=(
+                    f"units {pair[0]} <-> {pair[1]} statically share "
+                    f"{regions} [{static_tier[pair]}] but no at_share "
+                    f"covers the pair"
+                ),
+                anchor=unit_anchor(pair[0]),
+                source=source,
+            )
+            sa001[pair] = diag
+            diagnostics.append(diag)
+
+    # SA002: annotated but statically disjoint
+    reported_sa002: Set[Pair] = set()
+    for src, dst in sorted(prediction.annotated_pairs):
+        pair = _canon(src, dst)
+        if pair in reported_sa002:
+            continue
+        has_edge = (
+            (src, dst) in prediction.edges or (dst, src) in prediction.edges
+        )
+        if has_edge:
+            continue
+        reported_sa002.add(pair)
+        ref = prediction.annotated_pairs[(src, dst)]
+        diagnostics.append(
+            Diagnostic(
+                code="SA002",
+                message=(
+                    f"at_share({src} -> {dst}) but the units' static "
+                    f"footprints are disjoint"
+                ),
+                anchor=f"{anchor_file}:{ref.lineno}",
+                source=source,
+            )
+        )
+
+    # SA003: static/dynamic disagreement (needs a run)
+    if observations is not None:
+        for pair in static_pairs:
+            if static_tier[pair] != TIER_DEFINITE:
+                continue
+            if pair in dynamic_overlap:
+                continue
+            # only a disagreement when both units actually ran threads
+            mapped_units = {
+                prediction.unit_for_thread(obs.src_name)
+                for obs in observations.values()
+            } | {
+                prediction.unit_for_thread(obs.dst_name)
+                for obs in observations.values()
+            }
+            if pair[0] not in mapped_units or pair[1] not in mapped_units:
+                continue
+            diagnostics.append(
+                Diagnostic(
+                    code="SA003",
+                    message=(
+                        f"static edge {pair[0]} <-> {pair[1]} is definite "
+                        f"but the dynamic audit observed zero overlap"
+                    ),
+                    anchor=unit_anchor(pair[0]),
+                    source=source,
+                )
+            )
+        static_any = {
+            _canon(src, dst) for (src, dst) in prediction.edges
+        }
+        for pair in sorted(dynamic_expected):
+            if pair in static_any:
+                continue
+            names = dynamic_names[pair]
+            diagnostics.append(
+                Diagnostic(
+                    code="SA003",
+                    message=(
+                        f"dynamic audit expects {names[0]} <-> {names[1]} "
+                        f"(units {pair[0]} <-> {pair[1]}) but the static "
+                        f"pass predicts no edge"
+                    ),
+                    anchor=unit_anchor(pair[0]),
+                    source=source,
+                )
+            )
+
+    return CrossValidation(
+        prediction=prediction,
+        static_pairs=static_pairs,
+        dynamic_pairs=tuple(sorted(dynamic_expected)),
+        corroborated=tuple(
+            sorted(p for p in static_pairs if p in dynamic_overlap)
+        ),
+        unmapped_threads=tuple(sorted(unmapped)),
+        has_dynamic=observations is not None,
+        diagnostics=diagnostics,
+        sa001=sa001,
+    )
+
+
+def render_prediction(
+    prediction: StaticPrediction,
+    validation: Optional[CrossValidation] = None,
+) -> str:
+    """The byte-stable report block for one workload's prediction."""
+    lines: List[str] = [f"static sharing: {prediction.workload}"]
+    lines.append(f"  spawn units ({len(prediction.units)}):")
+    for unit_id in sorted(prediction.units):
+        lines.append(f"    {prediction.units[unit_id].render()}")
+    lines.append(f"  regions ({len(prediction.regions)}):")
+    for key in sorted(prediction.regions):
+        lines.append(f"    {prediction.regions[key].render()}")
+    undirected: Set[Pair] = {
+        _canon(src, dst) for (src, dst) in prediction.edges
+    }
+    lines.append(f"  predicted edges ({len(undirected)}):")
+    for pair in sorted(undirected):
+        key = (
+            (pair[0], pair[1])
+            if (pair[0], pair[1]) in prediction.edges
+            else (pair[1], pair[0])
+        )
+        lines.append(f"    {prediction.edges[key].render()}")
+    annotated_pairs = {
+        _canon(src, dst) for (src, dst) in prediction.annotated_pairs
+    }
+    lines.append(
+        f"  annotated pairs: {len(annotated_pairs)} "
+        f"(covering {sum(1 for p in undirected if p in annotated_pairs)} "
+        f"predicted)"
+    )
+    if validation is not None and validation.has_dynamic:
+        recall = validation.recall
+        precision = validation.precision
+        assert recall is not None and precision is not None
+        lines.append(
+            "  cross-validation: "
+            f"recall {recall:.2f} ({len(validation.matched)}/"
+            f"{len(validation.dynamic_pairs)} dynamic-expected), "
+            f"precision {precision:.2f} ({len(validation.corroborated)}/"
+            f"{len(validation.static_pairs)} corroborated)"
+        )
+        for pair in validation.missed:
+            lines.append(f"    missed dynamic pair: {pair[0]} <-> {pair[1]}")
+        if validation.unmapped_threads:
+            lines.append(
+                "    unmapped threads: "
+                + ", ".join(validation.unmapped_threads)
+            )
+    return "\n".join(lines)

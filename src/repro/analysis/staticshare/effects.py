@@ -1,0 +1,91 @@
+"""Per-function effect summaries with interprocedural propagation.
+
+An *effect* is ``(root, write, conditional)``: the function's body (or
+something it calls) touches the region instance ``root`` names.  Roots
+come in three shapes:
+
+- ``attr:<name>`` / ``local:<func>:<name>`` -- a concrete allocation
+  site (see :mod:`repro.analysis.staticshare.model`);
+- ``param:<func>:<name>`` -- "whatever region my caller passes in":
+  the summary is parameter-polymorphic and gets instantiated at each
+  call (or spawn) site;
+- ``unknown:<text>`` -- a touch whose argument the extractor could not
+  resolve; carried through so the inference can still form heuristic
+  (text-match) edges.
+
+Propagation is a standard bottom-up fixpoint over the call records: a
+call substitutes the callee's ``param:`` roots with the caller's actual
+bindings and hoists everything else unchanged, OR-ing the call's own
+conditionality in.  Recursion (merge sort's ``yield from`` split, tsp's
+self-spawning nodes) converges because the root set is finite and the
+transfer is monotone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.analysis.staticshare.extract import ClassScan
+
+__all__ = ["Effect", "summarize"]
+
+#: (region root, is-write, behind-a-branch)
+Effect = Tuple[str, bool, bool]
+
+
+def _add(store: Dict[str, Tuple[bool, bool]], root: str, write: bool, cond: bool) -> bool:
+    """Join one effect into ``store``; True when anything changed.
+
+    The join is monotone toward "write" and away from "conditional": a
+    touch seen both unconditionally and under a branch is unconditional.
+    """
+    prior = store.get(root)
+    if prior is None:
+        store[root] = (write, cond)
+        return True
+    merged = (prior[0] or write, prior[1] and cond)
+    if merged != prior:
+        store[root] = merged
+        return True
+    return False
+
+
+def summarize(scan: ClassScan) -> Dict[str, Tuple[Effect, ...]]:
+    """Fixpoint effect summaries for every function in the scan."""
+    stores: Dict[str, Dict[str, Tuple[bool, bool]]] = {
+        name: {} for name in scan.functions
+    }
+    for name, touches in scan.touches.items():
+        store = stores.setdefault(name, {})
+        for touch in touches:
+            for root in touch.roots:
+                _add(store, root, touch.write, touch.conditional)
+
+    # bottom-up propagation; bound the iteration defensively even though
+    # monotonicity guarantees convergence
+    for _ in range(len(scan.functions) + 2):
+        changed = False
+        for name in sorted(scan.calls):
+            store = stores.setdefault(name, {})
+            for call in scan.calls[name]:
+                callee_store = stores.get(call.callee, {})
+                for root in sorted(callee_store):
+                    write, cond = callee_store[root]
+                    cond = cond or call.conditional
+                    prefix = f"param:{call.callee}:"
+                    if root.startswith(prefix):
+                        param = root[len(prefix):]
+                        for actual in call.bindings.get(param, ()):
+                            changed = _add(store, actual, write, cond) or changed
+                    else:
+                        changed = _add(store, root, write, cond) or changed
+        if not changed:
+            break
+
+    out: Dict[str, Tuple[Effect, ...]] = {}
+    for name in sorted(stores):
+        store = stores[name]
+        out[name] = tuple(
+            (root, store[root][0], store[root][1]) for root in sorted(store)
+        )
+    return out

@@ -1,0 +1,758 @@
+"""AST extraction for the static sharing inference.
+
+One :func:`scan_class` call turns a workload class's source into the
+raw material the inference works from, without executing anything:
+
+- **region definitions** -- every ``runtime.alloc``/``alloc_lines``
+  call, keyed ``attr:<name>`` (``self.X = runtime.alloc(...)``) or
+  ``local:<function>:<name>``, with the allocation label and line count
+  when they are literals;
+- **touch records** -- every ``Touch(...)``/``touch_region(...)`` call
+  per function, with the *region roots* its argument expression
+  mentions (resolved through local aliases, closures, and ``self``
+  attributes), the write flag, and whether the touch sits behind a
+  branch;
+- **call records** -- synchronous calls between the class's functions,
+  with region-root bindings for the actuals, so effect summaries can
+  propagate interprocedurally;
+- **spawn sites** -- every ``at_create`` call, resolved to the body
+  function it spawns (through lambdas, pre-invoked generator calls, and
+  bare function references with default-argument captures), with
+  per-parameter region bindings and the thread-name pattern;
+- **share sites** -- every ``at_share`` call, with its src/dst argument
+  expressions resolved to *tid markers* (spawn sites, ``at_self``,
+  tid-holding attributes) for the inference to expand.
+
+The scan is a classic linter approximation: statements are interpreted
+in document order, aliasing is by name, branches both execute.  It is
+tuned to the idioms the workloads actually use; anything it cannot
+resolve degrades to "unknown", never to a crash.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.analysis.staticshare.model import RegionDef
+
+__all__ = [
+    "TouchRecord",
+    "CallRecord",
+    "RawSpawn",
+    "RawShare",
+    "ClassScan",
+    "scan_class",
+]
+
+#: cache-line size used to fold ``runtime.alloc(name, <bytes>)`` sizes
+#: into lines; matches the simulated machines' line size
+LINE_BYTES = 64
+
+_ALLOC_NAMES = ("alloc", "alloc_lines")
+_TOUCH_NAMES = ("Touch", "touch_region")
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+
+@dataclass(frozen=True)
+class TouchRecord:
+    """One static memory touch inside a function."""
+
+    roots: Tuple[str, ...]
+    write: bool
+    conditional: bool
+    lineno: int
+
+
+@dataclass(frozen=True)
+class CallRecord:
+    """One synchronous call from a class function to another."""
+
+    callee: str
+    #: callee parameter name -> region roots of the actual argument
+    bindings: Mapping[str, Tuple[str, ...]]
+    conditional: bool
+
+
+@dataclass(frozen=True)
+class RawSpawn:
+    """One static ``at_create`` call site."""
+
+    site_id: str
+    function: str
+    lineno: int
+    in_loop: bool
+    #: qualified name of the resolved body function, or None
+    body: Optional[str]
+    #: body parameter name -> region roots bound at the site
+    bindings: Mapping[str, Tuple[str, ...]]
+    name_exact: Optional[str]
+    name_prefix: str
+
+
+@dataclass(frozen=True)
+class RawShare:
+    """One static ``at_share`` call with marker-level arg resolution."""
+
+    function: str
+    lineno: int
+    src_markers: Tuple[str, ...]
+    dst_markers: Tuple[str, ...]
+    q_literal: Optional[float]
+
+
+@dataclass
+class ClassScan:
+    """Everything extracted from one workload class's source."""
+
+    path: str
+    class_name: str
+    #: qualified function name -> definition node
+    functions: Dict[str, ast.FunctionDef] = field(default_factory=dict)
+    #: qualified name -> parameter names (``self`` excluded for methods)
+    params: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    generators: Set[str] = field(default_factory=set)
+    region_defs: Dict[str, RegionDef] = field(default_factory=dict)
+    touches: Dict[str, List[TouchRecord]] = field(default_factory=dict)
+    calls: Dict[str, List[CallRecord]] = field(default_factory=dict)
+    spawns: List[RawSpawn] = field(default_factory=list)
+    shares: List[RawShare] = field(default_factory=list)
+    #: tid markers accumulated on ``self.<attr>`` assignments
+    attr_tids: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+
+def _call_target(node: ast.Call) -> Optional[str]:
+    """The trailing name of a call's target (``runtime.alloc`` -> alloc)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _const_int(node: ast.expr) -> Optional[int]:
+    """Fold an integer literal or a simple arithmetic tree of literals."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return int(node.value)
+    if isinstance(node, ast.BinOp):
+        left = _const_int(node.left)
+        right = _const_int(node.right)
+        if left is None or right is None:
+            return None
+        if isinstance(node.op, ast.Mult):
+            return left * right
+        if isinstance(node.op, ast.Add):
+            return left + right
+        if isinstance(node.op, ast.Sub):
+            return left - right
+        if isinstance(node.op, ast.FloorDiv) and right != 0:
+            return left // right
+    return None
+
+
+def _name_pattern(node: Optional[ast.expr]) -> Tuple[Optional[str], str]:
+    """(exact, prefix) of a thread/region name expression.
+
+    A string literal gives an exact name; an f-string or ``"x-" + ...``
+    concatenation gives the leading constant prefix; anything else gives
+    an empty prefix (the site stays usable, just unmatchable by name).
+    """
+    if node is None:
+        return None, ""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value, node.value
+    if isinstance(node, ast.JoinedStr):
+        prefix = ""
+        for value in node.values:
+            if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                prefix += value.value
+            else:
+                break
+        return None, prefix
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        exact, prefix = _name_pattern(node.left)
+        return None, prefix if exact is None else exact
+    return None, ""
+
+
+def _is_self_attribute(node: ast.expr) -> Optional[str]:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class _FunctionScanner:
+    """Document-order interpreter for one function body."""
+
+    def __init__(
+        self,
+        scan: ClassScan,
+        qualname: str,
+        node: ast.FunctionDef,
+        region_env: Dict[str, Tuple[str, ...]],
+        tid_env: Dict[str, Tuple[str, ...]],
+    ) -> None:
+        self.scan = scan
+        self.qualname = qualname
+        self.node = node
+        #: name -> region roots; params start as their own param-roots
+        self.region_env = region_env
+        self.tid_env = tid_env
+        self.nested: List[
+            Tuple[str, ast.FunctionDef, Dict[str, Tuple[str, ...]],
+                  Dict[str, Tuple[str, ...]]]
+        ] = []
+        #: spawn-call node -> tid marker, filled as calls are processed
+        self._spawn_markers: Dict[ast.Call, str] = {}
+        for name in self.scan.params.get(qualname, ()):
+            self.region_env.setdefault(name, (f"param:{qualname}:{name}",))
+
+    # -- entry ------------------------------------------------------------
+
+    def run(self) -> None:
+        self.scan.touches.setdefault(self.qualname, [])
+        self.scan.calls.setdefault(self.qualname, [])
+        self._scan_body(self.node.body, loop=0, cond=0)
+
+    # -- statement walk ---------------------------------------------------
+
+    def _scan_body(self, body: Sequence[ast.stmt], loop: int, cond: int) -> None:
+        for stmt in body:
+            self._scan_stmt(stmt, loop, cond)
+
+    def _scan_stmt(self, stmt: ast.stmt, loop: int, cond: int) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qual = f"{self.qualname}.{stmt.name}"
+            if isinstance(stmt, ast.FunctionDef) and qual in self.scan.functions:
+                self.nested.append(
+                    (qual, stmt, dict(self.region_env), dict(self.tid_env))
+                )
+            return
+        if isinstance(stmt, ast.For):
+            self._process_calls(stmt.iter, loop, cond)
+            self._bind_targets(stmt.target, stmt.iter)
+            self._scan_body(stmt.body, loop + 1, cond)
+            self._scan_body(stmt.orelse, loop + 1, cond)
+            return
+        if isinstance(stmt, ast.While):
+            self._process_calls(stmt.test, loop, cond)
+            self._scan_body(stmt.body, loop + 1, cond + 1)
+            self._scan_body(stmt.orelse, loop, cond)
+            return
+        if isinstance(stmt, ast.If):
+            self._process_calls(stmt.test, loop, cond)
+            self._scan_body(stmt.body, loop, cond + 1)
+            self._scan_body(stmt.orelse, loop, cond + 1)
+            return
+        if isinstance(stmt, (ast.With, ast.Try)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.stmt):
+                    self._scan_stmt(child, loop, cond)
+            return
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            value = stmt.value
+            if value is not None:
+                self._process_calls(value, loop, cond)
+                targets: List[ast.expr]
+                if isinstance(stmt, ast.Assign):
+                    targets = list(stmt.targets)
+                else:
+                    targets = [stmt.target]
+                self._assign(targets, value, loop)
+            return
+        # everything else (Expr with yields, Return, ...): just collect
+        # the calls it contains, in order
+        self._process_calls(stmt, loop, cond)
+
+    # -- assignment handling ----------------------------------------------
+
+    def _assign(
+        self, targets: List[ast.expr], value: ast.expr, loop: int
+    ) -> None:
+        alloc = self._as_alloc_call(value)
+        region_roots = self._region_roots(value)
+        tid_markers = self._tid_markers(value)
+        for target in targets:
+            if alloc is not None:
+                self._define_region(target, alloc, loop)
+                continue
+            self._bind_target(target, region_roots, tid_markers)
+
+    def _bind_targets(self, target: ast.expr, value: ast.expr) -> None:
+        """``for target in value``: propagate element roots coarsely."""
+        self._bind_target(
+            target, self._region_roots(value), self._tid_markers(value)
+        )
+
+    def _bind_target(
+        self,
+        target: ast.expr,
+        region_roots: Tuple[str, ...],
+        tid_markers: Tuple[str, ...],
+    ) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind_target(element, region_roots, tid_markers)
+            return
+        if isinstance(target, ast.Starred):
+            self._bind_target(target.value, region_roots, tid_markers)
+            return
+        attr = _is_self_attribute(target)
+        if attr is not None:
+            if tid_markers:
+                merged = tuple(
+                    dict.fromkeys(self.scan.attr_tids.get(attr, ()) + tid_markers)
+                )
+                self.scan.attr_tids[attr] = merged
+            return
+        if isinstance(target, ast.Subscript):
+            # d[k] = v merges into the container's known contents
+            base = target.value
+            if isinstance(base, ast.Name):
+                if region_roots:
+                    merged_r = tuple(dict.fromkeys(
+                        self.region_env.get(base.id, ()) + region_roots
+                    ))
+                    self.region_env[base.id] = merged_r
+                if tid_markers:
+                    merged_t = tuple(dict.fromkeys(
+                        self.tid_env.get(base.id, ()) + tid_markers
+                    ))
+                    self.tid_env[base.id] = merged_t
+            return
+        if isinstance(target, ast.Name):
+            if region_roots:
+                self.region_env[target.id] = region_roots
+            elif target.id in self.region_env and not self._is_param(target.id):
+                del self.region_env[target.id]
+            if tid_markers:
+                self.tid_env[target.id] = tid_markers
+            return
+
+    def _is_param(self, name: str) -> bool:
+        return name in self.scan.params.get(self.qualname, ())
+
+    def _define_region(
+        self, target: ast.expr, alloc: ast.Call, loop: int
+    ) -> None:
+        attr = _is_self_attribute(target)
+        if attr is not None:
+            key = f"attr:{attr}"
+        elif isinstance(target, ast.Name):
+            key = f"local:{self.qualname}:{target.id}"
+            self.region_env[target.id] = (key,)
+        else:
+            return
+        label, lines = self._alloc_facts(alloc)
+        self.scan.region_defs[key] = RegionDef(
+            key=key,
+            label=label,
+            lines=lines,
+            function=self.qualname,
+            lineno=alloc.lineno,
+            in_loop=loop > 0,
+        )
+
+    @staticmethod
+    def _as_alloc_call(value: ast.expr) -> Optional[ast.Call]:
+        if isinstance(value, ast.Call) and _call_target(value) in _ALLOC_NAMES:
+            return value
+        return None
+
+    @staticmethod
+    def _alloc_facts(alloc: ast.Call) -> Tuple[Optional[str], Optional[int]]:
+        label: Optional[str] = None
+        if alloc.args:
+            exact, prefix = _name_pattern(alloc.args[0])
+            label = exact if exact is not None else (prefix or None)
+        lines: Optional[int] = None
+        if len(alloc.args) >= 2:
+            size = _const_int(alloc.args[1])
+            if size is not None:
+                if _call_target(alloc) == "alloc":
+                    lines = -(-size // LINE_BYTES)
+                else:
+                    lines = size
+        return label, lines
+
+    # -- expression resolution --------------------------------------------
+
+    def _region_roots(self, expr: ast.expr) -> Tuple[str, ...]:
+        """Region instance/param roots mentioned anywhere in ``expr``."""
+        roots: List[str] = []
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name):
+                for root in self.region_env.get(node.id, ()):
+                    if root not in roots:
+                        roots.append(root)
+            attr = _is_self_attribute(node) if isinstance(node, ast.Attribute) else None
+            if attr is not None and f"attr:{attr}" in self.scan.region_defs:
+                if f"attr:{attr}" not in roots:
+                    roots.append(f"attr:{attr}")
+        return tuple(roots)
+
+    def _tid_markers(self, expr: ast.expr) -> Tuple[str, ...]:
+        """Tid markers mentioned anywhere in ``expr``."""
+        markers: List[str] = []
+
+        def add(found: Sequence[str]) -> None:
+            for marker in found:
+                if marker not in markers:
+                    markers.append(marker)
+
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                target = _call_target(node)
+                if target == "at_create" and node in self._spawn_markers:
+                    add((self._spawn_markers[node],))
+                elif target == "at_self":
+                    add((f"selfunits:{self.qualname}",))
+            elif isinstance(node, ast.Name):
+                add(self.tid_env.get(node.id, ()))
+            elif isinstance(node, ast.Attribute):
+                attr = _is_self_attribute(node)
+                if attr is not None:
+                    add((f"attrtids:{attr}",))
+        return tuple(markers)
+
+    # -- call processing ---------------------------------------------------
+
+    def _process_calls(self, node: ast.AST, loop: int, cond: int) -> None:
+        """Handle every Call inside ``node``, in AST order.
+
+        Calls inside comprehensions count as in-loop; calls that are an
+        ``at_create`` body argument are *not* synchronous calls of this
+        function and are skipped by the effect collector.
+        """
+        body_args: Set[int] = set()
+        for call in self._calls_in(node):
+            call_node, in_comp = call
+            target = _call_target(call_node)
+            if target == "at_create":
+                spawn_body = call_node.args[0] if call_node.args else None
+                if spawn_body is not None:
+                    for inner, _flag in self._calls_in(spawn_body):
+                        body_args.add(id(inner))
+                self._record_spawn(call_node, loop > 0 or in_comp)
+            elif target == "at_share":
+                self._record_share(call_node)
+            elif target in _TOUCH_NAMES:
+                self._record_touch(call_node, cond)
+            elif id(call_node) not in body_args:
+                self._record_call(call_node, cond)
+
+    @staticmethod
+    def _calls_in(node: ast.AST) -> List[Tuple[ast.Call, bool]]:
+        """(call, inside-comprehension) pairs, outermost first."""
+        found: List[Tuple[ast.Call, bool]] = []
+
+        def walk(current: ast.AST, in_comp: bool) -> None:
+            for child in ast.iter_child_nodes(current):
+                flag = in_comp or isinstance(child, _COMPREHENSIONS)
+                if isinstance(child, ast.Call):
+                    found.append((child, in_comp))
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                walk(child, flag)
+
+        if isinstance(node, ast.Call):
+            found.append((node, False))
+        walk(node, isinstance(node, _COMPREHENSIONS))
+        return found
+
+    def _record_touch(self, call: ast.Call, cond: int) -> None:
+        if not call.args:
+            return
+        roots = self._region_roots(call.args[0])
+        if not roots:
+            roots = (f"unknown:{ast.unparse(call.args[0])}",)
+        write = any(
+            kw.arg == "write"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is True
+            for kw in call.keywords
+        )
+        self.scan.touches.setdefault(self.qualname, []).append(
+            TouchRecord(
+                roots=roots,
+                write=write,
+                conditional=cond > 0,
+                lineno=call.lineno,
+            )
+        )
+
+    def _resolve_callee(self, func: ast.expr) -> Optional[str]:
+        attr = _is_self_attribute(func)
+        if attr is not None:
+            return attr if attr in self.scan.functions else None
+        if isinstance(func, ast.Name):
+            parts = self.qualname.split(".")
+            for depth in range(len(parts), -1, -1):
+                candidate = ".".join(parts[:depth] + [func.id])
+                if candidate in self.scan.functions:
+                    return candidate
+        return None
+
+    def _call_bindings(
+        self, call: ast.Call, callee: str, extra_env: Optional[Mapping[str, Tuple[str, ...]]] = None
+    ) -> Dict[str, Tuple[str, ...]]:
+        params = self.scan.params.get(callee, ())
+        bindings: Dict[str, Tuple[str, ...]] = {}
+
+        def roots_of(expr: ast.expr) -> Tuple[str, ...]:
+            found = list(self._region_roots(expr))
+            if extra_env is not None:
+                for node in ast.walk(expr):
+                    if isinstance(node, ast.Name):
+                        for root in extra_env.get(node.id, ()):
+                            if root not in found:
+                                found.append(root)
+            return tuple(found)
+
+        for index, arg in enumerate(call.args):
+            if index < len(params):
+                roots = roots_of(arg)
+                if roots:
+                    bindings[params[index]] = roots
+        for kw in call.keywords:
+            if kw.arg is not None and kw.arg in params:
+                roots = roots_of(kw.value)
+                if roots:
+                    bindings[kw.arg] = roots
+        return bindings
+
+    def _record_call(self, call: ast.Call, cond: int) -> None:
+        callee = self._resolve_callee(call.func)
+        if callee is None:
+            return
+        self.scan.calls.setdefault(self.qualname, []).append(
+            CallRecord(
+                callee=callee,
+                bindings=self._call_bindings(call, callee),
+                conditional=cond > 0,
+            )
+        )
+
+    # -- spawn / share sites ----------------------------------------------
+
+    def _record_spawn(self, call: ast.Call, in_loop: bool) -> None:
+        body_expr = call.args[0] if call.args else None
+        name_expr: Optional[ast.expr] = (
+            call.args[1] if len(call.args) >= 2 else None
+        )
+        for kw in call.keywords:
+            if kw.arg == "name":
+                name_expr = kw.value
+        body, bindings = self._resolve_spawn_body(body_expr)
+        exact, prefix = _name_pattern(name_expr)
+        site_id = f"{self.qualname}:{call.lineno}"
+        self.scan.spawns.append(
+            RawSpawn(
+                site_id=site_id,
+                function=self.qualname,
+                lineno=call.lineno,
+                in_loop=in_loop,
+                body=body,
+                bindings=bindings,
+                name_exact=exact,
+                name_prefix=prefix,
+            )
+        )
+        self._spawn_markers[call] = f"unit:{site_id}"
+
+    def _resolve_spawn_body(
+        self, body_expr: Optional[ast.expr]
+    ) -> Tuple[Optional[str], Dict[str, Tuple[str, ...]]]:
+        """(body function, param->region-roots bindings) for a spawn arg."""
+        if body_expr is None:
+            return None, {}
+        if isinstance(body_expr, ast.Lambda):
+            # lambda-with-captures: defaults bind the lambda's params in
+            # the current scope, then the wrapped call resolves with
+            # those captures visible
+            lam_env: Dict[str, Tuple[str, ...]] = {}
+            lam_args = body_expr.args
+            defaults = lam_args.defaults
+            names = [a.arg for a in lam_args.args]
+            for param, default in zip(names[len(names) - len(defaults):], defaults):
+                roots = self._region_roots(default)
+                if roots:
+                    lam_env[param] = roots
+            inner = body_expr.body
+            if isinstance(inner, ast.Call):
+                callee = self._resolve_callee(inner.func)
+                if callee is None:
+                    return None, {}
+                return callee, self._call_bindings(inner, callee, extra_env=lam_env)
+            return None, {}
+        if isinstance(body_expr, ast.Call):
+            callee = self._resolve_callee(body_expr.func)
+            if callee is None:
+                return None, {}
+            return callee, self._call_bindings(body_expr, callee)
+        if isinstance(body_expr, ast.Name):
+            callee = self._resolve_callee(body_expr)
+            if callee is None:
+                return None, {}
+            # bare reference: default-argument captures are the bindings
+            node = self.scan.functions[callee]
+            bindings: Dict[str, Tuple[str, ...]] = {}
+            defaults = node.args.defaults
+            names = [a.arg for a in node.args.args]
+            if names and names[0] == "self":
+                names = names[1:]
+            for param, default in zip(names[len(names) - len(defaults):], defaults):
+                roots = self._region_roots(default)
+                if roots:
+                    bindings[param] = roots
+            return callee, bindings
+        attr = _is_self_attribute(body_expr)
+        if attr is not None and attr in self.scan.functions:
+            return attr, {}
+        return None, {}
+
+    def _record_share(self, call: ast.Call) -> None:
+        args: List[Optional[ast.expr]] = [None, None, None]
+        for index, arg in enumerate(call.args[:3]):
+            args[index] = arg
+        for kw in call.keywords:
+            if kw.arg == "src":
+                args[0] = kw.value
+            elif kw.arg == "dst":
+                args[1] = kw.value
+            elif kw.arg == "q":
+                args[2] = kw.value
+        q_literal: Optional[float] = None
+        if args[2] is not None and isinstance(args[2], ast.Constant) and isinstance(
+            args[2].value, (int, float)
+        ):
+            q_literal = float(args[2].value)
+        self.scan.shares.append(
+            RawShare(
+                function=self.qualname,
+                lineno=call.lineno,
+                src_markers=(
+                    self._tid_markers(args[0]) if args[0] is not None else ()
+                ),
+                dst_markers=(
+                    self._tid_markers(args[1]) if args[1] is not None else ()
+                ),
+                q_literal=q_literal,
+            )
+        )
+
+
+def _register_functions(scan: ClassScan, class_node: ast.ClassDef) -> None:
+    """Map every method and nested function to a qualified name."""
+
+    def register(node: ast.FunctionDef, qualname: str) -> None:
+        scan.functions[qualname] = node
+        names = [a.arg for a in node.args.args]
+        if names and names[0] == "self":
+            names = names[1:]
+        scan.params[qualname] = tuple(names)
+        if _yields_directly(node):
+            scan.generators.add(qualname)
+        for child in node.body:
+            if isinstance(child, ast.FunctionDef):
+                register(child, f"{qualname}.{child.name}")
+            else:
+                for inner in ast.walk(child):
+                    if isinstance(inner, ast.FunctionDef):
+                        register(inner, f"{qualname}.{inner.name}")
+
+    for item in class_node.body:
+        if isinstance(item, ast.FunctionDef):
+            register(item, item.name)
+
+
+def _yields_directly(node: ast.FunctionDef) -> bool:
+    """Whether ``node`` itself (not a nested def) contains a yield."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        current = stack.pop()
+        if isinstance(current, (ast.Yield, ast.YieldFrom)):
+            return True
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(current))
+    return False
+
+
+def _collect_attr_regions(scan: ClassScan, class_node: ast.ClassDef) -> None:
+    """Pre-pass: every ``self.X = runtime.alloc*(...)`` in any method.
+
+    Collected before function scanning so a touch in an early method can
+    resolve an attribute a later method allocates.
+    """
+    for node in ast.walk(class_node):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        if not (
+            isinstance(value, ast.Call)
+            and _call_target(value) in _ALLOC_NAMES
+        ):
+            continue
+        for target in node.targets:
+            attr = _is_self_attribute(target)
+            if attr is None:
+                continue
+            label, lines = _FunctionScanner._alloc_facts(value)
+            qual = _enclosing_function(class_node, node)
+            scan.region_defs[f"attr:{attr}"] = RegionDef(
+                key=f"attr:{attr}",
+                label=label,
+                lines=lines,
+                function=qual,
+                lineno=value.lineno,
+                in_loop=False,
+            )
+
+
+def _enclosing_function(class_node: ast.ClassDef, target: ast.AST) -> str:
+    for item in class_node.body:
+        if isinstance(item, ast.FunctionDef):
+            for node in ast.walk(item):
+                if node is target:
+                    return item.name
+    return "?"
+
+
+def scan_class(
+    tree: ast.Module, class_name: str, path: str
+) -> Optional[ClassScan]:
+    """Scan one class of a parsed module; None if the class is absent."""
+    class_node: Optional[ast.ClassDef] = None
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            class_node = node
+            break
+    if class_node is None:
+        return None
+    scan = ClassScan(path=path, class_name=class_name)
+    _register_functions(scan, class_node)
+    _collect_attr_regions(scan, class_node)
+
+    # scan methods in source order; nested defs run after their parent
+    # with a snapshot of the parent's environments at the def site
+    queue: List[
+        Tuple[str, ast.FunctionDef, Dict[str, Tuple[str, ...]],
+              Dict[str, Tuple[str, ...]]]
+    ] = [
+        (item.name, item, {}, {})
+        for item in class_node.body
+        if isinstance(item, ast.FunctionDef)
+    ]
+    while queue:
+        qualname, node, region_env, tid_env = queue.pop(0)
+        scanner = _FunctionScanner(scan, qualname, node, region_env, tid_env)
+        scanner.run()
+        queue = scanner.nested + queue
+    return scan

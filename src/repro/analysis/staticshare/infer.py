@@ -1,0 +1,406 @@
+"""From raw extraction to a predicted sharing graph.
+
+The inference takes one :class:`~repro.analysis.staticshare.extract.ClassScan`
+plus the effect summaries and produces a
+:class:`~repro.analysis.staticshare.model.StaticPrediction`:
+
+1. **units** -- each ``at_create`` site becomes a
+   :class:`~repro.analysis.staticshare.model.SpawnUnit`; a site is
+   ``multi`` when it sits in a loop/comprehension or its enclosing
+   function executes more than once (fixpoint over the call graph plus
+   spawn fan-out, which is what makes recursive spawners like merge
+   sort's halves and tsp's child nodes come out right);
+2. **instantiation** -- each unit's body summary is specialised with
+   the site's region bindings, keeping track of whether an instance is
+   the body's *own* (allocated on its execution path) or *inherited*
+   (handed across the spawn);
+3. **instance classification** -- an allocation site stands for one
+   region (``self.X``, or a local of a run-once function), a region per
+   loop iteration, or a region per body execution; the class decides
+   which touch combinations can alias:
+
+   - *shared*: every toucher pair shares; definite when both sides
+     touch unconditionally;
+   - *per-iteration* (loop local of a run-once function): a unit
+     spawned in the allocating loop is privatised -- one fresh instance
+     per thread -- so only *distinct* units can pair, conditionally;
+   - *per-execution* (local of a multiply-executed function): own
+     instances never alias each other; sharing flows own->inherited
+     (parent hands its instance to a child) and
+     inherited<->inherited (siblings), conditionally;
+   - *unknown text*: touches the extractor could not resolve pair by
+     identical source text only, at the heuristic tier;
+
+4. **annotation resolution** -- ``at_share`` arguments expand through
+   tid markers (spawn sites, ``at_self``, tid-carrying attributes) to
+   unit pairs, giving the static notion of "already annotated".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.analysis.staticshare.effects import Effect, summarize
+from repro.analysis.staticshare.extract import ClassScan, RawSpawn
+from repro.analysis.staticshare.model import (
+    TIER_CONDITIONAL,
+    TIER_DEFINITE,
+    TIER_HEURISTIC,
+    PredictedEdge,
+    ShareSiteRef,
+    SpawnUnit,
+    StaticPrediction,
+)
+
+__all__ = ["infer_prediction"]
+
+_NONE, _ONCE, _MANY = 0, 1, 2
+_TIER_RANK = {TIER_DEFINITE: 0, TIER_CONDITIONAL: 1, TIER_HEURISTIC: 2}
+
+
+def _saturating_add(a: int, b: int) -> int:
+    return min(_MANY, a + b)
+
+
+def _function_multiplicity(scan: ClassScan) -> Dict[str, int]:
+    """How often each function executes: never, once, or many times.
+
+    Entry points (top-level methods nobody calls or spawns) run once --
+    that covers ``build``/``__init__``, which the driver invokes
+    directly.  Calls propagate the caller's multiplicity; spawn sites
+    add thread counts to their body function (a loop site, or a site in
+    a many-times function, contributes "many").
+    """
+    spawn_bodies = {s.body for s in scan.spawns if s.body is not None}
+    called = {c.callee for records in scan.calls.values() for c in records}
+    mult: Dict[str, int] = {name: _NONE for name in scan.functions}
+    for name in scan.functions:
+        if "." in name or name in spawn_bodies or name in called:
+            continue
+        mult[name] = _ONCE
+
+    for _ in range(len(scan.functions) + 2):
+        changed = False
+        nxt = dict(mult)
+        for name in sorted(scan.calls):
+            if mult.get(name, _NONE) == _NONE:
+                continue
+            for call in scan.calls[name]:
+                merged = _saturating_add(
+                    nxt.get(call.callee, _NONE), mult[name]
+                )
+                if merged != nxt.get(call.callee, _NONE):
+                    nxt[call.callee] = merged
+                    changed = True
+        for spawn in scan.spawns:
+            if spawn.body is None:
+                continue
+            site_exec = mult.get(spawn.function, _NONE)
+            if site_exec == _NONE:
+                continue
+            threads = _MANY if (spawn.in_loop or site_exec == _MANY) else _ONCE
+            merged = _saturating_add(nxt.get(spawn.body, _NONE), threads)
+            if merged != nxt.get(spawn.body, _NONE):
+                nxt[spawn.body] = merged
+                changed = True
+        mult = nxt
+        if not changed:
+            break
+    return mult
+
+
+def _unit_ids(spawns: List[RawSpawn]) -> Dict[str, str]:
+    """site_id -> readable unit id, disambiguated by line when needed."""
+
+    def base(spawn: RawSpawn) -> str:
+        if spawn.name_exact is not None:
+            return spawn.name_exact
+        if spawn.name_prefix:
+            return spawn.name_prefix + "*"
+        return f"{spawn.function}:{spawn.lineno}"
+
+    counts: Dict[str, int] = {}
+    for spawn in spawns:
+        counts[base(spawn)] = counts.get(base(spawn), 0) + 1
+    out: Dict[str, str] = {}
+    for spawn in spawns:
+        name = base(spawn)
+        if counts[name] > 1:
+            name = f"{name}@{spawn.lineno}"
+        out[spawn.site_id] = name
+    return out
+
+
+def _expand_markers(
+    markers: Tuple[str, ...],
+    scan: ClassScan,
+    unit_by_site: Mapping[str, str],
+    units_by_body: Mapping[str, Tuple[str, ...]],
+    stack: Tuple[str, ...] = (),
+) -> Tuple[str, ...]:
+    """Resolve tid markers to the unit ids they can denote."""
+    found: Set[str] = set()
+    for marker in markers:
+        if marker.startswith("unit:"):
+            unit = unit_by_site.get(marker[len("unit:"):])
+            if unit is not None:
+                found.add(unit)
+        elif marker.startswith("selfunits:"):
+            found.update(units_by_body.get(marker[len("selfunits:"):], ()))
+        elif marker.startswith("attrtids:"):
+            attr = marker[len("attrtids:"):]
+            if attr in stack:
+                continue
+            found.update(
+                _expand_markers(
+                    scan.attr_tids.get(attr, ()),
+                    scan,
+                    unit_by_site,
+                    units_by_body,
+                    stack + (attr,),
+                )
+            )
+    return tuple(sorted(found))
+
+
+class _PairStore:
+    """Accumulates evidence per unordered unit pair."""
+
+    def __init__(self) -> None:
+        self.tier: Dict[Tuple[str, str], str] = {}
+        self.keys: Dict[Tuple[str, str], Set[str]] = {}
+
+    def add(self, a: str, b: str, tier: str, key: str) -> None:
+        pair = (a, b) if a <= b else (b, a)
+        prior = self.tier.get(pair)
+        if prior is None or _TIER_RANK[tier] < _TIER_RANK[prior]:
+            self.tier[pair] = tier
+        self.keys.setdefault(pair, set()).add(key)
+
+
+def infer_prediction(
+    scan: ClassScan, workload: str
+) -> StaticPrediction:
+    """Run the full inference over one scanned class."""
+    summaries = summarize(scan)
+    mult = _function_multiplicity(scan)
+    unit_by_site = _unit_ids(scan.spawns)
+
+    units: Dict[str, SpawnUnit] = {}
+    units_by_body: Dict[str, Tuple[str, ...]] = {}
+    for spawn in scan.spawns:
+        unit_id = unit_by_site[spawn.site_id]
+        multi = spawn.in_loop or mult.get(spawn.function, _NONE) == _MANY
+        units[unit_id] = SpawnUnit(
+            unit_id=unit_id,
+            name_exact=spawn.name_exact,
+            name_prefix=spawn.name_prefix,
+            body=spawn.body if spawn.body is not None else "?",
+            bindings=dict(spawn.bindings),
+            function=spawn.function,
+            lineno=spawn.lineno,
+            multi=multi,
+        )
+        if spawn.body is not None:
+            units_by_body[spawn.body] = tuple(
+                sorted(set(units_by_body.get(spawn.body, ())) | {unit_id})
+            )
+
+    # -- instantiate effects per unit -------------------------------------
+    # (key, inherited) -> (write, conditional); conditional joins with AND
+    touched: Dict[str, Dict[Tuple[str, bool], Tuple[bool, bool]]] = {}
+    for unit_id in sorted(units):
+        unit = units[unit_id]
+        store: Dict[Tuple[str, bool], Tuple[bool, bool]] = {}
+        own_prefix = f"param:{unit.body}:"
+        for root, write, cond in summaries.get(unit.body, ()):
+            targets: List[Tuple[str, bool]] = []
+            if root.startswith(own_prefix):
+                param = root[len(own_prefix):]
+                for actual in unit.bindings.get(param, ()):
+                    if not actual.startswith("param:"):
+                        targets.append((actual, True))
+            elif root.startswith("param:"):
+                continue
+            else:
+                targets.append((root, False))
+            for key, inherited in targets:
+                prior = store.get((key, inherited))
+                if prior is None:
+                    store[(key, inherited)] = (write, cond)
+                else:
+                    store[(key, inherited)] = (
+                        prior[0] or write, prior[1] and cond
+                    )
+        touched[unit_id] = store
+
+    # -- per-instance-key toucher tables ----------------------------------
+    # key -> unit -> (conditional, touches-own-instance,
+    #                 touches-inherited-instance); a body can do both
+    # (tsp: its own matrix *and* the parent's, handed across the spawn)
+    by_key: Dict[str, Dict[str, Tuple[bool, bool, bool]]] = {}
+    for unit_id in sorted(touched):
+        for (key, inherited), (_write, cond) in sorted(
+            touched[unit_id].items()
+        ):
+            per_unit = by_key.setdefault(key, {})
+            prior = per_unit.get(unit_id, (True, False, False))
+            per_unit[unit_id] = (
+                prior[0] and cond,
+                prior[1] or not inherited,
+                prior[2] or inherited,
+            )
+
+    def classify(key: str) -> str:
+        if key.startswith("unknown:"):
+            return "text"
+        if key.startswith("attr:"):
+            return "shared"
+        region = scan.region_defs.get(key)
+        if region is None:
+            return "shared"
+        if mult.get(region.function, _NONE) == _MANY:
+            return "perexec"
+        if region.in_loop:
+            return "loop"
+        return "shared"
+
+    def own_units(key: str) -> List[str]:
+        return [u for u in sorted(by_key.get(key, {})) if by_key[key][u][1]]
+
+    def inherited_units(key: str) -> List[str]:
+        return [u for u in sorted(by_key.get(key, {})) if by_key[key][u][2]]
+
+    pairs = _PairStore()
+    for key in sorted(by_key):
+        cls = classify(key)
+        toucher_ids = sorted(by_key[key])
+        conds = {u: by_key[key][u][0] for u in toucher_ids}
+        if cls == "shared":
+            for i, a in enumerate(toucher_ids):
+                for b in toucher_ids[i:]:
+                    if a == b and not units[a].multi:
+                        continue
+                    tier = (
+                        TIER_DEFINITE
+                        if not (conds[a] or conds[b])
+                        else TIER_CONDITIONAL
+                    )
+                    pairs.add(a, b, tier, key)
+        elif cls == "loop":
+            # one instance per iteration: threads of a single unit
+            # spawned in the loop each get their own -- only distinct
+            # units can see the same iteration's instance
+            for i, a in enumerate(toucher_ids):
+                for b in toucher_ids[i + 1:]:
+                    pairs.add(a, b, TIER_CONDITIONAL, key)
+        elif cls == "perexec":
+            # one instance per body execution: sharing flows from the
+            # executing thread to threads it hands the instance to
+            owners = own_units(key)
+            heirs = inherited_units(key)
+            for a in owners:
+                for b in heirs:
+                    if a != b or units[a].multi:
+                        pairs.add(a, b, TIER_CONDITIONAL, key)
+            for i, a in enumerate(heirs):
+                for b in heirs[i:]:
+                    if a == b and not units[a].multi:
+                        continue
+                    pairs.add(a, b, TIER_CONDITIONAL, key)
+        else:  # text
+            for i, a in enumerate(toucher_ids):
+                for b in toucher_ids[i:]:
+                    if a == b and not units[a].multi:
+                        continue
+                    pairs.add(a, b, TIER_HEURISTIC, key)
+
+    # -- footprints and static q ------------------------------------------
+    footprints: Dict[str, Optional[int]] = {}
+    for unit_id in sorted(units):
+        keys = {key for (key, _inh) in touched.get(unit_id, {})}
+        total: Optional[int] = 0
+        for key in sorted(keys):
+            if key.startswith("unknown:"):
+                total = None
+                break
+            region = scan.region_defs.get(key)
+            if region is None or region.lines is None:
+                total = None
+                break
+            assert total is not None
+            total += region.lines
+        footprints[unit_id] = total if keys else None
+
+    def shared_lines(pair: Tuple[str, str]) -> Optional[int]:
+        total = 0
+        for key in sorted(pairs.keys[pair]):
+            region = scan.region_defs.get(key)
+            if region is None or region.lines is None:
+                return None
+            total += region.lines
+        return total
+
+    def display(key: str) -> str:
+        if key.startswith("unknown:"):
+            return key[len("unknown:"):]
+        region = scan.region_defs.get(key)
+        if region is not None and region.label:
+            return region.label
+        return key
+
+    edges: Dict[Tuple[str, str], PredictedEdge] = {}
+    for pair in sorted(pairs.tier):
+        tier = pairs.tier[pair]
+        regions = tuple(sorted({display(key) for key in pairs.keys[pair]}))
+        lines = shared_lines(pair)
+        directions = [pair] if pair[0] == pair[1] else [pair, (pair[1], pair[0])]
+        for src, dst in directions:
+            fp = footprints.get(src)
+            q: Optional[float] = None
+            if lines is not None and fp is not None and fp > 0:
+                q = round(min(1.0, lines / fp), 2)
+            edges[(src, dst)] = PredictedEdge(
+                src=src,
+                dst=dst,
+                src_display=units[src].display,
+                dst_display=units[dst].display,
+                tier=tier,
+                regions=regions,
+                q_static=q,
+            )
+
+    # -- annotated pairs ---------------------------------------------------
+    annotated: Dict[Tuple[str, str], ShareSiteRef] = {}
+    for share in scan.shares:
+        src_units = _expand_markers(
+            share.src_markers, scan, unit_by_site, units_by_body
+        )
+        dst_units = _expand_markers(
+            share.dst_markers, scan, unit_by_site, units_by_body
+        )
+        ref = ShareSiteRef(
+            function=share.function,
+            lineno=share.lineno,
+            src_units=src_units,
+            dst_units=dst_units,
+            q_literal=share.q_literal,
+        )
+        for src in src_units:
+            for dst in dst_units:
+                annotated.setdefault((src, dst), ref)
+
+    touchers = {
+        key: tuple(sorted(by_key[key])) for key in sorted(by_key)
+    }
+    return StaticPrediction(
+        workload=workload,
+        path=scan.path,
+        class_name=scan.class_name,
+        units=units,
+        regions=dict(sorted(scan.region_defs.items())),
+        edges=edges,
+        annotated_pairs=annotated,
+        touchers=touchers,
+        footprints=footprints,
+    )

@@ -9,6 +9,8 @@ Commands:
 - ``experiment`` regenerate a paper table/figure by name;
 - ``faults run`` the fault-injection campaign (robustness contract);
 - ``analyze``    annotation lint / lock-order / race passes (byte-stable);
+- ``staticshare``  the static sharing inference: predicted ``at_share``
+  graphs from source, cross-validated against the dynamic audit;
 - ``lint``       the repro-lint determinism pass over the simulator source;
 - ``mc``         the schedule model checker (DPOR) + symbolic cache-model
   verification (MC001-MC005);
@@ -382,6 +384,7 @@ def _cmd_analyze(args) -> int:
         with_lint=args.with_lint,
         with_mc=args.mc,
         mc_budget=args.mc_budget,
+        with_static=args.static,
     )
     if args.waive:
         from repro.analysis.diagnostics import add_waiver
@@ -463,10 +466,14 @@ def _analyze_repair(args, names, passes) -> int:
         render_report,
         repair_workload,
     )
+    from repro.analysis.sources import SourceRegistry
 
+    registry = SourceRegistry()
     patched_paths = []
     for name in sorted(names):
-        result = repair_workload(name)
+        result = repair_workload(
+            name, with_static=args.static, registry=registry
+        )
         for line in render_report(result):
             print(line)
         if args.fix:
@@ -491,6 +498,7 @@ def _analyze_repair(args, names, passes) -> int:
         passes=passes if passes else ("annotations", "locks", "races"),
         baseline_path=args.baseline,
         with_lint=args.with_lint,
+        with_static=args.static,
     )
     blocking = refresh_baseline(args.baseline, report)
     if blocking:
@@ -508,6 +516,53 @@ def _analyze_repair(args, names, passes) -> int:
         "fingerprint(s)"
     )
     return 0
+
+
+def _cmd_staticshare(args) -> int:
+    """``repro staticshare``: the static sharing inference, standalone."""
+    from repro.analysis import lint_workload_names
+    from repro.analysis.engine import audit_workload, static_validate_workload
+    from repro.analysis.sources import SourceRegistry
+    from repro.analysis.staticshare import render_prediction
+
+    names = lint_workload_names()
+    if args.workload:
+        unknown = [w for w in args.workload if w not in names]
+        if unknown:
+            print(
+                "repro staticshare: unknown workload(s) %s (choose from %s)"
+                % (", ".join(unknown), ", ".join(names)),
+                file=sys.stderr,
+            )
+            return 2
+        names = args.workload
+    registry = SourceRegistry()
+    failed = False
+    blocks = []
+    for name in sorted(names):
+        audit = None
+        if not args.no_dynamic:
+            audit = audit_workload(
+                name, passes=("annotations",), registry=registry
+            )
+        validation = static_validate_workload(
+            name, registry=registry, audit=audit
+        )
+        if validation is None:
+            print(
+                f"repro staticshare: {name}: source not statically "
+                "analyzable",
+                file=sys.stderr,
+            )
+            failed = True
+            continue
+        block = render_prediction(validation.prediction, validation)
+        for diag in validation.diagnostics:
+            block += f"\n  {diag.render()}"
+            failed = True
+        blocks.append(block)
+    print("\n\n".join(blocks))
+    return 1 if failed else 0
 
 
 def _cmd_mc(args) -> int:
@@ -896,7 +951,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--waive-reason", metavar="TEXT",
         help="justification stored with --waive",
     )
+    analyze_p.add_argument(
+        "--static", action="store_true",
+        help="also run the static sharing inference and cross-validate "
+        "it against the dynamic audit (SA001-SA003); with --suggest, "
+        "attach unexercised-path candidates from SA001 findings",
+    )
     analyze_p.set_defaults(func=_cmd_analyze)
+
+    staticshare_p = sub.add_parser(
+        "staticshare",
+        help="static sharing inference: predicted at_share graphs, "
+        "cross-validated against the dynamic audit",
+    )
+    staticshare_p.add_argument(
+        "--workload",
+        action="append",
+        help="workload to predict (repeatable; default: all)",
+    )
+    staticshare_p.add_argument(
+        "--no-dynamic", action="store_true",
+        help="skip the instrumented run; report the pure static "
+        "prediction without cross-validation",
+    )
+    staticshare_p.set_defaults(func=_cmd_staticshare)
 
     lint_p = sub.add_parser(
         "lint",

@@ -1,0 +1,53 @@
+"""A workload whose sharing hides on a code path the audit never runs.
+
+``cold-a``/``cold-b`` each work a private scratch region every period,
+but touch the one shared region only when ``deep=True`` -- and the
+analysis config builds the workload with the default ``deep=False``.
+The dynamic auditor therefore sees two disjoint threads and has nothing
+to say; only the static pass can see the ``if self.deep`` branch and
+predict the (conditional-tier) sharing.  The pair is deliberately
+unannotated, so the expected verdict is:
+
+- SA001 on (cold-a, cold-b), conditional tier, via ``cold-shared``;
+- no SA003 (the conditional tier is exempt: "runs only on some inputs"
+  is exactly what the tier asserts, so zero dynamic overlap is not a
+  disagreement);
+- one unexercised-path repair candidate from the SA001 bridge.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.machine.address import Region
+from repro.threads.events import Compute, Touch
+from repro.workloads.base import Workload
+
+
+class ColdPathWorkload(Workload):
+    """Sharing gated behind a flag the analysis run leaves off."""
+
+    name = "coldpath"
+
+    def __init__(self, deep: bool = False) -> None:
+        self.deep = deep
+
+    def build(self, runtime) -> None:
+        shared = runtime.alloc_lines("cold-shared", 32)
+        scratch_a = runtime.alloc_lines("cold-scratch-a", 32)
+        scratch_b = runtime.alloc_lines("cold-scratch-b", 32)
+
+        def worker(scratch: Region) -> Generator:
+            for _ in range(2):
+                yield Touch(scratch.lines(), write=True)
+                yield Compute(100)
+                if self.deep:
+                    # the cold path: both workers rescan the shared
+                    # table, but only on deep runs the audit never does
+                    yield Touch(shared.lines())
+                    yield Compute(100)
+
+        runtime.at_create(worker(scratch_a), name="cold-a")
+        runtime.at_create(worker(scratch_b), name="cold-b")
+        # deliberately unannotated: the dynamic audit cannot miss what it
+        # never observes, so only SA001 can ask for the edge

@@ -1,0 +1,38 @@
+"""A workload where the static and dynamic verdicts genuinely disagree.
+
+``slice-a``/``slice-b`` both touch the one ``sliced-table`` region, so
+the static pass -- which reasons at whole-region granularity -- predicts
+a definite edge between them.  But they work *disjoint halves* of the
+region, so the dynamic audit observes zero line overlap.  The pair is
+annotated (so neither SA001 nor SA002 applies) and the expected verdict
+is exactly one SA003: static says definite, dynamics say nothing
+overlapped, and unlike the conditional tier a definite edge has no
+"only on some inputs" excuse.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.machine.address import Region
+from repro.threads.events import Compute, Touch
+from repro.workloads.base import Workload
+
+
+class SlicedShareWorkload(Workload):
+    """Whole-region static sharing that dynamic slicing disproves."""
+
+    name = "slicedshare"
+
+    def build(self, runtime) -> None:
+        table = runtime.alloc_lines("sliced-table", 32)
+
+        def half(region: Region, lo: int, hi: int) -> Generator:
+            for _ in range(2):
+                yield Touch(region.line_slice(lo, hi - lo), write=True)
+                yield Compute(100)
+
+        tid_a = runtime.at_create(half(table, 0, 16), name="slice-a")
+        tid_b = runtime.at_create(half(table, 16, 32), name="slice-b")
+        # annotated on the strength of the (wrong) whole-region reading
+        runtime.at_share(tid_a, tid_b, 0.9)

@@ -1,0 +1,64 @@
+"""The shared source registry: one parse per module per analysis run."""
+
+import pytest
+
+from repro.analysis.astmap import scan_share_sites
+from repro.analysis.engine import audit_workload, static_validate_workload
+from repro.analysis.locks import scan_workload_class
+from repro.analysis.sources import SourceRegistry
+from repro.analysis.staticshare import predict_workload
+
+
+def test_registry_parses_each_file_once(tmp_path):
+    path = tmp_path / "mod.py"
+    path.write_text("X = 1\n")
+    registry = SourceRegistry()
+    first = registry.tree(str(path))
+    second = registry.tree(str(path))
+    assert first is second
+    assert registry.parse_count == 1
+
+
+def test_registry_resolves_path_spellings(tmp_path):
+    path = tmp_path / "mod.py"
+    path.write_text("X = 1\n")
+    registry = SourceRegistry()
+    registry.tree(str(path))
+    registry.tree(str(tmp_path / "." / "mod.py"))
+    assert registry.parse_count == 1
+
+
+def test_registry_propagates_read_and_parse_errors(tmp_path):
+    registry = SourceRegistry()
+    with pytest.raises(OSError):
+        registry.tree(str(tmp_path / "absent.py"))
+    bad = tmp_path / "bad.py"
+    bad.write_text("def broken(:\n")
+    with pytest.raises(SyntaxError):
+        registry.tree(str(bad))
+
+
+def test_all_passes_share_one_parse_of_the_workload_module():
+    """The dedup regression gate: lock scan, astmap, and the static
+    sharing inference all consume the same tree, so a full per-workload
+    analysis parses the workload module exactly once."""
+    import inspect
+
+    from repro.workloads import TspWorkload
+
+    registry = SourceRegistry()
+    source_file = inspect.getsourcefile(TspWorkload)
+    scan_workload_class(TspWorkload, registry=registry)
+    scan_share_sites(source_file, registry=registry)
+    assert predict_workload(TspWorkload, "tsp", registry=registry) is not None
+    assert registry.parse_count == 1
+
+
+def test_engine_threads_one_registry_through_audit_and_static():
+    registry = SourceRegistry()
+    audit = audit_workload("tsp", registry=registry)
+    parses_after_audit = registry.parse_count
+    assert parses_after_audit == 1  # the lock scan's parse
+    validation = static_validate_workload("tsp", registry=registry, audit=audit)
+    assert validation is not None
+    assert registry.parse_count == parses_after_audit  # reused, not reparsed

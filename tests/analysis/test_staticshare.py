@@ -1,0 +1,262 @@
+"""The static sharing inference: prediction, cross-validation, bridge.
+
+The seeded-bad fixtures pin the SA codes exactly; the shipped workloads
+pin the pass's precision/recall (asserted to the digit -- these are the
+paper-facing numbers the CI job also checks); the bridge tests pin the
+acceptance round-trip: an SA001 finding on an unexercised code path
+becomes a repair candidate that ``repro analyze --suggest --static``
+would print.
+"""
+
+import re
+
+from repro.analysis.diagnostics import (
+    Report,
+    add_waiver,
+    load_baseline,
+    load_waivers,
+    refresh_baseline,
+    write_baseline,
+)
+from repro.analysis.engine import (
+    audit_workload,
+    lint_workload_names,
+    run_analysis,
+    static_validate_workload,
+)
+from repro.analysis.repair import render_report, repair_workload
+from repro.analysis.staticshare import (
+    TIER_CONDITIONAL,
+    TIER_DEFINITE,
+    render_prediction,
+    static_candidates,
+)
+
+from tests.analysis.fixtures.badworkloads import MisannotatedWorkload
+from tests.analysis.fixtures.coldpath import ColdPathWorkload
+from tests.analysis.fixtures.patchworkload import PatchableWorkload
+from tests.analysis.fixtures.slicedshare import SlicedShareWorkload
+
+
+def _validate(name, cls, dynamic=True):
+    audit = (
+        audit_workload(name, workload_factory=cls, passes=("annotations",))
+        if dynamic
+        else None
+    )
+    return static_validate_workload(name, workload_factory=cls, audit=audit)
+
+
+def _codes(validation):
+    return [d.code for d in validation.diagnostics]
+
+
+# -- seeded-bad fixtures: exact SA verdicts --------------------------------
+
+
+def test_misannotated_unannotated_sharing_is_sa001():
+    validation = _validate("misannotated", MisannotatedWorkload)
+    assert _codes(validation) == ["SA001", "SA002"]
+    sa001 = validation.diagnostics[0]
+    assert "sharer-a <-> sharer-b" in sa001.message
+    assert "fixture-shared" in sa001.message
+    assert "[definite]" in sa001.message
+    assert sa001.anchor.startswith("tests/analysis/fixtures/badworkloads.py:")
+
+
+def test_misannotated_disjoint_annotation_is_sa002():
+    validation = _validate("misannotated", MisannotatedWorkload)
+    sa002 = [d for d in validation.diagnostics if d.code == "SA002"]
+    assert len(sa002) == 1
+    assert "loner-a -> loner-b" in sa002[0].message
+
+
+def test_misannotated_half_overlap_stays_silent():
+    """Static granularity is whole-region: the half-a/half-b pair is
+    predicted *and* annotated, so no SA code fires -- the q mismatch is
+    the dynamic auditor's AN003, not a static finding."""
+    validation = _validate("misannotated", MisannotatedWorkload)
+    messages = " | ".join(d.message for d in validation.diagnostics)
+    assert "half-a" not in messages
+
+
+def test_patchable_lone_pair_is_sa002_and_chain_is_covered():
+    validation = _validate("patchable", PatchableWorkload)
+    assert _codes(validation) == ["SA002"]
+    assert "lone-a -> lone-b" in validation.diagnostics[0].message
+    # the chain-* self edge (loop-spawned siblings) is predicted definite
+    # and covered by the zip-loop annotations: no SA001
+    assert ("chain-*", "chain-*") in validation.static_pairs
+
+
+def test_sliced_share_is_sa003_disagreement():
+    """Definite static edge, zero dynamic overlap, both units ran: the
+    one combination that is a genuine static/dynamic disagreement."""
+    validation = _validate("slicedshare", SlicedShareWorkload)
+    assert _codes(validation) == ["SA003"]
+    assert "slice-a <-> slice-b" in validation.diagnostics[0].message
+    assert "zero overlap" in validation.diagnostics[0].message
+
+
+def test_sliced_share_without_dynamics_stays_silent():
+    """SA003 needs a run; the purely static arm cannot disagree with
+    evidence it does not have."""
+    validation = _validate("slicedshare", SlicedShareWorkload, dynamic=False)
+    assert _codes(validation) == []
+    assert validation.recall is None and validation.precision is None
+
+
+# -- the cold-path fixture: the acceptance round-trip ----------------------
+
+
+def test_coldpath_unexercised_sharing_is_conditional_sa001():
+    validation = _validate("coldpath", ColdPathWorkload)
+    assert _codes(validation) == ["SA001"]
+    sa001 = validation.diagnostics[0]
+    assert "[conditional]" in sa001.message
+    assert "cold-shared" in sa001.message
+    # the conditional tier is exempt from SA003: zero dynamic overlap on
+    # a some-inputs-only edge is what the tier asserts, not a conflict
+    assert validation.recall == 1.0
+    assert validation.precision == 0.0
+
+
+def test_coldpath_bridge_candidate_marks_unexercised_path():
+    validation = _validate("coldpath", ColdPathWorkload)
+    candidates = static_candidates(validation)
+    assert len(candidates) == 1
+    cand = candidates[0]
+    assert (cand.src_display, cand.dst_display) == ("cold-a", "cold-b")
+    assert cand.tier == TIER_CONDITIONAL
+    assert not cand.exercised
+    assert cand.fingerprint == validation.diagnostics[0].fingerprint()
+    assert "unexercised path" in cand.render()
+
+
+def test_coldpath_candidate_round_trips_through_suggest():
+    """The acceptance criterion: repair --suggest with the static arm on
+    proposes the SA001 edge for the code path the audit never ran."""
+    result = repair_workload(
+        "coldpath", workload_factory=ColdPathWorkload, with_static=True
+    )
+    lines = render_report(result)
+    static_lines = [l for l in lines if "[static]" in l]
+    assert len(static_lines) == 1
+    assert "at_share(cold-a, cold-b, 0.50)" in static_lines[0]
+    assert "unexercised path" in static_lines[0]
+
+
+def test_coldpath_deep_run_corroborates_the_prediction():
+    """Flipping the flag the static pass warned about turns the same
+    conditional edge into observed sharing: precision goes 0 -> 1."""
+    validation = _validate("coldpath", lambda: ColdPathWorkload(deep=True))
+    assert validation.precision == 1.0
+    candidates = static_candidates(validation)
+    assert len(candidates) == 1 and candidates[0].exercised
+
+
+# -- shipped workloads: SA-clean, precision/recall pinned ------------------
+
+
+def test_shipped_workloads_have_no_sa_findings():
+    for name in lint_workload_names():
+        validation = static_validate_workload(
+            name, audit=audit_workload(name, passes=("annotations",))
+        )
+        assert validation is not None, name
+        assert _codes(validation) == [], name
+
+
+def test_shipped_workloads_recall_is_perfect():
+    """Zero false negatives at definite+conditional: every pair the
+    dynamic audit expects an edge for is statically predicted."""
+    for name in lint_workload_names():
+        validation = static_validate_workload(
+            name, audit=audit_workload(name, passes=("annotations",))
+        )
+        assert validation.missed == (), name
+        assert validation.recall == 1.0, name
+
+
+def test_shipped_workload_precision_is_pinned():
+    """merge pays for its ambiguous ``merge-*`` name patterns (two
+    recursive spawn sites, one observed tree shape); the others are
+    exact.  A change in these numbers is a change in the pass."""
+    expected = {"merge": 0.4, "photo": 1.0, "tasks": 1.0, "tsp": 1.0}
+    for name, precision in sorted(expected.items()):
+        validation = static_validate_workload(
+            name, audit=audit_workload(name, passes=("annotations",))
+        )
+        assert validation.precision == precision, name
+
+
+def test_tasks_loop_local_regions_are_privatized():
+    """Each task-* iteration gets its own region instance: no static
+    self-edge, no SA001 -- the loop classification at work."""
+    validation = static_validate_workload(
+        "tasks", audit=audit_workload("tasks", passes=("annotations",))
+    )
+    assert validation.static_pairs == ()
+
+
+# -- report plumbing -------------------------------------------------------
+
+
+def test_render_prediction_is_byte_stable():
+    first = _validate("coldpath", ColdPathWorkload)
+    second = _validate("coldpath", ColdPathWorkload)
+    assert render_prediction(first.prediction, first) == render_prediction(
+        second.prediction, second
+    )
+
+
+def test_run_analysis_with_static_folds_sa_into_the_report():
+    report = run_analysis(workloads=["tsp"], with_static=True)
+    assert all(not d.code.startswith("SA") for d in report.diagnostics)
+    # byte-identical to the static-less report: shipped tsp is SA-clean
+    assert report.render() == run_analysis(workloads=["tsp"]).render()
+
+
+def test_sa_findings_flow_through_baseline_waivers(tmp_path):
+    """The SA family rides the ordinary suppression machinery: waive an
+    SA001, refresh the baseline, and both the entry and its reason
+    survive; a strict check then flags it once the finding is gone."""
+    validation = _validate("coldpath", ColdPathWorkload)
+    report = Report()
+    report.extend(validation.diagnostics)
+    report.finalize()
+    fp = validation.diagnostics[0].fingerprint()
+
+    baseline = str(tmp_path / "base.txt")
+    write_baseline(baseline, report)
+    assert add_waiver(baseline, report, fp, "deep runs are quarterly") is None
+    assert load_waivers(baseline) == {fp: "deep runs are quarterly"}
+
+    # --update-baseline must preserve the waiver verbatim
+    assert refresh_baseline(baseline, report) == []
+    assert load_waivers(baseline) == {fp: "deep runs are quarterly"}
+    assert fp in load_baseline(baseline)
+
+    # the finding is suppressed, not lost
+    report.baseline = load_baseline(baseline)
+    assert report.new_diagnostics() == []
+    assert re.search(rf"{fp}.*\(baseline\)", report.render())
+
+    # once the cold path is annotated the entry goes stale and strict
+    # baseline checking must notice
+    fixed = Report()
+    fixed.baseline = load_baseline(baseline)
+    assert fixed.stale_fingerprints() == [fp]
+
+
+def test_sa001_fingerprints_are_stable_across_runs():
+    first = _validate("coldpath", ColdPathWorkload).diagnostics[0]
+    second = _validate("coldpath", ColdPathWorkload).diagnostics[0]
+    assert first.fingerprint() == second.fingerprint()
+
+
+def test_definite_tier_requires_unconditional_touches():
+    validation = _validate("misannotated", MisannotatedWorkload)
+    prediction = validation.prediction
+    tiers = {e.tier for e in prediction.edges.values()}
+    assert tiers == {TIER_DEFINITE}
