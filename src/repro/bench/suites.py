@@ -1,6 +1,6 @@
 """The registered benchmark suites.
 
-Two standing suites:
+Three standing suites:
 
 - ``smoke`` -- the CI perf gate: every hot path plus a closed-form model
   evaluation, tuned to finish well under a minute on a shared runner;
@@ -9,7 +9,11 @@ Two standing suites:
   (``machine/cache.py`` / ``machine/vm.py`` / ``machine/smp.py``), the
   scheduler priority-update path (``sched/heap.py`` /
   ``sched/locality.py``), and the runtime stepping loop
-  (``threads/runtime.py`` driven by ``sim/driver.py``).
+  (``threads/runtime.py`` driven by ``sim/driver.py``);
+- ``engine`` -- the event-driven engine (``sim/events.py``) on the
+  sparse ``server`` workload it exists for, with the stepped engine's
+  run of the same fixture as the reference; the engine-to-engine
+  speedup itself is gated by ``benchmarks/bench_engine_event.py``.
 
 Benchmarks report *simulated* counters (refs, misses, events, context
 switches) so the JSON carries counter-derived rates -- e.g. simulated
@@ -28,7 +32,7 @@ from typing import Dict, List, Mapping, Optional
 import numpy as np
 
 from repro.bench.registry import register
-from repro.bench.stats import BenchFn
+from repro.bench.stats import BenchFn, RepeatPolicy
 
 # Geometry for the standalone cache benchmarks: the paper's 512 KB
 # E-cache with 64-byte lines (8192 lines), batches of 256 lines.
@@ -252,6 +256,62 @@ def runtime_step_loop() -> BenchFn:
         }
 
     return run
+
+
+def _sparse_engine_run(engine: str) -> BenchFn:
+    """One full ``server`` run on 32 cpus under LFF, either engine.
+
+    The ``bench_engine_event`` fixture: ~96% of simulated cpu-cycles are
+    idle, so the stepped loop's cost is dominated by one-tick idle
+    iterations while the event engine jumps straight between wakeups.
+    Counters are bit-identical across engines (the parity suite proves
+    it); ``loop_steps``/``virtual_steps`` show where the win comes from.
+    """
+    from repro.machine.configs import SMALL
+    from repro.machine.smp import Machine
+    from repro.sched import SCHEDULERS
+    from repro.threads.runtime import Runtime
+    from repro.workloads.server import ServerWorkload
+
+    config = SMALL.with_cpus(32)
+
+    def run() -> Mapping[str, float]:
+        machine = Machine(config, seed=0)
+        runtime = Runtime(machine, SCHEDULERS["lff"](), engine=engine)
+        ServerWorkload().build(runtime)
+        runtime.run()
+        return {
+            "events": float(runtime.events_executed),
+            "loop_steps": float(runtime.loop_steps),
+            "virtual_steps": float(runtime.virtual_steps),
+            "timer_wakeups": float(runtime.timer_wakeups),
+            "sim_misses": float(machine.total_l2_misses()),
+            "cycles": float(machine.time()),
+        }
+
+    return run
+
+
+@register("engine_event_sparse", suites=("engine", "hotpaths"))
+def engine_event_sparse() -> BenchFn:
+    """Event engine on the sparse server fixture (the fast path)."""
+    return _sparse_engine_run("event")
+
+
+@register(
+    "engine_stepped_sparse",
+    suites=("engine",),
+    policy=RepeatPolicy(
+        warmup=0, min_repeats=2, max_repeats=3, time_budget_s=8.0
+    ),
+)
+def engine_stepped_sparse() -> BenchFn:
+    """Stepped engine on the same fixture (the reference cost).
+
+    Seconds per call, not milliseconds -- the whole point -- so the
+    repeat policy samples it just enough for a stable median.
+    """
+    return _sparse_engine_run("stepped")
 
 
 @register("analyze_static", suites=("hotpaths",))

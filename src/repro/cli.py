@@ -51,6 +51,7 @@ from repro.workloads import (
     PERFORMANCE_WORKLOADS,
     MergeParams,
     PhotoParams,
+    ServerParams,
     TasksParams,
     TspParams,
 )
@@ -60,6 +61,7 @@ _PARAMS = {
     "merge": MergeParams,
     "photo": PhotoParams,
     "tsp": TspParams,
+    "server": ServerParams,
 }
 
 _EXPERIMENTS = {}
@@ -197,7 +199,9 @@ def _cmd_run(args) -> int:
         from repro.threads.runtime import Runtime
 
         machine = Machine(_config(args.cpus), seed=args.seed)
-        runtime = Runtime(machine, SCHEDULERS[args.policy]())
+        runtime = Runtime(
+            machine, SCHEDULERS[args.policy](), engine=args.engine
+        )
         _workload(args.workload, args.paper_scale).build(runtime)
         runtime.run()
         print(run_report(machine, runtime))
@@ -207,6 +211,7 @@ def _cmd_run(args) -> int:
         _config(args.cpus),
         SCHEDULERS[args.policy](),
         seed=args.seed,
+        engine=args.engine,
     )
     print(
         format_table(
@@ -238,6 +243,7 @@ def _cmd_compare(args) -> int:
             _config(args.cpus),
             SCHEDULERS[policy](),
             seed=args.seed,
+            engine=args.engine,
         )
         if base is None:
             base = result
@@ -348,6 +354,7 @@ def _cmd_faults_run(args) -> int:
         policies=tuple(args.policy or ("fcfs", "lff")),
         fault_classes=fault_classes,
         seed=args.seed,
+        engine=args.engine,
         jobs=args.jobs,
         progress=_shard_progress if args.jobs > 1 else None,
         **_dispatch_kwargs(args),
@@ -760,6 +767,18 @@ def _cmd_dispatch_worker(args) -> int:
     return worker.main(argv)
 
 
+def _add_engine_flag(p) -> None:
+    """The ``--engine`` flag every simulation-running command shares."""
+    from repro.threads.runtime import Runtime
+
+    p.add_argument(
+        "--engine", choices=Runtime.ENGINES, default="stepped",
+        help="scheduling loop: the quantum-stepped reference engine, or "
+        "the event-driven engine that skips blocked/idle time (counters "
+        "are bit-identical either way -- docs/MODEL.md)",
+    )
+
+
 def _add_dispatch_flags(p, with_cache=True) -> None:
     """The ``--backend``/``--cache-dir`` flags every sweep command shares."""
     p.add_argument(
@@ -794,6 +813,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", action="store_true",
         help="print the full post-run analysis instead of one row",
     )
+    _add_engine_flag(run_p)
     run_p.set_defaults(func=_cmd_run)
 
     cmp_p = sub.add_parser("compare", help="FCFS vs LFF vs CRT")
@@ -802,6 +822,7 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--cpus", type=int, default=1)
     cmp_p.add_argument("--paper-scale", action="store_true")
     cmp_p.add_argument("--seed", type=int, default=0)
+    _add_engine_flag(cmp_p)
     cmp_p.set_defaults(func=_cmd_compare)
 
     trace_p = sub.add_parser("trace", help="footprint trace of one app")
@@ -866,6 +887,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", choices=("smoke", "default"), default="smoke"
     )
     faults_run_p.add_argument("--seed", type=int, default=0)
+    _add_engine_flag(faults_run_p)
     faults_run_p.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes ((workload, policy) pairs fan out; the "

@@ -127,6 +127,7 @@ def _run_pair(
     config: MachineConfig,
     seed: int,
     watchdog_factory: Callable[[], Watchdog],
+    engine: str = "stepped",
 ) -> List[CampaignRow]:
     """One (workload, policy) block: fault-free baseline, then every
     requested fault class against it.  This is the shard body -- the
@@ -140,6 +141,7 @@ def _run_pair(
         plan=None,
         seed=seed,
         watchdog=watchdog_factory(),
+        engine=engine,
     )
     return [
         _run_cell(
@@ -153,6 +155,7 @@ def _run_pair(
             seed,
             baseline,
             watchdog_factory(),
+            engine,
         )
         for cname in fault_classes
     ]
@@ -167,6 +170,7 @@ def _campaign_shard(
     seed: int,
     step_budget: int,
     max_chunks: int,
+    engine: str = "stepped",
 ) -> List[CampaignRow]:
     """Worker entry point: everything arrives by name or plain value."""
     factory = campaign_workloads(scale)[workload]
@@ -178,6 +182,7 @@ def _campaign_shard(
         config,
         seed,
         lambda: Watchdog(step_budget=step_budget, max_chunks=max_chunks),
+        engine=engine,
     )
 
 
@@ -190,6 +195,7 @@ def campaign_shards(
     seed: int = 0,
     step_budget: int = DEFAULT_STEP_BUDGET,
     max_chunks: int = DEFAULT_MAX_CHUNKS,
+    engine: str = "stepped",
 ) -> List[Shard]:
     """Deterministic work partitioning of the campaign matrix.
 
@@ -224,6 +230,7 @@ def campaign_shards(
                         "seed": seed,
                         "step_budget": step_budget,
                         "max_chunks": max_chunks,
+                        "engine": engine,
                     },
                 )
             )
@@ -246,6 +253,7 @@ def run_campaign(
     backend: str = "local",
     cache: Optional[ResultCache] = None,
     cluster: Optional[ClusterConfig] = None,
+    engine: str = "stepped",
 ) -> List[CampaignRow]:
     """Run the full fault matrix; returns one row per cell.
 
@@ -299,6 +307,7 @@ def run_campaign(
                         config,
                         seed,
                         watchdog_factory,
+                        engine=engine,
                     )
                 )
         return rows
@@ -310,6 +319,7 @@ def run_campaign(
         fault_classes=fault_classes,
         config=config,
         seed=seed,
+        engine=engine,
     )
     outcomes = run_shards(
         shards, jobs=jobs, partial=partial, progress=progress,
@@ -347,6 +357,7 @@ def _run_cell(
     seed: int,
     baseline: HardenedResult,
     watchdog: Watchdog,
+    engine: str = "stepped",
 ) -> CampaignRow:
     expects_timeout = cname in EXPECTS_TIMEOUT
     try:
@@ -357,6 +368,7 @@ def _run_cell(
             plan=plan,
             seed=seed,
             watchdog=watchdog,
+            engine=engine,
         )
     except WatchdogTimeout as timeout:
         done = sum(1 for s in timeout.partial if s[3] == "done")

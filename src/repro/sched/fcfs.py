@@ -85,3 +85,14 @@ class FCFSScheduler(Scheduler):
 
     def has_runnable(self) -> bool:
         return self._ready > 0
+
+    def idle_pick_cost(self, cpu: int) -> Optional[int]:
+        # A pick on an empty queue pops nothing and costs nothing; with
+        # stale entries still queued a pick would drain (mutate) them, so
+        # quiescence requires the queue itself to be empty.
+        if self._queue or self._ready:
+            return None
+        return 0
+
+    # account_idle_picks: the base no-op is exact -- a failed FCFS pick
+    # keeps no bookkeeping (no pick counter, no queue traffic).

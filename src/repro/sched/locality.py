@@ -386,6 +386,38 @@ class LocalityScheduler(Scheduler):
     def has_runnable(self) -> bool:
         return self._ready > 0
 
+    def idle_pick_cost(self, cpu: int) -> Optional[int]:
+        """Closed-form failed-pick cost in idle quiescence.
+
+        With no READY threads anywhere, the global queue empty, and this
+        cpu's own heap fully drained (its previous failed pick popped any
+        stale entries), :meth:`pick` provably touches nothing but
+        ``_picks``: the fairness-boost and fallback ``_pop_global`` calls
+        cost 0 on an empty deque, ``_pop_heap`` pops nothing from an
+        empty heap (and cannot trigger compaction), and the steal scan
+        reads the neighbours' heaps without popping, charging
+        ``max(1, len(heap))`` per victim.  That scan cost is the value
+        returned; heap lengths cannot change while no thread runs a
+        scheduler callback, so the certificate stays valid for the whole
+        parked span and is re-computed by the engine every virtual step
+        anyway (see repro.sim.events).
+        """
+        if self._ready or self._global or len(self.heaps[cpu]):
+            return None
+        if not self.steal:
+            return 0
+        heaps = self.heaps
+        num_cpus = len(heaps)
+        cost = 0
+        for offset in range(1, num_cpus):
+            size = len(heaps[(cpu + offset) % num_cpus])
+            cost += size if size > 1 else 1
+        return cost
+
+    def account_idle_picks(self, count: int) -> None:
+        # the only bookkeeping a quiescent failed pick performs
+        self._picks += count
+
 
 def make_lff(**kwargs) -> LocalityScheduler:
     """Largest Footprint First scheduler (section 4.1)."""

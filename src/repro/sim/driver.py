@@ -46,10 +46,16 @@ def run_performance(
     scheduler: Scheduler,
     seed: int = 0,
     max_events: Optional[int] = None,
+    engine: str = "stepped",
 ) -> PerfResult:
-    """Run a workload to completion; returns the aggregate counters."""
+    """Run a workload to completion; returns the aggregate counters.
+
+    ``engine`` selects the scheduling loop (``"stepped"`` or ``"event"``;
+    see docs/MODEL.md "The event engine") -- the counters are
+    bit-identical either way, only wall-clock time differs.
+    """
     machine = Machine(config, seed=seed)
-    runtime = Runtime(machine, scheduler)
+    runtime = Runtime(machine, scheduler, engine=engine)
     workload.build(runtime)
     runtime.run(max_events=max_events)
     steals = getattr(scheduler, "steals", 0)
@@ -101,12 +107,15 @@ def run_monitored(
     app: MonitoredApp,
     config: MachineConfig = ULTRA1,
     seed: int = 0,
+    engine: str = "stepped",
 ) -> MonitoredResult:
     """Trace one work thread's footprint against the model's prediction."""
     machine = Machine(config, seed=seed)
     # The accuracy runs are about the model, not the policy: a bare FCFS
     # with no simulated scheduler memory keeps the cache unpolluted.
-    runtime = Runtime(machine, FCFSScheduler(model_scheduler_memory=False))
+    runtime = Runtime(
+        machine, FCFSScheduler(model_scheduler_memory=False), engine=engine
+    )
     tracer = FootprintTracer(machine)
     sampler = _WorkThreadSampler(machine, tracer)
     runtime.add_observer(tracer)
@@ -181,16 +190,31 @@ class Checkpoint:
     live: int  # threads still alive
     thread_instructions: int  # ground-truth work completed so far
     thread_refs: int
+    #: simulated time at the checkpoint (diagnostic: shows legitimate
+    #: event-driven time jumps across otherwise-quiet chunks)
+    sim_time: int = 0
+    #: THREAD_WAKEUP timers that actually woke a thread so far
+    wakeups: int = 0
 
     @property
-    def progress(self) -> Tuple[int, int, int]:
+    def progress(self) -> Tuple[int, int, int, int]:
         """The forward-progress tuple the stall detector compares.
 
         Events and cycles always grow (a livelocked thread still spins),
-        so progress is measured by completed threads and by ground-truth
-        program work: a Yield-spin advances none of these.
+        so progress is measured by completed threads, by ground-truth
+        program work, and by *event-time* progress -- delivered timer
+        wakeups.  A phase of long sleeps legitimately executes whole
+        chunks of Sleep/wake events without adding an instruction or a
+        reference; its wakeups mark it as forward motion rather than a
+        stall.  A Yield-spin livelock mints no wakeups and advances
+        nothing else, so it still trips the detector.
         """
-        return (self.done, self.thread_instructions, self.thread_refs)
+        return (
+            self.done,
+            self.thread_instructions,
+            self.thread_refs,
+            self.wakeups,
+        )
 
 
 class Watchdog:
@@ -236,6 +260,8 @@ class Watchdog:
             live=live,
             thread_instructions=instructions,
             thread_refs=refs,
+            sim_time=runtime.machine.time(),
+            wakeups=runtime.timer_wakeups,
         )
         self.checkpoints.append(cp)
         return cp
@@ -282,7 +308,7 @@ class Watchdog:
         injector, handled one level up by :func:`run_hardened`).
         """
         stalled_for = 0
-        last_progress: Optional[Tuple[int, int, int]] = None
+        last_progress: Optional[Tuple[int, int, int, int]] = None
         for chunk in range(1, self.max_chunks + 1):
             try:
                 runtime.run(max_events=chunk * self.step_budget)
@@ -343,6 +369,7 @@ def run_hardened(
     watchdog: Optional[Watchdog] = None,
     max_attempts: int = 3,
     invariants: bool = True,
+    engine: str = "stepped",
 ) -> HardenedResult:
     """Run a workload under fault injection with full hardening.
 
@@ -377,7 +404,7 @@ def run_hardened(
         )
         machine = Machine(config, seed=seed)
         scheduler = scheduler_factory()
-        runtime = Runtime(machine, scheduler, injector=injector)
+        runtime = Runtime(machine, scheduler, injector=injector, engine=engine)
         checker: Optional[InvariantChecker] = None
         if invariants:
             checker = InvariantChecker(runtime)

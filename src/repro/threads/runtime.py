@@ -8,6 +8,14 @@ performance-counter views, and the timer queue; the scheduling *policy*
 Execution is a deterministic discrete-event simulation: at each step the
 cpu with the smallest cycle clock acts (ties to the lowest cpu id), either
 stepping its current thread by one yielded event or dispatching a new one.
+Two engines implement that contract with bit-identical counters (see
+docs/MODEL.md "The event engine"): the quantum-stepped loop below
+(``engine="stepped"``, the default) and the event-driven loop in
+:mod:`repro.sim.events` (``engine="event"``), which parks idle cpus and
+advances simulated time to the next queued event so blocked and sleeping
+threads cost no Python work.  Sleep timers, periodic realtime wakeups,
+scheduler ticks and quantum expiries all live in one deterministic
+:class:`~repro.sim.events.EventQueue` shared by both engines.
 A thread runs until it blocks, yields, sleeps or finishes -- the paper's
 scheduling interval -- at which point the runtime performs the paper's
 context-switch protocol: read the PICs to get the interval's miss count
@@ -28,7 +36,6 @@ scheduler work        whatever the policy reports per operation
 
 from __future__ import annotations
 
-import heapq
 from typing import Callable, Dict, Generator, List, Optional, Sequence, Union
 
 import numpy as np
@@ -139,9 +146,28 @@ class Observer:
 class Runtime:
     """Interprets thread bodies against a machine under a scheduler."""
 
+    #: the selectable scheduling-loop engines (CLI: ``--engine``)
+    ENGINES = ("stepped", "event")
+
     def __init__(
-        self, machine: Machine, scheduler, injector=None, controller=None
+        self,
+        machine: Machine,
+        scheduler,
+        injector=None,
+        controller=None,
+        engine: str = "stepped",
+        quantum: Optional[int] = None,
     ) -> None:
+        if engine not in self.ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {self.ENGINES}"
+            )
+        if quantum is not None and quantum <= 0:
+            raise ValueError("quantum must be a positive cycle count")
+        self.engine = engine
+        #: optional time-slice in cycles: arms a QUANTUM_EXPIRE event at
+        #: every dispatch; expiry forces a synthetic Yield (both engines)
+        self.quantum = quantum
         self.machine = machine
         self.scheduler = scheduler
         #: optional fault injector (see repro.faults): corrupts the hint
@@ -185,12 +211,40 @@ class Runtime:
                 injector.wrap_view(cpu_id, view)
                 for cpu_id, view in enumerate(self._views)
             ]
-        self._timers: List[tuple] = []  # (wake_cycles, seq, thread)
-        self._timer_seq = 0
+        # deferred import: repro.sim's package init imports the driver,
+        # which imports this module (same idiom as run_hardened)
+        from repro.sim import events as sim_events
+
+        #: the deterministic event queue shared by both engines: sleep
+        #: timers (THREAD_WAKEUP), periodic realtime wakeups, scheduler
+        #: ticks and quantum expiries, ordered by (time, seq, tid)
+        self.event_queue = sim_events.EventQueue()
+        self._event_kinds = sim_events.EventKind
+        self._event_engine = None
+        #: per-cpu dispatch generation, bumped on every successful
+        #: dispatch; lazily invalidates armed QUANTUM_EXPIRE events
+        self._dispatch_gens: List[int] = [0] * machine.config.num_cpus
         self._stepping: Optional[ActiveThread] = None
         self.last_touch_lines: Optional[np.ndarray] = None
         self.context_switches = 0
         self.events_executed = 0
+        #: THREAD_WAKEUP timers that actually woke a thread -- event-time
+        #: progress, the signal the watchdog's stall detector keys on
+        self.timer_wakeups = 0
+        #: RT_PERIOD_START early wakeups delivered
+        self.early_wakeups = 0
+        #: QUANTUM_EXPIRE forced preemptions delivered
+        self.preemptions = 0
+        #: audited count of full (faithful) scheduling-loop iterations;
+        #: the event engine's O(events) complexity claim is asserted on
+        #: this counter (tests/sim/test_events.py)
+        self.loop_steps = 0
+        #: audited count of O(1) virtual idle iterations (event engine)
+        self.virtual_steps = 0
+        #: bumped whenever a scheduler callback runs (pick, ready,
+        #: dispatched, blocked, created); the event engine's cached
+        #: idle-pick cost certificates are valid while this is unchanged
+        self.sched_epoch = 0
         #: intervals whose PIC deltas looked wrapped (see
         #: :class:`~repro.machine.counters.MissCounterView`); the miss
         #: *value* is still clamped by the scheduler -- this tally is what
@@ -275,6 +329,7 @@ class Runtime:
         cpu = self._stepping_cpu()
         if cpu is not None:
             self.machine.compute(cpu, CREATE_COST)
+        self.sched_epoch += 1
         self._charge(cpu, self.scheduler.thread_created(thread))
         self._charge(cpu, self.scheduler.thread_ready(thread))
         for observer in self._create_observers:
@@ -313,20 +368,79 @@ class Runtime:
         """Look up a thread by tid."""
         return self.threads[tid]
 
+    # -- event-queue services (docs/MODEL.md "The event engine") -------------
+
+    def at_periodic(
+        self, tid: int, period: int, start: Optional[int] = None
+    ) -> None:
+        """Mark ``tid`` as a periodic (realtime/server) thread.
+
+        Arms an ``RT_PERIOD_START`` event every ``period`` cycles
+        (first at ``start``, default one period from now): if the thread
+        is sleeping at a period boundary it is woken early, modelling a
+        periodic server loop with deadline-driven wakeups.  The early
+        wake bumps ``ready_seq`` so the thread's own pending sleep timer
+        is lazily invalidated rather than double-firing.
+        """
+        if period <= 0:
+            raise ValueError("period must be a positive cycle count")
+        if tid not in self.threads:
+            raise ThreadError(f"at_periodic on unknown tid {tid}")
+        first = self.machine.time() + period if start is None else start
+        self.event_queue.schedule(
+            first, self._event_kinds.RT_PERIOD_START, tid, period
+        )
+
+    def schedule_tick(
+        self,
+        period: int,
+        callback: Callable[["Runtime", int], None],
+        start: Optional[int] = None,
+    ) -> None:
+        """Arm a periodic ``SCHED_TICK`` callback.
+
+        ``callback(runtime, fire_time)`` runs every ``period`` cycles of
+        simulated time (first at ``start``, default one period from now)
+        while any thread is alive -- the hook progress samplers and
+        periodic diagnostics ride on.
+        """
+        if period <= 0:
+            raise ValueError("period must be a positive cycle count")
+        first = self.machine.time() + period if start is None else start
+        self.event_queue.schedule(
+            first, self._event_kinds.SCHED_TICK, 0, (callback, period)
+        )
+
     # -- the scheduling loop -------------------------------------------------
 
     def run(self, max_events: Optional[int] = None) -> None:
-        """Run until every thread finishes (or ``max_events`` is hit)."""
+        """Run until every thread finishes (or ``max_events`` is hit).
+
+        Dispatches to the engine selected at construction; the event
+        engine instance persists across calls so the watchdog's chunked
+        supervision resumes parked state exactly.
+        """
+        if self.engine == "event":
+            engine = self._event_engine
+            if engine is None:
+                from repro.sim.events import EventEngine
+
+                engine = self._event_engine = EventEngine(self)
+            engine.run(max_events)
+            return
         cpus = self.machine.cpus
         single = len(cpus) == 1
         current = self._current
         step = self._step
+        queue = self.event_queue
+        heap = queue.heap  # mutated in place by the queue, never rebound
         while self._live > 0:
             if max_events is not None and self.events_executed >= max_events:
                 raise StepBudgetExceeded(max_events)
+            self.loop_steps += 1
             cpu = 0 if single else self._min_clock_cpu()
-            if self._timers:
-                self._release_timers(cpus[cpu].cycles)
+            if heap:
+                queue.fire_due(self, cpus[cpu].cycles)
             thread = current[cpu]
             if thread is not None:
                 step(cpu, thread)
@@ -344,10 +458,9 @@ class Runtime:
                 best, best_cycles = i, cpus[i].cycles
         return best
 
-    def _release_timers(self, now: int) -> None:
-        while self._timers and self._timers[0][0] <= now:
-            _, _, thread = heapq.heappop(self._timers)
-            self._wake(thread)
+    def _fire_due(self, now: int) -> None:
+        """Fire queued events due at ``now`` (delegates to the queue)."""
+        self.event_queue.fire_due(self, now)
 
     def _idle(self, cpu: int) -> None:
         """Nothing runnable on an idle cpu: advance its clock or detect
@@ -361,8 +474,9 @@ class Runtime:
         targets = []
         if busy:
             targets.append(min(busy) + 1)
-        if self._timers:
-            targets.append(self._timers[0][0])
+        heap = self.event_queue.heap
+        if heap:
+            targets.append(heap[0].time)
         if not targets and self.scheduler.has_runnable():
             # Runnable work exists that this cpu will not take (e.g. a
             # thread too hot to steal); skip ahead of the other cpus so the
@@ -381,6 +495,7 @@ class Runtime:
     # -- dispatch / context switch --------------------------------------------
 
     def _dispatch(self, cpu: int) -> Optional[ActiveThread]:
+        self.sched_epoch += 1
         thread, cost = self.scheduler.pick(cpu)
         self._charge(cpu, cost)
         if thread is None:
@@ -400,6 +515,15 @@ class Runtime:
         thread.last_cpu = cpu
         self._current[cpu] = thread
         self._charge(cpu, self.scheduler.thread_dispatched(cpu, thread))
+        if self.quantum is not None:
+            gen = self._dispatch_gens[cpu] + 1
+            self._dispatch_gens[cpu] = gen
+            self.event_queue.schedule(
+                self.machine.cycles(cpu) + self.quantum,
+                self._event_kinds.QUANTUM_EXPIRE,
+                thread.tid,
+                (cpu, thread, gen),
+            )
         for observer in self._dispatch_observers:
             observer.on_dispatch(cpu, thread)
         return thread
@@ -423,6 +547,7 @@ class Runtime:
         self.machine.compute(cpu, view.read_cost_instructions)
         thread.stats.intervals += 1
         thread.stats.misses += misses
+        self.sched_epoch += 1
         self._charge(
             cpu, self.scheduler.thread_blocked(cpu, thread, misses, finished)
         )
@@ -445,6 +570,14 @@ class Runtime:
 
     def _block(self, cpu: int, thread: ActiveThread) -> None:
         thread.state = ThreadState.BLOCKED
+        if self.event_queue.log is not None:
+            # blocks are synchronous; THREAD_BLOCK is an audit record in
+            # the event log, never a scheduled future event
+            self.event_queue.emit(
+                self.machine.cycles(cpu),
+                self._event_kinds.THREAD_BLOCK,
+                thread.tid,
+            )
         self._end_interval(cpu, thread, finished=False)
 
     def _wake(self, thread: ActiveThread) -> None:
@@ -452,6 +585,7 @@ class Runtime:
         thread.waiting_on = None
         thread.mark_ready()
         thread.ready_at = self.machine.time()
+        self.sched_epoch += 1
         self._charge(self._stepping_cpu(), self.scheduler.thread_ready(thread))
 
     def _charge(self, cpu: Optional[int], instructions: int) -> None:
@@ -625,16 +759,20 @@ class Runtime:
         thread.ready_at = self.machine.cycles(cpu)
         self._end_interval(cpu, thread, finished=False)
         self._stepping = thread
+        self.sched_epoch += 1
         self._charge(cpu, self.scheduler.thread_ready(thread))
         self._stepping = None
 
     def _exec_sleep(self, cpu: int, thread: ActiveThread, event) -> None:
         thread.state = ThreadState.SLEEPING
         self._end_interval(cpu, thread, finished=False)
-        self._timer_seq += 1
-        heapq.heappush(
-            self._timers,
-            (self.machine.cycles(cpu) + event.cycles, self._timer_seq, thread),
+        # ready_seq rides along so an early wake (RT_PERIOD_START) lazily
+        # invalidates this timer instead of double-waking the thread
+        self.event_queue.schedule(
+            self.machine.cycles(cpu) + event.cycles,
+            self._event_kinds.THREAD_WAKEUP,
+            thread.tid,
+            (thread, thread.ready_seq),
         )
 
     def _cond_wait(self, cpu: int, thread: ActiveThread, event: ev.CondWait) -> None:

@@ -18,6 +18,7 @@ from repro.workloads.randomwalk import (
     walk_batches,
 )
 from repro.workloads.raytrace_like import RaytraceLike
+from repro.workloads.server import ServerParams, ServerWorkload
 from repro.workloads.splash import BarnesLike, FmmLike, OceanLike
 from repro.workloads.tasks import TasksWorkload
 from repro.workloads.tsp import TspMonitored, TspWorkload
@@ -35,6 +36,8 @@ __all__ = [
     "PhotoParams",
     "PhotoWorkload",
     "RaytraceLike",
+    "ServerParams",
+    "ServerWorkload",
     "TasksParams",
     "TasksWorkload",
     "TspMonitored",
@@ -54,6 +57,7 @@ PERFORMANCE_WORKLOADS = {
     "merge": MergeWorkload,
     "photo": PhotoWorkload,
     "tsp": TspWorkload,
+    "server": ServerWorkload,
 }
 
 #: the monitored applications for the Figure 5/6 accuracy runs

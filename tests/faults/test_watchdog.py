@@ -8,7 +8,7 @@ from repro.sched import SCHEDULERS
 from repro.sched.fcfs import FCFSScheduler
 from repro.sim.driver import Watchdog, run_hardened
 from repro.threads.errors import StepBudgetExceeded, WatchdogTimeout
-from repro.threads.events import Compute, Yield
+from repro.threads.events import Compute, Sleep, Yield
 from repro.threads.runtime import Runtime
 from repro.workloads.params import TasksParams
 from repro.workloads.tasks import TasksWorkload
@@ -83,6 +83,61 @@ class TestWatchdog:
         with pytest.raises(WatchdogTimeout) as excinfo:
             dog.supervise(runtime)
         assert "budget exhausted" in str(excinfo.value)
+
+    @pytest.mark.parametrize("engine", ("stepped", "event"))
+    def test_sleep_phase_is_progress_not_a_stall(self, engine, machine):
+        """Regression: a phase of long sleeps executes whole chunks of
+        Sleep/wake events without finishing a thread or adding an
+        instruction or a reference.  The stall detector must read the
+        delivered timer wakeups as forward motion instead of declaring
+        the (legitimate) time jump a stall."""
+        runtime = Runtime(
+            machine,
+            FCFSScheduler(model_scheduler_memory=False),
+            engine=engine,
+        )
+
+        def sleeper():
+            for _ in range(300):
+                yield Sleep(500)
+
+        runtime.at_create(sleeper, name="sleeper")
+        dog = Watchdog(step_budget=20, max_chunks=200, stall_chunks=2)
+        dog.supervise(runtime)  # must complete, not raise
+        assert dog.checkpoints[-1].done == 1
+        wakeups = [cp.wakeups for cp in dog.checkpoints]
+        assert wakeups == sorted(wakeups) and wakeups[-1] == 300
+        # the regression, demonstrated: across consecutive mid-sleep
+        # checkpoints the pre-fix progress fields (done, instructions,
+        # refs) are all frozen -- only the wakeups mark forward motion
+        mid = dog.checkpoints[1:-1]
+        assert any(
+            a.done == b.done
+            and a.thread_instructions == b.thread_instructions
+            and a.thread_refs == b.thread_refs
+            and a.wakeups < b.wakeups
+            for a, b in zip(mid, mid[1:])
+        )
+        # event time is checkpointed for the diagnostics
+        assert dog.checkpoints[-1].sim_time == runtime.machine.time()
+
+    def test_yield_spin_livelock_still_trips_with_wakeups_counted(
+        self, machine
+    ):
+        """The wakeup term must not blind the detector: a Yield-spin
+        livelock mints no timer wakeups and still times out."""
+        runtime = _runtime(machine)
+
+        def napper():
+            yield Sleep(200)  # some wakeups early in the run
+            while True:
+                yield Yield()
+
+        runtime.at_create(napper, name="napper")
+        dog = Watchdog(step_budget=200, max_chunks=50, stall_chunks=2)
+        with pytest.raises(WatchdogTimeout) as excinfo:
+            dog.supervise(runtime)
+        assert "no forward progress" in str(excinfo.value)
 
     def test_starvation_detection(self, machine):
         runtime = _runtime(machine)
