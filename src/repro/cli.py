@@ -152,11 +152,21 @@ def _experiment_registry():
     _EXPERIMENTS.update(
         {
             "fig4": fig4_text,
-            "fig5": lambda jobs=1, **kw: format_fig5(run_fig5()),
-            "fig6": lambda jobs=1, **kw: format_fig6(run_fig6()),
-            "fig7": lambda jobs=1, **kw: format_fig7(run_fig7()),
-            "fig8": lambda jobs=1, **kw: format_fig8(run_fig8()),
-            "fig9": lambda jobs=1, **kw: format_fig9(run_fig9()),
+            "fig5": lambda jobs=1, machine_backend="sim", **kw: format_fig5(
+                run_fig5(backend=machine_backend)
+            ),
+            "fig6": lambda jobs=1, machine_backend="sim", **kw: format_fig6(
+                run_fig6(backend=machine_backend)
+            ),
+            "fig7": lambda jobs=1, machine_backend="sim", **kw: format_fig7(
+                run_fig7(backend=machine_backend)
+            ),
+            "fig8": lambda jobs=1, machine_backend="sim", **kw: format_fig8(
+                run_fig8(backend=machine_backend)
+            ),
+            "fig9": lambda jobs=1, machine_backend="sim", **kw: format_fig9(
+                run_fig9(backend=machine_backend)
+            ),
             "table3": lambda jobs=1, **kw: format_table3(run_table3()),
             "table5": lambda jobs=1, **kw: format_table5(run_table5()),
             "fairness": lambda jobs=1, **kw: format_fairness_sweep(
@@ -198,7 +208,9 @@ def _cmd_run(args) -> int:
         from repro.sim.analysis import run_report
         from repro.threads.runtime import Runtime
 
-        machine = Machine(_config(args.cpus), seed=args.seed)
+        machine = Machine(
+            _config(args.cpus), seed=args.seed, backend=args.backend
+        )
         runtime = Runtime(
             machine, SCHEDULERS[args.policy](), engine=args.engine
         )
@@ -212,6 +224,7 @@ def _cmd_run(args) -> int:
         SCHEDULERS[args.policy](),
         seed=args.seed,
         engine=args.engine,
+        backend=args.backend,
     )
     print(
         format_table(
@@ -244,6 +257,7 @@ def _cmd_compare(args) -> int:
             SCHEDULERS[policy](),
             seed=args.seed,
             engine=args.engine,
+            backend=args.backend,
         )
         if base is None:
             base = result
@@ -267,7 +281,8 @@ def _cmd_compare(args) -> int:
 
 def _cmd_trace(args) -> int:
     apps = {**MONITORED_APPS, **ANOMALOUS_APPS}
-    result = run_monitored(apps[args.app](), seed=args.seed)
+    result = run_monitored(apps[args.app](), seed=args.seed,
+                           backend=args.backend)
     print(
         format_table(
             ["app", "lang", "misses", "observed", "predicted", "pred/obs",
@@ -315,7 +330,13 @@ def _cmd_model(args) -> int:
 
 def _cmd_experiment(args) -> int:
     registry = _experiment_registry()
-    print(registry[args.name](jobs=args.jobs, **_dispatch_kwargs(args)))
+    print(
+        registry[args.name](
+            jobs=args.jobs,
+            machine_backend=getattr(args, "machine_backend", "sim"),
+            **_dispatch_kwargs(args),
+        )
+    )
     return 0
 
 
@@ -767,6 +788,26 @@ def _cmd_dispatch_worker(args) -> int:
     return worker.main(argv)
 
 
+def _add_backend_flag(p) -> None:
+    """The ``--backend`` flag of the simulation-running commands.
+
+    Not to be confused with the sweep commands' dispatch ``--backend``
+    (local/cluster): there the shards run the same simulation elsewhere;
+    here the *cache model itself* changes.  The ``experiment`` command
+    has both, so its cache-model flag is spelled ``--machine-backend``.
+    """
+    from repro.machine.backend import BACKEND_NAMES, DEFAULT_BACKEND
+
+    p.add_argument(
+        "--backend", choices=BACKEND_NAMES, default=DEFAULT_BACKEND,
+        help="cache backend: 'sim' replays every reference through the "
+        "simulated hierarchy, 'analytic' prices misses with the "
+        "closed-form reuse-distance model -- orders of magnitude faster "
+        "for sweeps, approximate within the bounds the analytic-oracle "
+        "CI job pins (docs/MODEL.md 'The analytic backend')",
+    )
+
+
 def _add_engine_flag(p) -> None:
     """The ``--engine`` flag every simulation-running command shares."""
     from repro.threads.runtime import Runtime
@@ -814,6 +855,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the full post-run analysis instead of one row",
     )
     _add_engine_flag(run_p)
+    _add_backend_flag(run_p)
     run_p.set_defaults(func=_cmd_run)
 
     cmp_p = sub.add_parser("compare", help="FCFS vs LFF vs CRT")
@@ -823,6 +865,7 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--paper-scale", action="store_true")
     cmp_p.add_argument("--seed", type=int, default=0)
     _add_engine_flag(cmp_p)
+    _add_backend_flag(cmp_p)
     cmp_p.set_defaults(func=_cmd_compare)
 
     trace_p = sub.add_parser("trace", help="footprint trace of one app")
@@ -832,6 +875,7 @@ def build_parser() -> argparse.ArgumentParser:
         required=True,
     )
     trace_p.add_argument("--seed", type=int, default=0)
+    _add_backend_flag(trace_p)
     trace_p.set_defaults(func=_cmd_trace)
 
     model_p = sub.add_parser("model", help="evaluate the closed-form model")
@@ -856,6 +900,13 @@ def build_parser() -> argparse.ArgumentParser:
         "bit-identical to --jobs 1",
     )
     _add_dispatch_flags(exp_p)
+    exp_p.add_argument(
+        "--machine-backend", dest="machine_backend",
+        choices=("sim", "analytic"), default="sim",
+        help="cache backend for the simulated runs (--backend here "
+        "already means shard dispatch): 'analytic' prices misses with "
+        "the closed-form reuse-distance model (docs/MODEL.md)",
+    )
     exp_p.set_defaults(func=_cmd_experiment)
 
     faults_p = sub.add_parser(

@@ -21,13 +21,19 @@ from repro.sim.report import format_table
 from repro.workloads import MONITORED_APPS
 
 
-def run_fig5(apps: List[str] = None, seed: int = 0) -> Dict[str, MonitoredResult]:
-    """Trace every (requested) Figure 5 application."""
+def run_fig5(
+    apps: List[str] = None, seed: int = 0, backend: str = "sim"
+) -> Dict[str, MonitoredResult]:
+    """Trace every (requested) Figure 5 application.
+
+    ``backend="analytic"`` swaps the simulated cache for the closed-form
+    reuse-distance backend (fast, approximate; see docs/MODEL.md).
+    """
     names = apps or list(MONITORED_APPS)
     results = {}
     for name in names:
         app = MONITORED_APPS[name]()
-        results[name] = run_monitored(app, seed=seed)
+        results[name] = run_monitored(app, seed=seed, backend=backend)
     return results
 
 

@@ -17,9 +17,9 @@ from repro.experiments.fig8 import format_results, run_policies
 from repro.sim.metrics import PerfResult
 
 
-def run_fig9(seed: int = 0) -> Dict[str, Dict[str, PerfResult]]:
+def run_fig9(seed: int = 0, backend: str = "sim") -> Dict[str, Dict[str, PerfResult]]:
     """The 8-processor (E5000) sweep."""
-    return run_policies(E5000_8CPU, seed=seed)
+    return run_policies(E5000_8CPU, seed=seed, backend=backend)
 
 
 def format_fig9(results) -> str:

@@ -38,7 +38,7 @@ from repro.parallel import (
     run_shards,
 )
 from repro.sched.fcfs import FCFSScheduler
-from repro.sim.driver import _WorkThreadSampler
+from repro.sim.driver import _AnalyticFootprintProbe, _WorkThreadSampler
 from repro.sim.report import format_table
 from repro.sim.trace import (
     ReferenceTraceRecorder,
@@ -50,9 +50,11 @@ from repro.threads.runtime import Runtime
 from repro.workloads import MONITORED_APPS
 
 
-def _offline_shard(app: str, seed: int) -> Dict[str, float]:
+def _offline_shard(
+    app: str, seed: int, machine_backend: str = "sim"
+) -> Dict[str, float]:
     """Worker entry point: the sweep for one monitored app."""
-    return _run_one_app(app, seed)
+    return _run_one_app(app, seed, machine_backend=machine_backend)
 
 
 def run_offline_comparison(
@@ -63,6 +65,7 @@ def run_offline_comparison(
     backend: str = "local",
     cache: Optional[ResultCache] = None,
     cluster: Optional[ClusterConfig] = None,
+    machine_backend: str = "sim",
 ) -> Dict[str, Dict[str, float]]:
     """Per app: observed-vs-model MAE, observed-vs-replay MAE, and costs.
 
@@ -72,13 +75,22 @@ def run_offline_comparison(
     serial sweep.  ``backend="cluster"`` runs apps on dispatch worker
     nodes and ``cache`` resumes an interrupted sweep from the on-disk
     result cache -- neither can change the merged report.
+
+    ``backend`` here selects *dispatch* (local/cluster);
+    ``machine_backend`` selects the *cache* backend (sim/analytic, see
+    docs/MODEL.md "The analytic backend") and is part of each shard's
+    cache key so cached sim results never answer an analytic sweep.
     """
     shards = [
         Shard(
             index=i,
-            key=f"offline/{name}",
+            key=f"offline/{machine_backend}/{name}",
             fn="repro.experiments.offline:_offline_shard",
-            params={"app": name, "seed": seed},
+            params={
+                "app": name,
+                "seed": seed,
+                "machine_backend": machine_backend,
+            },
         )
         for i, name in enumerate(apps)
     ]
@@ -92,13 +104,18 @@ def run_offline_comparison(
     }
 
 
-def _run_one_app(name: str, seed: int) -> Dict[str, float]:
+def _run_one_app(
+    name: str, seed: int, machine_backend: str = "sim"
+) -> Dict[str, float]:
     """The three-way comparison for one app (see the module docstring)."""
     app = MONITORED_APPS[name]()
     config = ULTRA1
-    machine = Machine(config, seed=seed)
+    machine = Machine(config, seed=seed, backend=machine_backend)
     runtime = Runtime(machine, FCFSScheduler(model_scheduler_memory=False))
-    tracer = FootprintTracer(machine)
+    if machine_backend == "analytic":
+        tracer = _AnalyticFootprintProbe(machine)
+    else:
+        tracer = FootprintTracer(machine)
     sampler = _WorkThreadSampler(machine, tracer)
     recorder = ReferenceTraceRecorder(max_total_refs=20_000_000,
                                       strict=False)

@@ -84,14 +84,30 @@ class PerformanceCounters:
         self._pics = (_Pic(pic0, self.wrap), _Pic(pic1, self.wrap))
         self.user_access = user_access
         self.reads = 0
+        #: bumped on every PCR reprogramming; snapshot-holding views
+        #: compare epochs to detect that their baseline is stale
+        self.config_epoch = 0
 
-    def configure(self, pic0: CounterEvent, pic1: CounterEvent) -> None:
+    def configure(
+        self,
+        pic0: CounterEvent,
+        pic1: CounterEvent,
+        privileged: bool = False,
+    ) -> None:
         """Reprogram the PCR event selectors; clears both counters.
 
         Only two events can be live at once -- the hardware constraint the
-        paper works within.
+        paper works within.  Writing the PCR obeys the same access rule as
+        :meth:`read`/:meth:`reset`: with the user-trace bit clear, a
+        user-mode write traps instead of silently reprogramming the
+        selectors and clearing both PICs.
         """
+        if not privileged and not self.user_access:
+            raise CounterAccessError(
+                "PCR user-trace bit clear; user-mode PCR write traps"
+            )
         self._pics = (_Pic(pic0, self.wrap), _Pic(pic1, self.wrap))
+        self.config_epoch += 1
 
     @property
     def events(self) -> Tuple[CounterEvent, CounterEvent]:
@@ -156,6 +172,10 @@ class MissCounterView:
         self._counters = counters
         self._wrap = counters.wrap
         self._last_refs, self._last_hits = counters.read()
+        #: PCR configuration the snapshot belongs to; a mismatch at read
+        #: time means configure() ran mid-interval and the snapshot no
+        #: longer refers to the same events
+        self._config_epoch = counters.config_epoch
         #: True when the most recent interval's deltas looked wrapped
         self.last_overflow_suspect = False
         #: intervals flagged as overflow-suspect since construction
@@ -163,9 +183,45 @@ class MissCounterView:
         #: diagnostic string for the most recent suspect interval
         self.last_overflow_detail = ""
 
+    def _flag_suspect(self, detail: str) -> None:
+        self.last_overflow_suspect = True
+        self.overflow_suspects += 1
+        self.last_overflow_detail = detail
+
     def interval_misses(self) -> int:
-        """Misses since the previous call (or construction); never negative."""
-        refs, hits = self._counters.read()
+        """Misses since the previous call (or construction); never negative.
+
+        A ``configure()`` between the interval-start snapshot and this
+        read would make the modulo subtraction compare counts of
+        *different events* (and both PICs were cleared by the write), so
+        the delta is garbage: the view detects the reprogramming via the
+        PCR config epoch, re-baselines its snapshot, reports the interval
+        as zero misses, and flags it suspect rather than returning the
+        garbage delta.
+        """
+        counters = self._counters
+        if counters.config_epoch != self._config_epoch:
+            self._resync()
+            self._flag_suspect(
+                "PCR reprogrammed mid-interval (configure() cleared the "
+                "PICs and may have switched events): snapshot invalidated; "
+                "interval reported as 0 misses"
+            )
+            return 0
+        if counters.events != (
+            CounterEvent.ECACHE_REFS,
+            CounterEvent.ECACHE_HITS,
+        ):
+            # epoch matched but the PICs are not counting refs/hits (a
+            # reprogram before this view's construction raced it): every
+            # interval is meaningless until reconfigured
+            self._resync()
+            self._flag_suspect(
+                f"PICs configured for {counters.events}, not "
+                "(ECACHE_REFS, ECACHE_HITS): interval reported as 0 misses"
+            )
+            return 0
+        refs, hits = counters.read()
         d_refs = (refs - self._last_refs) % self._wrap
         d_hits = (hits - self._last_hits) % self._wrap
         self._last_refs, self._last_hits = refs, hits
@@ -181,6 +237,11 @@ class MissCounterView:
                 "under-reported"
             )
         return max(0, d_refs - d_hits)
+
+    def _resync(self) -> None:
+        """Re-baseline the snapshot against the current PCR programming."""
+        self._last_refs, self._last_hits = self._counters.read()
+        self._config_epoch = self._counters.config_epoch
 
     @property
     def read_cost_instructions(self) -> int:

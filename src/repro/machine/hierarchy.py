@@ -10,6 +10,11 @@ E-cache, so by default (``MachineConfig.model_l1 = False``) data touches go
 straight to the E-cache at line granularity; enabling L1 modelling filters
 E-cache references through the L1s, which only sharpens the reload-transient
 picture without changing any qualitative result.
+
+This class is the reference implementation of the
+:class:`repro.machine.backend.HierarchyBackend` protocol (the ``sim``
+backend); :class:`repro.machine.analytic.AnalyticHierarchy` is the
+closed-form alternative selected with ``--backend analytic``.
 """
 
 from __future__ import annotations

@@ -19,6 +19,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.machine.backend import HierarchyBackend
 from repro.machine.cache import AccessResult
 from repro.machine.configs import MachineConfig
 from repro.machine.counters import CounterEvent, PerformanceCounters
@@ -31,10 +32,19 @@ RemoteProbe = Callable[[np.ndarray], int]
 class Processor:
     """One cpu of the simulated SMP."""
 
-    def __init__(self, cpu_id: int, config: MachineConfig) -> None:
+    def __init__(
+        self,
+        cpu_id: int,
+        config: MachineConfig,
+        hierarchy: Optional[HierarchyBackend] = None,
+    ) -> None:
         self.cpu_id = cpu_id
         self.config = config
-        self.hierarchy = CacheHierarchy(config)
+        #: the cache backend priced by this cpu (replay hierarchy by
+        #: default; the Machine injects the analytic one on demand)
+        self.hierarchy: HierarchyBackend = (
+            hierarchy if hierarchy is not None else CacheHierarchy(config)
+        )
         self.counters = PerformanceCounters()
         self.cycles = 0
         self.instructions = 0

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Set
 import numpy as np
 
 from repro.machine.address import AddressSpace
+from repro.machine.backend import BACKEND_NAMES, resolve_backend
 from repro.machine.cache import AccessResult
 from repro.machine.configs import MachineConfig
 from repro.machine.processor import Processor
@@ -98,7 +99,20 @@ class Machine:
         config: MachineConfig,
         placement: Optional[PlacementPolicy] = None,
         seed: int = 0,
+        backend: str = "sim",
     ) -> None:
+        if backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown cache backend {backend!r}; expected one of "
+                f"{BACKEND_NAMES}"
+            )
+        #: cache backend name: ``"sim"`` replays every reference through
+        #: the per-cpu hierarchy behind the VM and coherence directory;
+        #: ``"analytic"`` prices batches with the reuse-distance model on
+        #: virtual lines, skipping translation, TLBs and coherence
+        #: entirely (repro.machine.analytic)
+        self.backend = backend
+        self._analytic = backend == "analytic"
         self.config = config
         rng = np.random.default_rng(seed)
         self.address_space = AddressSpace(
@@ -120,20 +134,30 @@ class Machine:
             TLB() if config.model_tlb else None
             for _ in range(config.num_cpus)
         ]
+        hierarchy_factory = resolve_backend(backend)
         self.cpus: List[Processor] = []
         for cpu_id in range(config.num_cpus):
-            cpu = Processor(cpu_id, config)
-            cpu.set_remote_probe(
-                lambda plines, _cpu=cpu_id: self.directory.count_remote(
-                    plines, _cpu
+            cpu = Processor(cpu_id, config, hierarchy=hierarchy_factory(config))
+            if not self._analytic:
+                # the directory prices remote misses and performs write
+                # invalidation; the analytic backend models neither (the
+                # paper's model ignores invalidations too, section 3.4),
+                # so its cpus skip the listener plumbing entirely
+                cpu.set_remote_probe(
+                    lambda plines, _cpu=cpu_id: self.directory.count_remote(
+                        plines, _cpu
+                    )
                 )
-            )
-            cpu.l2.on_install(
-                lambda plines, _cpu=cpu_id: self.directory.add(_cpu, plines)
-            )
-            cpu.l2.on_evict(
-                lambda plines, _cpu=cpu_id: self.directory.remove(_cpu, plines)
-            )
+                cpu.l2.on_install(
+                    lambda plines, _cpu=cpu_id: self.directory.add(
+                        _cpu, plines
+                    )
+                )
+                cpu.l2.on_evict(
+                    lambda plines, _cpu=cpu_id: self.directory.remove(
+                        _cpu, plines
+                    )
+                )
             self.cpus.append(cpu)
 
     # -- execution, in virtual lines --------------------------------------
@@ -144,6 +168,11 @@ class Machine:
         """Touch virtual lines on a cpu; performs coherence on writes."""
         cpu = self.cpus[cpu_id]
         vlines = np.asarray(vlines, dtype=np.int64)
+        if self._analytic:
+            # the analytic backend prices batches in virtual-line space:
+            # no TLB, no translation, no coherence -- that skipped work
+            # is exactly where the sweep speedup comes from
+            return cpu.touch_data(vlines, write=write)
         tlb = self.tlbs[cpu_id]
         if tlb is not None and vlines.size:
             vpages = np.unique(vlines // self.vm.lines_per_page)
@@ -158,7 +187,10 @@ class Machine:
 
     def fetch(self, cpu_id: int, vlines: np.ndarray) -> AccessResult:
         """Instruction-fetch virtual lines on a cpu."""
-        plines = self.vm.translate_lines(np.asarray(vlines, dtype=np.int64))
+        vlines = np.asarray(vlines, dtype=np.int64)
+        if self._analytic:
+            return self.cpus[cpu_id].fetch_instructions(vlines)
+        plines = self.vm.translate_lines(vlines)
         return self.cpus[cpu_id].fetch_instructions(plines)
 
     def compute(self, cpu_id: int, instructions: int) -> None:

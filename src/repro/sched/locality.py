@@ -189,7 +189,7 @@ class LocalityScheduler(Scheduler):
 
     # -- scheduler callbacks ---------------------------------------------------
 
-    def _sanitize_misses(self, misses: int) -> int:
+    def _sanitize_misses(self, misses: int, suspect: bool = False) -> int:
         """Clamp an interval miss reading to the plausible range.
 
         The counters are hints: a reading outside [0, cap] (negative from
@@ -197,13 +197,32 @@ class LocalityScheduler(Scheduler):
         not be allowed to poison the footprint model or crash priority
         arithmetic.  Repeated anomalies flip the scheduler into degraded
         FCFS mode -- correctness is never at stake, only locality.
+
+        ``suspect`` marks a reading the counter view *already* clamped
+        (wrapped deltas, a physically impossible hits > refs pair from a
+        stuck register, a mid-interval PCR reprogram).  Those arrive
+        in-range -- typically as zero -- so the range check alone would
+        never count them, and a register stuck in a glitched state could
+        feed the scheduler garbage forever without ever tripping the
+        degraded-FCFS fallback.  A clamped reading is an anomaly no
+        matter which layer did the clamping: both paths now count toward
+        ``counter_anomalies`` consistently.
         """
         if 0 <= misses <= self._miss_cap:
-            return misses
+            if not suspect:
+                return misses
         self.counter_anomalies += 1
         if self.counter_anomalies >= DEGRADE_AFTER:
             self.degraded = True
         return min(max(misses, 0), self._miss_cap)
+
+    def _interval_suspect(self, cpu: int) -> bool:
+        """Whether ``cpu``'s view flagged the just-ended interval."""
+        runtime = self.runtime
+        if runtime is None:
+            return False
+        view = runtime.counter_view(cpu)
+        return view is not None and bool(view.last_overflow_suspect)
 
     def thread_ready(self, thread: ActiveThread) -> int:
         cost = QUEUE_OP_COST
@@ -244,7 +263,9 @@ class LocalityScheduler(Scheduler):
     def thread_blocked(
         self, cpu: int, thread: ActiveThread, misses: int, finished: bool
     ) -> int:
-        misses = self._sanitize_misses(misses)
+        misses = self._sanitize_misses(
+            misses, suspect=self._interval_suspect(cpu)
+        )
         scheme = self.scheme
         flops_before = scheme.cost.blocking + scheme.cost.dependent
         scheme.on_block(cpu, thread.tid, misses)

@@ -47,14 +47,22 @@ def run_performance(
     seed: int = 0,
     max_events: Optional[int] = None,
     engine: str = "stepped",
+    backend: str = "sim",
 ) -> PerfResult:
     """Run a workload to completion; returns the aggregate counters.
 
     ``engine`` selects the scheduling loop (``"stepped"`` or ``"event"``;
     see docs/MODEL.md "The event engine") -- the counters are
     bit-identical either way, only wall-clock time differs.
+
+    ``backend`` selects how touch batches are priced: ``"sim"`` replays
+    every reference through the cache hierarchy, ``"analytic"`` predicts
+    miss counts from reuse distances via the closed-form model
+    (docs/MODEL.md "The analytic backend") -- per-thread ground truth
+    (refs, instructions) is identical, miss counts are approximate
+    within the bounds the ``analytic-oracle`` CI job pins.
     """
-    machine = Machine(config, seed=seed)
+    machine = Machine(config, seed=seed, backend=backend)
     runtime = Runtime(machine, scheduler, engine=engine)
     workload.build(runtime)
     runtime.run(max_events=max_events)
@@ -76,7 +84,9 @@ class _WorkThreadSampler(Observer):
     """Records (misses, observed footprint, instructions) after every
     touch of the watched thread."""
 
-    def __init__(self, machine: Machine, tracer: FootprintTracer, cpu: int = 0):
+    def __init__(self, machine: Machine, tracer, cpu: int = 0):
+        # ``tracer`` is anything with ``observed(cpu, tid) -> int``:
+        # FootprintTracer (sim) or _AnalyticFootprintProbe (analytic).
         self.machine = machine
         self.tracer = tracer
         self.cpu = cpu
@@ -103,20 +113,67 @@ class _WorkThreadSampler(Observer):
         self.instructions.append(cpu_obj.instructions - self.instr_base)
 
 
+class _AnalyticFootprintProbe(Observer):
+    """The analytic backend's stand-in for the footprint tracer.
+
+    The analytic cache has no notion of which lines are resident, so
+    there are no install/evict events for :class:`FootprintTracer` to
+    consume.  What it *does* know is each line's survival probability,
+    so the "observed" footprint of a thread becomes the expected
+    resident count of its declared state lines -- the same quantity the
+    closed-form model predicts, computed from per-line reuse distances
+    instead of the aggregate miss count.
+    """
+
+    def __init__(self, machine: Machine, cpu: int = 0) -> None:
+        self._machine = machine
+        self._cpu = cpu
+        self._state: Dict[int, np.ndarray] = {}
+
+    def on_state_declared(self, tid: int, vlines: np.ndarray) -> None:
+        existing = self._state.get(tid)
+        if existing is None:
+            self._state[tid] = vlines
+        else:
+            self._state[tid] = np.unique(
+                np.concatenate([existing, vlines])
+            )
+
+    def observed(self, cpu: int, tid: int) -> int:
+        """Duck-typed :meth:`FootprintTracer.observed` replacement."""
+        vlines = self._state.get(tid)
+        if vlines is None:
+            return 0
+        hierarchy = self._machine.cpus[cpu].hierarchy
+        return int(round(hierarchy.expected_resident(vlines)))
+
+
 def run_monitored(
     app: MonitoredApp,
     config: MachineConfig = ULTRA1,
     seed: int = 0,
     engine: str = "stepped",
+    backend: str = "sim",
 ) -> MonitoredResult:
-    """Trace one work thread's footprint against the model's prediction."""
-    machine = Machine(config, seed=seed)
+    """Trace one work thread's footprint against the model's prediction.
+
+    With ``backend="analytic"`` the observed curve comes from the
+    analytic cache's expected-resident estimate (there are no per-line
+    install/evict events to trace), so the comparison becomes
+    reuse-distance model vs aggregate closed form rather than
+    ground-truth simulation vs model -- useful for sweep-scale sanity,
+    not for accuracy claims.
+    """
+    machine = Machine(config, seed=seed, backend=backend)
     # The accuracy runs are about the model, not the policy: a bare FCFS
     # with no simulated scheduler memory keeps the cache unpolluted.
     runtime = Runtime(
         machine, FCFSScheduler(model_scheduler_memory=False), engine=engine
     )
-    tracer = FootprintTracer(machine)
+    if backend == "analytic":
+        tracer = _AnalyticFootprintProbe(machine)
+    else:
+        tracer = FootprintTracer(machine)
     sampler = _WorkThreadSampler(machine, tracer)
     runtime.add_observer(tracer)
     runtime.add_observer(sampler)

@@ -261,6 +261,22 @@ class Runtime:
 
     # -- public API used by thread bodies and workloads ---------------------
 
+    def counter_view(self, cpu: int) -> Optional[MissCounterView]:
+        """The per-cpu miss-counter view (or ``None`` for a bad cpu id).
+
+        Schedulers consult this at ``thread_blocked`` time to learn
+        whether the interval they were just handed was flagged suspect by
+        the view (wrapped deltas, stuck-register glitches, mid-interval
+        PCR reprograms) -- the value alone cannot carry that, because the
+        view clamps impossible readings into the plausible range before
+        the scheduler ever sees them.  Under fault injection the returned
+        object is the injector's wrapper, which forwards the suspicion
+        flags of the real reads underneath.
+        """
+        if 0 <= cpu < len(self._views):
+            return self._views[cpu]
+        return None
+
     def add_observer(self, observer: Observer) -> None:
         """Attach a measurement observer.
 

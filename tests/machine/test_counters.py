@@ -196,3 +196,105 @@ class TestOverflowSuspicion:
         pics.record(CounterEvent.ECACHE_REFS, 300)
         assert view.interval_misses() == 44
         assert not view.last_overflow_suspect
+
+
+class TestConfigureAccessControl:
+    """Writing the PCR obeys the same privilege rule as reading the PICs:
+    with the user-trace bit clear, a user-mode write must trap instead of
+    silently reprogramming the selectors and clearing both counters."""
+
+    def test_user_configure_traps_without_pcr_bit(self):
+        pics = PerformanceCounters(user_access=False)
+        pics.record(CounterEvent.ECACHE_REFS, 7)
+        with pytest.raises(CounterAccessError):
+            pics.configure(CounterEvent.CYCLES, CounterEvent.INSTRUCTIONS)
+        # the trapped write must not have touched the PCR or the PICs
+        assert pics.events == (
+            CounterEvent.ECACHE_REFS,
+            CounterEvent.ECACHE_HITS,
+        )
+        assert pics.read(privileged=True) == (7, 0)
+
+    def test_privileged_configure_allowed_without_pcr_bit(self):
+        pics = PerformanceCounters(user_access=False)
+        pics.configure(
+            CounterEvent.CYCLES, CounterEvent.INSTRUCTIONS, privileged=True
+        )
+        assert pics.events == (
+            CounterEvent.CYCLES,
+            CounterEvent.INSTRUCTIONS,
+        )
+
+    def test_user_configure_allowed_with_pcr_bit(self):
+        pics = PerformanceCounters(user_access=True)
+        pics.configure(CounterEvent.CYCLES, CounterEvent.INSTRUCTIONS)
+        assert pics.events == (
+            CounterEvent.CYCLES,
+            CounterEvent.INSTRUCTIONS,
+        )
+
+    def test_trapped_configure_does_not_bump_epoch(self):
+        pics = PerformanceCounters(user_access=False)
+        epoch = pics.config_epoch
+        with pytest.raises(CounterAccessError):
+            pics.configure(CounterEvent.CYCLES, CounterEvent.INSTRUCTIONS)
+        assert pics.config_epoch == epoch
+
+
+class TestMidIntervalConfigure:
+    """A ``configure()`` between the interval-start snapshot and the read
+    makes the modulo subtraction compare counts of different events (and
+    both PICs were cleared): the view must invalidate its snapshot and
+    report the interval as suspect, never hand back the garbage delta."""
+
+    def test_reprogram_mid_interval_reports_zero_and_suspect(self):
+        pics = PerformanceCounters()
+        view = MissCounterView(pics)
+        pics.record(CounterEvent.ECACHE_REFS, 100)
+        pics.record(CounterEvent.ECACHE_HITS, 60)
+        pics.configure(CounterEvent.ECACHE_REFS, CounterEvent.ECACHE_HITS)
+        assert view.interval_misses() == 0
+        assert view.last_overflow_suspect
+        assert view.overflow_suspects == 1
+        assert "reprogrammed" in view.last_overflow_detail
+
+    def test_next_interval_after_reprogram_is_clean(self):
+        pics = PerformanceCounters()
+        view = MissCounterView(pics)
+        pics.configure(CounterEvent.ECACHE_REFS, CounterEvent.ECACHE_HITS)
+        view.interval_misses()  # suspect: resyncs the snapshot
+        pics.record(CounterEvent.ECACHE_REFS, 30)
+        pics.record(CounterEvent.ECACHE_HITS, 10)
+        assert view.interval_misses() == 20
+        assert not view.last_overflow_suspect
+
+    def test_reprogram_to_other_events_stays_suspect_until_restored(self):
+        pics = PerformanceCounters()
+        view = MissCounterView(pics)
+        pics.configure(CounterEvent.CYCLES, CounterEvent.INSTRUCTIONS)
+        assert view.interval_misses() == 0  # epoch mismatch
+        assert view.last_overflow_suspect
+        pics.record(CounterEvent.CYCLES, 500)
+        assert view.interval_misses() == 0  # still not refs/hits
+        assert view.last_overflow_suspect
+        assert view.overflow_suspects == 2
+        assert "not" in view.last_overflow_detail
+        pics.configure(CounterEvent.ECACHE_REFS, CounterEvent.ECACHE_HITS)
+        view.interval_misses()  # resync against the restored events
+        pics.record(CounterEvent.ECACHE_REFS, 8)
+        assert view.interval_misses() == 8
+        assert not view.last_overflow_suspect
+
+    def test_reprogrammed_interval_does_not_leak_stale_baseline(self):
+        # the cleared PICs restart from zero; without the resync the
+        # old baseline (100, 60) would turn a 5-miss interval into a
+        # huge wrapped delta
+        pics = PerformanceCounters()
+        view = MissCounterView(pics)
+        pics.record(CounterEvent.ECACHE_REFS, 100)
+        pics.record(CounterEvent.ECACHE_HITS, 60)
+        view.interval_misses()
+        pics.configure(CounterEvent.ECACHE_REFS, CounterEvent.ECACHE_HITS)
+        view.interval_misses()  # suspect interval, resyncs
+        pics.record(CounterEvent.ECACHE_REFS, 5)
+        assert view.interval_misses() == 5

@@ -224,6 +224,96 @@ class TestSchedulerMemory:
         assert "sched-heap-cpu0" not in smp.address_space
 
 
+class TestCounterAnomalies:
+    """Satellite of the counter-hardening work: readings the counter
+    view already clamped (stuck register, wrapped delta, mid-interval
+    PCR reprogram) arrive at the scheduler in-range -- typically zero --
+    so the range check alone never counted them, and a stuck register
+    could feed garbage forever without tripping degraded FCFS."""
+
+    def _stuck_register_observer(self, machine):
+        """On every dispatch, inject extra ECACHE_HITS into cpu 0's PICs
+        so the interval ends with hits > refs: the physically impossible
+        pair a stuck/glitched register produces.  The view clamps the
+        reading to 0 and flags it suspect."""
+        from repro.machine.counters import CounterEvent
+        from repro.threads.runtime import Observer
+
+        class StuckHits(Observer):
+            def on_dispatch(self, cpu, thread):
+                machine.cpus[cpu].counters.record(
+                    CounterEvent.ECACHE_HITS, 10_000
+                )
+
+        return StuckHits()
+
+    def test_view_clamped_readings_count_as_anomalies(self, machine):
+        rt, scheduler = build(machine, threshold_lines=4)
+        rt.add_observer(self._stuck_register_observer(machine))
+        region = rt.alloc_lines("r", 30)
+
+        def body():
+            for _ in range(2):
+                yield Touch(region.lines())
+                yield Sleep(500)
+
+        rt.at_create(body)
+        rt.run()
+        assert scheduler.counter_anomalies > 0
+
+    def test_stuck_register_sequence_flips_degraded_fcfs(self, machine):
+        from repro.sched.locality import DEGRADE_AFTER
+
+        rt, scheduler = build(machine, threshold_lines=4)
+        rt.add_observer(self._stuck_register_observer(machine))
+        region = rt.alloc_lines("r", 30)
+
+        def body():
+            # enough sleep intervals that the suspect count must cross
+            # DEGRADE_AFTER well before the thread finishes
+            for _ in range(2 * DEGRADE_AFTER):
+                yield Touch(region.lines())
+                yield Sleep(500)
+
+        tid = rt.at_create(body)
+        rt.run()
+        assert scheduler.counter_anomalies >= DEGRADE_AFTER
+        assert scheduler.degraded
+        # degraded mode is a locality fallback, never a correctness one
+        assert rt.thread(tid).state is ThreadState.DONE
+
+    def test_clean_run_stays_trusted(self, machine):
+        rt, scheduler = build(machine, threshold_lines=4)
+        region = rt.alloc_lines("r", 30)
+
+        def body():
+            for _ in range(6):
+                yield Touch(region.lines())
+                yield Sleep(500)
+
+        rt.at_create(body)
+        rt.run()
+        assert scheduler.counter_anomalies == 0
+        assert not scheduler.degraded
+
+    def test_in_range_unsuspect_reading_passes_through(self, machine):
+        rt, scheduler = build(machine)
+        assert scheduler._sanitize_misses(17) == 17
+        assert scheduler.counter_anomalies == 0
+
+    def test_suspect_reading_counts_even_when_in_range(self, machine):
+        rt, scheduler = build(machine)
+        assert scheduler._sanitize_misses(0, suspect=True) == 0
+        assert scheduler.counter_anomalies == 1
+
+    def test_out_of_range_reading_still_counts(self, machine):
+        rt, scheduler = build(machine)
+        cap = scheduler._miss_cap
+        assert scheduler._sanitize_misses(cap + 1) == cap
+        assert scheduler._sanitize_misses(-5) == 0
+        assert scheduler.counter_anomalies == 2
+
+
 class TestCRTVariant:
     def test_crt_scheduler_runs(self, machine):
         scheduler = make_crt(model_scheduler_memory=False, threshold_lines=8)

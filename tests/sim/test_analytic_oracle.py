@@ -1,0 +1,89 @@
+"""The analytic-vs-simulated oracle sweep (the CI gate's test body).
+
+Runs every fixture workload under both backends and asserts the
+per-interval miss-count relative error stays within the pinned
+per-workload bounds (``repro.sim.oracle.ORACLE_BOUNDS``).  A modelling
+regression in :mod:`repro.machine.analytic` -- survival maths off,
+clock drift, emission bias -- lands far outside the bounds; a change
+that merely shifts an error *within* its bound is fine and expected.
+"""
+
+import json
+
+import pytest
+
+from repro.sim.oracle import (
+    ORACLE_BOUNDS,
+    ORACLE_WORKLOADS,
+    cross_check,
+    format_oracle,
+    run_oracle,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    """One sweep shared by the assertions (each run is ~seconds)."""
+    return run_oracle()
+
+
+class TestOracleSweep:
+    def test_every_fixture_has_a_pinned_bound(self):
+        assert set(ORACLE_BOUNDS) == set(ORACLE_WORKLOADS)
+
+    def test_all_workloads_within_pinned_bounds(self, sweep):
+        failures = [
+            f"{name}: relerr {r['interval_relerr']:.3f} > bound {r['bound']}"
+            for name, r in sweep.items()
+            if r["interval_relerr"] > r["bound"]
+        ]
+        assert not failures, "\n" + format_oracle(sweep) + "\n" + "\n".join(
+            failures
+        )
+
+    def test_ground_truth_is_backend_invariant(self, sweep):
+        # the backend prices misses; it must never change what the
+        # programs did (refs, instructions, final thread states)
+        assert all(r["signature_equal"] for r in sweep.values())
+
+    def test_interval_tapes_align_on_one_cpu_fcfs(self, sweep):
+        # 1-cpu bare FCFS dispatch order is miss-independent, so the
+        # interval sequences should align and the comparison should be
+        # the fine-grained per-interval one, not the per-thread fallback
+        assert all(r["intervals_aligned"] for r in sweep.values())
+
+    def test_errors_are_not_vacuously_zero(self, sweep):
+        # the sweep must actually exercise the approximation: if every
+        # error were 0.0 the fixtures would be too trivial to gate on
+        assert any(r["interval_relerr"] > 0.01 for r in sweep.values())
+
+    def test_tasks_is_near_exact(self, sweep):
+        # disjoint footprints reused at miss-distance ~0: the closed
+        # form's exact regime, pinned tightly so drift is loud
+        assert sweep["tasks"]["interval_relerr"] <= 0.05
+
+
+class TestOracleReport:
+    def test_report_written_and_loadable(self, tmp_path):
+        path = tmp_path / "reports" / "analytic_oracle.json"
+        results = run_oracle(
+            workloads={"tasks": ORACLE_WORKLOADS["tasks"]},
+            report_path=str(path),
+        )
+        report = json.loads(path.read_text())
+        assert report["bounds"] == ORACLE_BOUNDS
+        assert report["results"]["tasks"]["ok"] == results["tasks"]["ok"]
+        assert report["config"]["num_cpus"] == 1
+
+    def test_cross_check_unpinned_workload_has_no_bound(self):
+        result = cross_check("tasks-alias", ORACLE_WORKLOADS["tasks"])
+        assert result["bound"] is None
+        assert result["ok"]  # unpinned: only the signature gates
+
+    def test_format_is_one_row_per_workload(self):
+        results = run_oracle(
+            workloads={"tasks": ORACLE_WORKLOADS["tasks"]},
+        )
+        text = format_oracle(results)
+        assert "tasks" in text
+        assert len(text.splitlines()) == 3  # title + header + one row
